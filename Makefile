@@ -1,0 +1,43 @@
+# gomdb — Function Materialization in Object Bases (SIGMOD 1991 reproduction)
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench repro repro-short examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per table/figure plus micro-benchmarks, at reduced
+# scale; the full-scale reproduction is `make repro`.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every table and figure of the paper's evaluation (Section 7)
+# at the paper's scale. Takes ~8 minutes; output shapes are documented in
+# EXPERIMENTS.md.
+repro:
+	$(GO) run ./cmd/gombench -figure all
+
+repro-short:
+	$(GO) run ./cmd/gombench -figure all -short
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/geometry
+	$(GO) run ./examples/company
+	$(GO) run ./examples/restricted
+	$(GO) run ./examples/tabular
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,75 @@
+// Command gombench regenerates the tables and figures of the paper's
+// evaluation section (Section 7) on the simulated GOM object base.
+//
+// Usage:
+//
+//	gombench -figure all            # every experiment at full scale
+//	gombench -figure figure10       # one experiment
+//	gombench -figure figure7 -short # reduced scale for a quick look
+//	gombench -list
+//
+// Output values are simulated seconds (see DESIGN.md for the cost model);
+// the shapes and break-even points are the reproduction target, not the
+// absolute numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gomdb/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation) or 'all'")
+	short := flag.Bool("short", false, "run at reduced scale")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	cuboids := flag.Int("cuboids", 0, "override Cuboid database size (default 8000, paper scale)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	plot := flag.Bool("plot", false, "additionally render an ASCII log-scale plot")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	sc := bench.FullScale()
+	if *short {
+		sc = bench.ShortScale()
+	}
+	if *cuboids > 0 {
+		sc.Cuboids = *cuboids
+	}
+
+	ids := bench.IDs()
+	if *figure != "all" {
+		id := strings.ToLower(*figure)
+		if _, ok := bench.Registry[id]; !ok {
+			fmt.Fprintf(os.Stderr, "gombench: unknown experiment %q (use -list)\n", *figure)
+			os.Exit(1)
+		}
+		ids = []string{id}
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		fig, err := bench.Registry[id](sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gombench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fig.PrintCSV(os.Stdout)
+		} else {
+			fig.Print(os.Stdout)
+		}
+		if *plot {
+			fig.PrintPlot(os.Stdout)
+		}
+		fmt.Printf("  (%s completed in %v wall time)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

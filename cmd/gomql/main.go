@@ -1,0 +1,207 @@
+// Command gomql is an interactive GOMql shell over a sample GOM object base
+// with function materialization.
+//
+//	gomql -db geometry -n 100       # Cuboid sample database
+//	gomql -db company               # Company sample database
+//
+// Statements:
+//
+//	range c: Cuboid retrieve c.volume where c.CuboidID = 3
+//	range c: Cuboid materialize c.volume, c.weight where c.Mat.Name = "Iron"
+//	define Cuboid.density: float is return self.weight / self.volume end
+//
+// Dot commands: .help .types .gmrs .gmr <name> .stats .explain .trace
+// .check .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+)
+
+func main() {
+	dbKind := flag.String("db", "geometry", "sample database: geometry or company")
+	n := flag.Int("n", 100, "number of cuboids (geometry database)")
+	encaps := flag.Bool("encapsulated", false, "use the strictly encapsulated Cuboid schema (Section 5.3)")
+	flag.Parse()
+
+	db := gomdb.Open(gomdb.DefaultConfig())
+	switch *dbKind {
+	case "geometry":
+		if err := fixtures.DefineGeometry(db, *encaps); err != nil {
+			fatal(err)
+		}
+		if _, err := fixtures.PopulateGeometry(db, *n, 42); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("geometry database: %d cuboids, %d objects, %d heap pages\n",
+			*n, db.Objects.NumObjects(), db.Objects.HeapPages())
+	case "company":
+		if err := fixtures.DefineCompany(db); err != nil {
+			fatal(err)
+		}
+		cfg := fixtures.Figure15Config()
+		if _, err := fixtures.PopulateCompany(db, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("company database: %d departments x %d employees, %d projects\n",
+			cfg.Departments, cfg.EmpsPerDep, cfg.Projects)
+	default:
+		fatal(fmt.Errorf("unknown -db %q", *dbKind))
+	}
+
+	explain := false
+	trace := false
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("gomql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		// A "define Type.op ... end" block may span multiple lines.
+		if strings.HasPrefix(strings.ToLower(line), "define ") {
+			src := line
+			for !strings.HasSuffix(strings.TrimSpace(src), "end") {
+				fmt.Print("  ...> ")
+				if !sc.Scan() {
+					break
+				}
+				src += "\n" + sc.Text()
+			}
+			if fn, err := db.Schema.DefineFuncSrc(src, true); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("defined %s (side-effect free, materializable)\n", fn.Name)
+			}
+			fmt.Print("gomql> ")
+			continue
+		}
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println(`statements:  range v: Type retrieve ... [where ...]
+             range v: Type materialize v.f1, v.f2 [where ...]
+commands:    .types        list types
+             .gmrs         list GMRs
+             .gmr <name>   show a GMR's extension and rewrite plan
+             .stats        storage and GMR-manager statistics
+             .explain      toggle plan explanations
+             .trace        toggle GMR-manager event tracing
+             .check        run the consistency checker on every GMR
+             .quit`)
+		case line == ".types":
+			for _, tn := range db.Schema.Reg.Types() {
+				t := db.Schema.Reg.Lookup(tn)
+				fmt.Printf("  %-12s %v", tn, t.Kind)
+				if t.Super != "" {
+					fmt.Printf(" <: %s", t.Super)
+				}
+				if t.StrictEncapsulated {
+					fmt.Printf(" (strictly encapsulated)")
+				}
+				fmt.Println()
+			}
+		case line == ".gmrs":
+			for _, name := range db.GMRs.GMRs() {
+				g, _ := db.GMRs.Get(name)
+				fmt.Printf("  %s  entries=%d strategy=%v mode=%v complete=%v\n",
+					name, g.Len(), g.Strategy, g.Mode, g.Complete)
+			}
+		case strings.HasPrefix(line, ".gmr "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ".gmr "))
+			g, ok := db.GMRs.Get(name)
+			if !ok {
+				fmt.Printf("no GMR %q\n", name)
+				break
+			}
+			fmt.Printf("%s over %v\n", g.Name, g.ArgTypes)
+			shown := 0
+			g.Entries(func(args, results []gomdb.Value, valid []bool) bool {
+				fmt.Printf("  %v ->", args)
+				for i, r := range results {
+					fmt.Printf(" %v(valid=%v)", r, valid[i])
+				}
+				fmt.Println()
+				shown++
+				return shown < 20
+			})
+			if g.Len() > 20 {
+				fmt.Printf("  ... %d more entries\n", g.Len()-20)
+			}
+			fmt.Println("rewritten update operations:")
+			fmt.Println(db.GMRs.DescribePlan(g))
+		case line == ".stats":
+			snap := db.Snapshot()
+			fmt.Printf("  simulated seconds: %.2f\n", db.SimSeconds())
+			fmt.Printf("  physical I/O: %d reads, %d writes; logical: %d reads, %d writes\n",
+				snap.PhysReads, snap.PhysWrites, snap.LogReads, snap.LogWrites)
+			fmt.Printf("  GMR manager: %+v\n", db.GMRs.Stats)
+		case line == ".explain":
+			explain = !explain
+			if explain {
+				db.Queries.Explain = func(s string) { fmt.Println("  --", s) }
+			} else {
+				db.Queries.Explain = nil
+			}
+			fmt.Printf("explain %v\n", explain)
+		case line == ".trace":
+			trace = !trace
+			if trace {
+				db.GMRs.SetTrace(func(e core.TraceEvent) { fmt.Println("  **", e) })
+			} else {
+				db.GMRs.SetTrace(nil)
+			}
+			fmt.Printf("trace %v\n", trace)
+		case line == ".check":
+			for _, name := range db.GMRs.GMRs() {
+				rep, err := db.GMRs.CheckConsistency(name, 1e-9, true)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Println(" ", rep)
+				for i, v := range rep.Violations {
+					if i == 5 {
+						fmt.Printf("    ... %d more violations\n", len(rep.Violations)-5)
+						break
+					}
+					fmt.Println("    !", v)
+				}
+			}
+		case strings.HasPrefix(line, "."):
+			fmt.Printf("unknown command %q (.help)\n", line)
+		default:
+			res, err := db.Query(line, nil)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println(strings.Join(res.Columns, " | "))
+			for i, row := range res.Rows {
+				if i == 50 {
+					fmt.Printf("... %d more rows\n", len(res.Rows)-50)
+					break
+				}
+				parts := make([]string, len(row))
+				for j, v := range row {
+					parts[j] = v.String()
+				}
+				fmt.Println(strings.Join(parts, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		}
+		fmt.Print("gomql> ")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gomql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package gomdb_test
+
+import (
+	"fmt"
+
+	"gomdb"
+)
+
+// Example demonstrates the core loop of function materialization: define a
+// derived function, materialize it, query it through the GMR, and let an
+// update invalidate and rematerialize exactly the affected result.
+func Example() {
+	db := gomdb.Open(gomdb.DefaultConfig())
+
+	db.MustDefineType(gomdb.NewTupleType("Rectangle",
+		gomdb.PubAttr("Width", "float"),
+		gomdb.PubAttr("Height", "float"),
+	), "area")
+
+	if err := db.DefineOpSrc("Rectangle", `
+		define area: float is
+			return self.Width * self.Height
+		end`, true); err != nil {
+		panic(err)
+	}
+
+	for i := 1; i <= 4; i++ {
+		db.MustNew("Rectangle", gomdb.Float(float64(i)), gomdb.Float(10))
+	}
+
+	// range r: Rectangle materialize r.area
+	if _, err := db.Query(`range r: Rectangle materialize r.area`, nil); err != nil {
+		panic(err)
+	}
+
+	// The backward query runs off the GMR's result index.
+	res, err := db.Query(`range r: Rectangle retrieve r.Width where r.area >= 30.0`, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d rectangles with area >= 30\n", len(res.Rows))
+
+	// Updating a relevant attribute invalidates exactly one result; the
+	// immediate strategy recomputes it on the spot.
+	first := db.Extension("Rectangle")[0]
+	if err := db.Set(first, "Height", gomdb.Float(100)); err != nil {
+		panic(err)
+	}
+	v, err := db.Call("Rectangle.area", gomdb.Ref(first))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("area after update: %v\n", v)
+	fmt.Printf("rematerializations: %d\n", db.GMRs.Stats.Rematerializations)
+
+	// Output:
+	// 2 rectangles with area >= 30
+	// area after update: 100
+	// rematerializations: 5
+}

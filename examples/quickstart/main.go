@@ -1,0 +1,76 @@
+// Quickstart: define a small object schema with a derived function,
+// materialize the function, and watch the GMR manager keep the precomputed
+// results consistent under updates.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gomdb"
+)
+
+func main() {
+	db := gomdb.Open(gomdb.DefaultConfig())
+
+	// A tuple-structured type with two public attributes ...
+	db.MustDefineType(gomdb.NewTupleType("Rectangle",
+		gomdb.PubAttr("Width", "float"),
+		gomdb.PubAttr("Height", "float"),
+	), "area")
+
+	// ... and a side-effect-free, type-associated function in the paper's
+	// textual syntax (bodies can equally be built as ASTs with the lang
+	// package; see examples/geometry).
+	if err := db.DefineOpSrc("Rectangle", `
+		define area: float is
+			return self.Width * self.Height
+		end`, true); err != nil {
+		log.Fatal(err)
+	}
+
+	// Create some instances.
+	var last gomdb.OID
+	for i := 1; i <= 5; i++ {
+		last = db.MustNew("Rectangle", gomdb.Float(float64(i)), gomdb.Float(float64(i)*2))
+	}
+
+	// Materialize area: this is the GOMql statement
+	//     range r: Rectangle materialize r.area
+	res, err := db.Query(`range r: Rectangle materialize r.area`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized %v with %v precomputed entries\n", res.Rows[0][0], res.Rows[0][1])
+
+	// A backward query now runs off the GMR's result index instead of
+	// evaluating area for every instance.
+	db.Queries.Explain = func(s string) { fmt.Println("  ", s) }
+	res, err = db.Query(`range r: Rectangle retrieve r.Width where r.area > 10.0`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  rectangle with width %v has area > 10\n", row[0])
+	}
+
+	// Updates invalidate exactly the affected precomputed result; under the
+	// (default) immediate strategy it is recomputed on the spot.
+	fmt.Println("\nbefore update:", mustCall(db, "Rectangle.area", last))
+	if err := db.Set(last, "Width", gomdb.Float(100)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after  update:", mustCall(db, "Rectangle.area", last))
+	fmt.Printf("maintenance work: %+v\n", db.GMRs.Stats)
+	fmt.Printf("simulated time so far: %.3fs\n", db.SimSeconds())
+}
+
+func mustCall(db *gomdb.Database, fn string, oid gomdb.OID) gomdb.Value {
+	v, err := db.Call(fn, gomdb.Ref(oid))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,136 @@
+// Restricted: Section 6 of the paper — p-restricted GMRs and materialized
+// functions with atomic argument types.
+//
+//  1. Materializes volume and weight only for iron cuboids
+//     (range c: Cuboid materialize ... where c.Mat.Name = "Iron") and shows
+//     the Rosenkrantz–Hunt applicability test routing covered backward
+//     queries to the GMR and uncovered ones to a scan.
+//
+//  2. Materializes a gravity-dependent weight for a value-restricted set of
+//     gravitational constants (the planets example of Section 6.2).
+//
+//     go run ./examples/restricted
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/lang"
+)
+
+func main() {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fixtures.PopulateGeometry(db, 64, 3); err != nil {
+		log.Fatal(err)
+	}
+	db.Queries.Explain = func(s string) { fmt.Println("  ", s) }
+
+	// --- Part 1: restricted GMR ------------------------------------------
+	res, err := db.Query(`range c: Cuboid materialize c.volume, c.weight where c.Mat.Name = "Iron"`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restricted GMR %v holds %v entries (iron cuboids only)\n\n", res.Rows[0][0], res.Rows[0][1])
+
+	fmt.Println("covered backward query (σ' implies the restriction):")
+	if _, err := db.Query(`range c: Cuboid retrieve c where c.volume > 200.0 and c.Mat.Name = "Iron"`, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("uncovered backward query (gold cuboids might match too):")
+	if _, err := db.Query(`range c: Cuboid retrieve c where c.volume > 200.0`, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Changing a cuboid's material moves it in or out of the restricted
+	// extension (the predicate(o) algorithm of Section 6.1).
+	g, _ := db.GMRs.Get(db.GMRs.GMRs()[0])
+	before := g.Len()
+	gold := findMaterial(db, "Gold")
+	iron := findMaterial(db, "Iron")
+	someIron := firstWithMaterial(db, iron)
+	if err := db.Set(someIron, "Mat", gomdb.Ref(gold)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nturned an iron cuboid to gold: GMR %d -> %d entries\n", before, g.Len())
+	if err := db.Set(someIron, "Mat", gomdb.Ref(iron)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("and back to iron:              GMR now %d entries\n", g.Len())
+
+	// --- Part 2: atomic argument types ------------------------------------
+	// weight_g: Cuboid || float -> float computes the weight under a given
+	// gravitational acceleration; float arguments must be value-restricted.
+	weightG := &gomdb.Function{
+		Name:           "weight_on",
+		Params:         []gomdb.Param{lang.Prm("c", "Cuboid"), lang.Prm("gravitation", "float")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []gomdb.Stmt{
+			lang.Ret(lang.Div(lang.Mul(lang.CallFn("Cuboid.weight", lang.V("c")), lang.V("gravitation")), lang.F(9.81))),
+		},
+	}
+	if err := db.Schema.DefineFunc(weightG); err != nil {
+		log.Fatal(err)
+	}
+	planets := map[string]float64{"Mercury": 3.7, "Earth": 9.81, "Jupiter": 24.79}
+	var gs []gomdb.Value
+	for _, v := range []float64{3.7, 9.81, 24.79} {
+		gs = append(gs, gomdb.Float(v))
+	}
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:      []string{"weight_on"},
+		Complete:   true,
+		Strategy:   gomdb.Immediate,
+		Mode:       gomdb.ModeObjDep,
+		AtomicArgs: map[int]gomdb.ArgRestriction{1: {Values: gs}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmaterialized weight_on for %d (cuboid, gravitation) combinations\n", gmr.Len())
+
+	c0 := firstWithMaterial(db, iron)
+	for name, grav := range planets {
+		w, err := db.Call("weight_on", gomdb.Ref(c0), gomdb.Float(grav))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  weight of %v on %-8s %v\n", c0, name+":", w)
+	}
+	// Outside the restricted domain the normal function computes the answer
+	// without extending the GMR.
+	w, err := db.Call("weight_on", gomdb.Ref(c0), gomdb.Float(1.62)) // Moon
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  weight of %v on the Moon: %v (computed, not materialized; GMR still %d entries)\n",
+		c0, w, gmr.Len())
+}
+
+func findMaterial(db *gomdb.Database, name string) gomdb.OID {
+	for _, oid := range db.Extension("Material") {
+		v, err := db.GetAttr(oid, "Name")
+		if err == nil && v.S == name {
+			return oid
+		}
+	}
+	log.Fatalf("no material %q", name)
+	return 0
+}
+
+func firstWithMaterial(db *gomdb.Database, mat gomdb.OID) gomdb.OID {
+	for _, oid := range db.Extension("Cuboid") {
+		v, err := db.GetAttr(oid, "Mat")
+		if err == nil && v.R == mat {
+			return oid
+		}
+	}
+	log.Fatal("no cuboid with that material")
+	return 0
+}

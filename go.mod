@@ -1,0 +1,3 @@
+module gomdb
+
+go 1.22

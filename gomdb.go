@@ -1,0 +1,345 @@
+// Package gomdb is the public API of this reproduction of "Function
+// Materialization in Object Bases" (Kemper, Kilger, Moerkotte; SIGMOD 1991).
+//
+// It wires together the GOM object model, the paged storage substrate with
+// its simulated cost model, the GOMpl operation language, and the GMR
+// manager implementing function materialization, and re-exports the types a
+// downstream user needs:
+//
+//	db := gomdb.Open(gomdb.DefaultConfig())
+//	db.MustDefineType(gomdb.NewTupleType("Vertex",
+//	    gomdb.Attr("X", "float"), gomdb.Attr("Y", "float"), gomdb.Attr("Z", "float")))
+//	...
+//	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+//	    Funcs: []string{"Cuboid.volume", "Cuboid.weight"},
+//	    Complete: true,
+//	})
+//	res, err := db.Query(`range c: Cuboid retrieve c where c.volume > 20.0`)
+//
+// See the examples/ directory for complete programs.
+package gomdb
+
+import (
+	"gomdb/internal/core"
+	"gomdb/internal/lang"
+	"gomdb/internal/object"
+	"gomdb/internal/query"
+	"gomdb/internal/schema"
+	"gomdb/internal/storage"
+)
+
+// Re-exported value and identity types.
+type (
+	// Value is a runtime value of the data model.
+	Value = object.Value
+	// OID is an object identifier.
+	OID = object.OID
+	// Type is a type descriptor.
+	Type = object.Type
+	// AttrDef declares one tuple attribute.
+	AttrDef = object.AttrDef
+	// Obj is the in-memory form of a stored object.
+	Obj = object.Obj
+	// Function is a declared GOMpl function.
+	Function = lang.Function
+	// Param is a formal parameter.
+	Param = lang.Param
+	// Expr is a GOMpl expression node.
+	Expr = lang.Expr
+	// Stmt is a GOMpl statement node.
+	Stmt = lang.Stmt
+	// MaterializeOptions configures Materialize.
+	MaterializeOptions = core.Options
+	// GMR is a generalized materialization relation.
+	GMR = core.GMR
+	// Restriction is a restriction predicate for a p-restricted GMR.
+	Restriction = core.Restriction
+	// ArgRestriction restricts an atomic argument position.
+	ArgRestriction = core.ArgRestriction
+	// Match is one backward-query result row.
+	Match = core.Match
+	// FieldSpec constrains one GMR column in a tabular Retrieve call.
+	FieldSpec = core.FieldSpec
+	// Row is one retrieved GMR tuple.
+	Row = core.Row
+	// TraceEvent is one GMR-manager maintenance action (SetTrace).
+	TraceEvent = core.TraceEvent
+	// ConsistencyReport summarizes a CheckConsistency run.
+	ConsistencyReport = core.ConsistencyReport
+	// Clock is the simulated-work accumulator.
+	Clock = storage.Clock
+)
+
+// Re-exported strategy and mode constants.
+const (
+	// Immediate rematerialization recomputes on invalidation.
+	Immediate = core.Immediate
+	// Lazy rematerialization marks and recomputes on demand.
+	Lazy = core.Lazy
+
+	// ModeBasic is the unsophisticated Section 4 invalidation mechanism.
+	ModeBasic = core.ModeBasic
+	// ModeSchemaDep uses SchemaDepFct (Section 5.1).
+	ModeSchemaDep = core.ModeSchemaDep
+	// ModeObjDep adds the ObjDepFct marking check (Section 5.2).
+	ModeObjDep = core.ModeObjDep
+	// ModeInfoHiding exploits strict encapsulation (Section 5.3).
+	ModeInfoHiding = core.ModeInfoHiding
+)
+
+// Value constructors.
+var (
+	// Null returns the null value.
+	Null = object.Null
+	// Bool returns a boolean value.
+	Bool = object.Bool
+	// Int returns an integer value.
+	Int = object.Int
+	// Float returns a float value.
+	Float = object.Float
+	// Str returns a string value.
+	Str = object.String_
+	// Ref returns an object reference.
+	Ref = object.Ref
+	// SetOf returns a transient set value.
+	SetOf = object.SetVal
+	// ListOf returns a transient list value.
+	ListOf = object.ListVal
+	// TupleOf returns a transient tuple value.
+	TupleOf = object.TupleVal
+)
+
+// Type constructors.
+var (
+	// NewTupleType constructs a tuple-structured type descriptor.
+	NewTupleType = object.NewTupleType
+	// NewSetType constructs a set-structured type descriptor.
+	NewSetType = object.NewSetType
+	// NewListType constructs a list-structured type descriptor.
+	NewListType = object.NewListType
+)
+
+// Attr declares a private tuple attribute.
+func Attr(name, typeName string) AttrDef { return AttrDef{Name: name, Type: typeName} }
+
+// PubAttr declares a public tuple attribute (its A and set_A operations are
+// added to the public clause).
+func PubAttr(name, typeName string) AttrDef {
+	return AttrDef{Name: name, Type: typeName, Public: true}
+}
+
+// Config configures a Database.
+type Config struct {
+	// BufferPages is the buffer pool capacity in 4 KB pages. The paper's
+	// setup used 600 KB = 150 pages.
+	BufferPages int
+	// IOCostMicros is the simulated cost of one physical page I/O
+	// (default 25 ms, the paper's disk).
+	IOCostMicros int64
+	// CPUCostMicros is the simulated cost of one charged CPU operation.
+	CPUCostMicros int64
+}
+
+// DefaultConfig returns the paper's measurement configuration.
+func DefaultConfig() Config {
+	return Config{
+		BufferPages:   150,
+		IOCostMicros:  storage.DefaultIOCostMicros,
+		CPUCostMicros: storage.DefaultCPUCostMicros,
+	}
+}
+
+// Database is an in-process GOM object base with function materialization.
+type Database struct {
+	Clock   *storage.Clock
+	Disk    *storage.Disk
+	Pool    *storage.BufferPool
+	Schema  *schema.Schema
+	Objects *object.Manager
+	Engine  *schema.Engine
+	GMRs    *core.Manager
+	Queries *query.Executor
+}
+
+// QueryResult is the result of a GOMql query.
+type QueryResult = query.Result
+
+// Open creates an empty database.
+func Open(cfg Config) *Database {
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 150
+	}
+	clock := storage.NewClock()
+	if cfg.IOCostMicros != 0 {
+		clock.IOCostMicros = cfg.IOCostMicros
+	}
+	if cfg.CPUCostMicros != 0 {
+		clock.CPUCostMicros = cfg.CPUCostMicros
+	}
+	disk := storage.NewDisk(clock)
+	pool := storage.NewPool(disk, cfg.BufferPages)
+	sch := schema.New()
+	objs := object.NewManager(sch.Reg, pool, clock)
+	en := schema.NewEngine(sch, objs, clock)
+	mgr := core.NewManager(en, pool)
+	return &Database{
+		Clock:   clock,
+		Disk:    disk,
+		Pool:    pool,
+		Schema:  sch,
+		Objects: objs,
+		Engine:  en,
+		GMRs:    mgr,
+		Queries: query.NewExecutor(en, mgr),
+	}
+}
+
+// Query parses and executes a GOMql statement; $name parameters are bound
+// from params (pass nil when the query has none).
+func (db *Database) Query(src string, params map[string]Value) (*QueryResult, error) {
+	return db.Queries.Run(src, params)
+}
+
+// DefineType registers a type with its public clause.
+func (db *Database) DefineType(t *Type, publicNames ...string) error {
+	return db.Schema.DefineType(t, publicNames...)
+}
+
+// MustDefineType is DefineType panicking on error; for schema-building code
+// where a failure is a programming bug.
+func (db *Database) MustDefineType(t *Type, publicNames ...string) {
+	if err := db.DefineType(t, publicNames...); err != nil {
+		panic(err)
+	}
+}
+
+// DefineOp attaches an operation to a type.
+func (db *Database) DefineOp(typeName, opName string, fn *Function) error {
+	return db.Schema.DefineOp(typeName, opName, fn)
+}
+
+// MustDefineOp is DefineOp panicking on error.
+func (db *Database) MustDefineOp(typeName, opName string, fn *Function) {
+	if err := db.DefineOp(typeName, opName, fn); err != nil {
+		panic(err)
+	}
+}
+
+// DefineFunc registers a free function.
+func (db *Database) DefineFunc(fn *Function) error { return db.Schema.DefineFunc(fn) }
+
+// DefineOpSrc parses, type-checks, and attaches a textual GOMpl operation —
+// the paper's concrete syntax:
+//
+//	db.DefineOpSrc("Cuboid", `
+//	    define volume: float is
+//	        return self.length * self.width * self.height
+//	    end`, true)
+//
+// sideEffectFree marks the function materializable.
+func (db *Database) DefineOpSrc(typeName, src string, sideEffectFree bool) error {
+	_, err := db.Schema.DefineOpSrc(typeName, src, sideEffectFree)
+	return err
+}
+
+// DefineFuncSrc parses and registers a textual free function (or, with the
+// qualified "define Type.op" form, a type-associated operation).
+func (db *Database) DefineFuncSrc(src string, sideEffectFree bool) error {
+	_, err := db.Schema.DefineFuncSrc(src, sideEffectFree)
+	return err
+}
+
+// New creates a tuple-structured instance; attribute order follows the
+// flattened inherited layout.
+func (db *Database) New(typeName string, attrs ...Value) (OID, error) {
+	return db.Engine.Create(typeName, attrs)
+}
+
+// MustNew is New panicking on error.
+func (db *Database) MustNew(typeName string, attrs ...Value) OID {
+	oid, err := db.New(typeName, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return oid
+}
+
+// NewSet creates a set- or list-structured instance.
+func (db *Database) NewSet(typeName string, elems ...Value) (OID, error) {
+	return db.Engine.CreateCollection(typeName, elems)
+}
+
+// Delete removes an object (running forget_object hooks first).
+func (db *Database) Delete(oid OID) error { return db.Engine.Delete(oid) }
+
+// Set performs the elementary update oid.set_attr(v).
+func (db *Database) Set(oid OID, attr string, v Value) error {
+	return db.Engine.SetAttrByName(oid, attr, v)
+}
+
+// GetAttr reads attribute attr of oid.
+func (db *Database) GetAttr(oid OID, attr string) (Value, error) {
+	return db.Engine.ReadAttr(Ref(oid), attr)
+}
+
+// Insert performs the elementary update set.insert(elem).
+func (db *Database) Insert(set OID, elem Value) error {
+	return db.Engine.InsertElem(Ref(set), elem)
+}
+
+// Remove performs the elementary update set.remove(elem).
+func (db *Database) Remove(set OID, elem Value) error {
+	return db.Engine.RemoveElem(Ref(set), elem)
+}
+
+// Call invokes a declared function or operation; materialized functions are
+// answered from their GMR (forward query) when possible.
+func (db *Database) Call(fn string, args ...Value) (Value, error) {
+	return db.Engine.Invoke(fn, args...)
+}
+
+// Field-spec constructors for tabular GMR retrieval (Section 3.2's
+// QBE-style operations).
+var (
+	// ExactSpec constrains a column to one value.
+	ExactSpec = core.ExactSpec
+	// RangeSpec constrains a numeric column to [lo, hi].
+	RangeSpec = core.RangeSpec
+	// AnySpec leaves a column unconstrained.
+	AnySpec = core.AnySpec
+)
+
+// Materialize creates a GMR per the options — the API form of the GOMql
+// statement "range ... materialize ...".
+func (db *Database) Materialize(opts MaterializeOptions) (*GMR, error) {
+	return db.GMRs.Materialize(opts)
+}
+
+// Retrieve answers a tabular GMR query (one FieldSpec per argument and
+// result column), using the GMR's multidimensional index when present.
+func (db *Database) Retrieve(gmrName string, spec []FieldSpec) ([]Row, error) {
+	return db.GMRs.Retrieve(gmrName, spec)
+}
+
+// CheckConsistency audits a GMR against Definition 3.2 (and, with
+// checkComplete, Definition 3.4/6.1): every valid entry must match a fresh
+// recomputation within relative tolerance tol.
+func (db *Database) CheckConsistency(gmrName string, tol float64, checkComplete bool) (*ConsistencyReport, error) {
+	return db.GMRs.CheckConsistency(gmrName, tol, checkComplete)
+}
+
+// SetTrace installs (or, with nil, removes) a callback observing every
+// GMR-manager maintenance action.
+func (db *Database) SetTrace(fn func(TraceEvent)) { db.GMRs.SetTrace(fn) }
+
+// Dematerialize drops a GMR and undoes its schema rewrite.
+func (db *Database) Dematerialize(name string) error { return db.GMRs.Drop(name) }
+
+// Extension returns the OIDs of all instances of typeName (and subtypes).
+func (db *Database) Extension(typeName string) []OID { return db.Objects.Extension(typeName) }
+
+// SimSeconds returns the simulated seconds of work performed so far.
+func (db *Database) SimSeconds() float64 { return db.Clock.SimSeconds() }
+
+// Snapshot returns a copy of the cost counters.
+func (db *Database) Snapshot() Clock { return db.Clock.Snapshot() }

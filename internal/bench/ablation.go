@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out: the
+// Section 5 mode ladder (Basic → SchemaDep → ObjDep → InfoHiding) and the
+// second-chance RRR variant. These have no direct counterpart figure in the
+// paper; they quantify the contribution of each individual mechanism on a
+// fixed update workload.
+
+// ablationWorkload runs a fixed mix of updates (half scales, half
+// irrelevant Value updates, plus rotations) against <<volume>> maintained
+// with the given configuration and returns the simulated seconds.
+func ablationWorkload(mode core.HookMode, secondChance bool, nCuboids, nOps int) (float64, error) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	encaps := mode == core.ModeInfoHiding
+	if err := fixtures.DefineGeometry(db, encaps); err != nil {
+		return 0, err
+	}
+	g, err := fixtures.PopulateGeometry(db, nCuboids, cuboidSeed)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: mode, SecondChance: secondChance,
+	}); err != nil {
+		return 0, err
+	}
+	rng := g.Rng()
+	// "Innocent" vertices: used by no cuboid, sharing only the Vertex type
+	// with the materialization — the paper's Cylinder/Pyramid scenario.
+	var innocent []gomdb.OID
+	for i := 0; i < 50; i++ {
+		innocent = append(innocent, fixtures.NewVertex(db, float64(i), 0, 0))
+	}
+	start := db.Clock.Snapshot()
+	for i := 0; i < nOps; i++ {
+		c := g.RandomCuboid()
+		switch i % 5 {
+		case 0: // scale: invalidates volume
+			s := fixtures.NewVertex(db, 0.8+rng.Float64()*0.4, 1, 1)
+			if _, err := db.Call("Cuboid.scale", gomdb.Ref(c), gomdb.Ref(s)); err != nil {
+				return 0, err
+			}
+		case 1, 2: // rotate: volume-invariant
+			if _, err := db.Call("Cuboid.rotate", gomdb.Ref(c), gomdb.Float(rng.Float64()), gomdb.Str("z")); err != nil {
+				return 0, err
+			}
+		case 3: // irrelevant attribute update
+			if encaps {
+				// Value is private under strict encapsulation; use a
+				// translate, which is declared volume-invariant.
+				d := fixtures.NewVertex(db, rng.Float64(), 0, 0)
+				if _, err := db.Call("Cuboid.translate", gomdb.Ref(c), gomdb.Ref(d)); err != nil {
+					return 0, err
+				}
+			} else if err := db.Set(c, "Value", gomdb.Float(rng.Float64()*100)); err != nil {
+				return 0, err
+			}
+		case 4: // update of an innocent vertex (relevant operation, wrong object)
+			v := innocent[rng.Intn(len(innocent))]
+			if err := db.Set(v, "X", gomdb.Float(rng.Float64()*10)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	d := db.Clock.Sub(start)
+	return float64(d.PhysReads+d.PhysWrites)*float64(db.Clock.IOCostMicros)/1e6 +
+		float64(d.CPUOps)*float64(db.Clock.CPUCostMicros)/1e6, nil
+}
+
+// Ablation produces the mode-ladder table: one series per maintenance
+// configuration over an increasing number of update operations.
+func Ablation(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Ablation",
+		Title:  "Invalidation-machinery ablation (Section 5 mode ladder, update-only workload)",
+		XLabel: "#updates",
+		YLabel: "simulated seconds",
+		X:      thin(seq(100, 500, 100), sc.Points),
+	}
+	configs := []struct {
+		name string
+		mode core.HookMode
+		sc   bool
+	}{
+		{"Basic", core.ModeBasic, false},
+		{"SchemaDep", core.ModeSchemaDep, false},
+		{"ObjDep", core.ModeObjDep, false},
+		{"ObjDep+2ndCh", core.ModeObjDep, true},
+		{"InfoHiding", core.ModeInfoHiding, false},
+	}
+	for _, cfg := range configs {
+		s := Series{Name: cfg.name}
+		for _, n := range fig.X {
+			t, err := ablationWorkload(cfg.mode, cfg.sc, sc.Cuboids/4+1, sc.ops(int(n)))
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s: %w", cfg.name, err)
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

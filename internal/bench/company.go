@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/query"
+)
+
+// The Company benchmarks of Section 7.2: the materialized ranking function
+// (Figures 13 and 14) and the materialized department-project matrix with a
+// compensating action (Figure 15).
+
+type companyBench struct {
+	db      *gomdb.Database
+	c       *fixtures.Company
+	version Version
+	rng     *rand.Rand
+	qbwR    *query.Query
+}
+
+// newRankingBench builds the Figure 13/14 database (20 departments x 100
+// employees, 1000 projects, 10 jobs per employee) and materializes
+// Employee.ranking per version.
+func newRankingBench(version Version, sc Scale) (*companyBench, error) {
+	cfg := fixtures.Figure13Config()
+	if sc.CompanyDivisor > 1 {
+		cfg.Departments = max(2, cfg.Departments/sc.CompanyDivisor)
+		cfg.EmpsPerDep = max(3, cfg.EmpsPerDep/sc.CompanyDivisor)
+		cfg.Projects = max(5, cfg.Projects/sc.CompanyDivisor)
+	}
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineCompany(db); err != nil {
+		return nil, err
+	}
+	c, err := fixtures.PopulateCompany(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &companyBench{db: db, c: c, version: version, rng: c.Rng()}
+	switch version {
+	case WithoutGMR:
+	case Immediate:
+		_, err = db.Materialize(gomdb.MaterializeOptions{
+			Funcs: []string{"Employee.ranking"}, Complete: true,
+			Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+		})
+	case LazyRemat:
+		_, err = db.Materialize(gomdb.MaterializeOptions{
+			Funcs: []string{"Employee.ranking"}, Complete: true,
+			Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+		})
+	default:
+		err = fmt.Errorf("bench: unknown ranking version %q", version)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b.qbwR, err = query.Parse(`range e: Employee retrieve e where e.ranking > $lo and e.ranking < $hi`)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// QbwR is the backward query on ranking: retrieve e where
+// r-ε < e.ranking < r+ε.
+func (b *companyBench) QbwR() error {
+	r := b.rng.Float64() * 1000
+	const eps = 50
+	_, err := b.db.Queries.RunQuery(b.qbwR, map[string]gomdb.Value{
+		"lo": gomdb.Float(r - eps),
+		"hi": gomdb.Float(r + eps),
+	})
+	return err
+}
+
+// QfwR is the forward query: retrieve e.ranking where e.EmpNo = randomNo
+// (the EmpNo index is the in-memory ByEmpNo map).
+func (b *companyBench) QfwR() error {
+	e := b.c.RandomEmployee()
+	_, err := b.db.Call("Employee.ranking", gomdb.Ref(e))
+	return err
+}
+
+// P promotes or degrades a randomly chosen employee.
+func (b *companyBench) P() error { return b.c.Promote() }
+
+// Figure13 reproduces "Cost of Backward Queries": 10 operations, backward
+// ranking queries vs. promotions, Pup 0 to 1 step 0.1.
+func Figure13(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Figure 13",
+		Title:  "Cost of backward queries (materialized ranking)",
+		XLabel: "Pup",
+		YLabel: "simulated seconds for 10 ops",
+		X:      thin(seq(0, 1, 0.1), sc.Points),
+	}
+	for _, v := range []Version{WithoutGMR, Immediate, LazyRemat} {
+		s := Series{Name: v.String()}
+		for _, pup := range fig.X {
+			b, err := newRankingBench(v, sc)
+			if err != nil {
+				return nil, err
+			}
+			t, err := runMix(b.db, b.rng, []wop{{1.0, b.QbwR}}, []wop{{1.0, b.P}}, pup, sc.ops(10))
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure14 reproduces "Cost of Forward Queries": 1000 operations, forward
+// ranking queries vs. promotions, Pup 0 to 1 step 0.1.
+func Figure14(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Figure 14",
+		Title:  "Cost of forward queries (materialized ranking)",
+		XLabel: "Pup",
+		YLabel: "simulated seconds for 1000 ops",
+		X:      thin(seq(0, 1, 0.1), sc.Points),
+	}
+	for _, v := range []Version{WithoutGMR, Immediate, LazyRemat} {
+		s := Series{Name: v.String()}
+		for _, pup := range fig.X {
+			b, err := newRankingBench(v, sc)
+			if err != nil {
+				return nil, err
+			}
+			t, err := runMix(b.db, b.rng, []wop{{1.0, b.QfwR}}, []wop{{1.0, b.P}}, pup, sc.ops(1000))
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// newMatrixBench builds the Figure 15 database (5 departments x 10
+// employees, 100 projects, 5 programmers per project) and materializes
+// Company.matrix per version. The CompAction version additionally registers
+// the comp_add_project compensating action.
+func newMatrixBench(version Version, sc Scale) (*companyBench, error) {
+	cfg := fixtures.Figure15Config()
+	if sc.CompanyDivisor > 1 {
+		cfg.Projects = max(10, cfg.Projects/sc.CompanyDivisor)
+	}
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineCompany(db); err != nil {
+		return nil, err
+	}
+	c, err := fixtures.PopulateCompany(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &companyBench{db: db, c: c, version: version, rng: c.Rng()}
+	strategy := gomdb.Immediate
+	switch version {
+	case WithoutGMR:
+		return b, nil
+	case LazyRemat:
+		strategy = gomdb.Lazy
+	case Immediate, CompAction:
+	default:
+		return nil, fmt.Errorf("bench: unknown matrix version %q", version)
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Company.matrix"}, Complete: true,
+		Strategy: strategy, Mode: gomdb.ModeInfoHiding,
+	}); err != nil {
+		return nil, err
+	}
+	if version == CompAction {
+		comp, err := db.Schema.LookupFunction("Company.comp_add_project")
+		if err != nil {
+			return nil, err
+		}
+		if err := db.GMRs.DefineCompensation("Company", "add_project", "Company.matrix", comp); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// QselM selects the matrix lines of a randomly chosen department and
+// retrieves their Proj fields.
+func (b *companyBench) QselM() error {
+	dno := gomdb.Int(b.c.RandomDepNo())
+	m, err := b.db.Call("Company.matrix", gomdb.Ref(b.c.Comp))
+	if err != nil {
+		return err
+	}
+	lines, err := b.db.Engine.ReadElems(m)
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		dep, err := b.db.Engine.ReadAttr(l, "Dep")
+		if err != nil {
+			return err
+		}
+		depNo, err := b.db.Engine.ReadAttr(dep, "DepNo")
+		if err != nil {
+			return err
+		}
+		if depNo.Equal(dno) {
+			if _, err := b.db.Engine.ReadAttr(l, "Proj"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// N creates a new project and inserts it into the company via the public
+// add_project operation.
+func (b *companyBench) N() error {
+	p, err := b.c.NewProjectWithProgrammers(5)
+	if err != nil {
+		return err
+	}
+	_, err = b.db.Call("Company.add_project", gomdb.Ref(b.c.Comp), gomdb.Ref(p))
+	return err
+}
+
+// Figure15 reproduces "The Benefits of Compensating Actions": 10
+// operations, matrix selections vs. project insertions, Pup 0 to 1 step
+// 0.1, with four program versions.
+func Figure15(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Figure 15",
+		Title:  "Benefits of compensating actions (materialized matrix)",
+		XLabel: "Pup",
+		YLabel: "simulated seconds for 10 ops",
+		X:      thin(seq(0, 1, 0.1), sc.Points),
+	}
+	for _, v := range []Version{WithoutGMR, Immediate, LazyRemat, CompAction} {
+		s := Series{Name: v.String()}
+		for _, pup := range fig.X {
+			b, err := newMatrixBench(v, sc)
+			if err != nil {
+				return nil, err
+			}
+			t, err := runMix(b.db, b.rng, []wop{{1.0, b.QselM}}, []wop{{1.0, b.N}}, pup, sc.ops(10))
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,388 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/query"
+)
+
+// The Cuboid benchmarks of Section 7.1. The database holds 8000 Cuboid
+// instances, each referencing 8 Vertex instances and one Material instance.
+// The operation mix is M = (Qmix, Umix, Pup, #ops).
+
+// cuboidBench is one program version over one freshly populated database.
+type cuboidBench struct {
+	db      *gomdb.Database
+	g       *fixtures.Geometry
+	version Version
+	rng     *rand.Rand
+	qbw     *query.Query
+	epsilon float64
+}
+
+const cuboidSeed = 42
+
+// newCuboidBench builds the database and applies the version's
+// materialization configuration. The InfoHiding version runs over the
+// strictly encapsulated Cuboid schema of Section 5.3; all others over the
+// fully public one.
+func newCuboidBench(version Version, nCuboids int) (*cuboidBench, error) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	encaps := version == InfoHiding
+	if err := fixtures.DefineGeometry(db, encaps); err != nil {
+		return nil, err
+	}
+	g, err := fixtures.PopulateGeometry(db, nCuboids, cuboidSeed)
+	if err != nil {
+		return nil, err
+	}
+	b := &cuboidBench{db: db, g: g, version: version, rng: g.Rng(), epsilon: 8.0}
+	switch version {
+	case WithoutGMR:
+		// no materialization
+	case WithGMR:
+		_, err = db.Materialize(gomdb.MaterializeOptions{
+			Funcs: []string{"Cuboid.volume"}, Complete: true,
+			Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+		})
+	case InfoHiding:
+		_, err = db.Materialize(gomdb.MaterializeOptions{
+			Funcs: []string{"Cuboid.volume"}, Complete: true,
+			Strategy: gomdb.Immediate, Mode: gomdb.ModeInfoHiding,
+		})
+	case LazyStart:
+		var gmr *gomdb.GMR
+		gmr, err = db.Materialize(gomdb.MaterializeOptions{
+			Funcs: []string{"Cuboid.volume"}, Complete: true,
+			Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+		})
+		if err == nil {
+			err = db.GMRs.InvalidateAll(gmr.Name)
+		}
+	default:
+		err = fmt.Errorf("bench: unknown cuboid version %q", version)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b.qbw, err = query.Parse(`range c: Cuboid retrieve c where c.volume > $lo and c.volume < $hi`)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Qbw is the backward query: retrieve c where r-ε < c.volume < r+ε.
+func (b *cuboidBench) Qbw() error {
+	r := 20 + b.rng.Float64()*400
+	_, err := b.db.Queries.RunQuery(b.qbw, map[string]gomdb.Value{
+		"lo": gomdb.Float(r - b.epsilon),
+		"hi": gomdb.Float(r + b.epsilon),
+	})
+	return err
+}
+
+// Qfw is the forward query: retrieve c.volume where c.CuboidID = randomID.
+// Finding the qualifying Cuboid is supported by an index (footnote 8), here
+// the in-memory ByID map.
+func (b *cuboidBench) Qfw() error {
+	ids := b.g.Cuboids
+	oid := ids[b.rng.Intn(len(ids))]
+	_, err := b.db.Call("Cuboid.volume", gomdb.Ref(oid))
+	return err
+}
+
+// S scales a randomly chosen Cuboid.
+func (b *cuboidBench) S() error {
+	c := b.g.RandomCuboid()
+	f := func() float64 { return 0.8 + b.rng.Float64()*0.4 }
+	s := fixtures.NewVertex(b.db, f(), f(), f())
+	_, err := b.db.Call("Cuboid.scale", gomdb.Ref(c), gomdb.Ref(s))
+	return err
+}
+
+// R rotates a randomly chosen Cuboid.
+func (b *cuboidBench) R() error {
+	c := b.g.RandomCuboid()
+	angle := b.rng.Float64() * 2 * math.Pi
+	axis := []string{"x", "y", "z"}[b.rng.Intn(3)]
+	_, err := b.db.Call("Cuboid.rotate", gomdb.Ref(c), gomdb.Float(angle), gomdb.Str(axis))
+	return err
+}
+
+// T translates a randomly chosen Cuboid.
+func (b *cuboidBench) T() error {
+	c := b.g.RandomCuboid()
+	f := func() float64 { return b.rng.Float64()*20 - 10 }
+	d := fixtures.NewVertex(b.db, f(), f(), f())
+	_, err := b.db.Call("Cuboid.translate", gomdb.Ref(c), gomdb.Ref(d))
+	return err
+}
+
+// I creates a new Cuboid of randomly chosen dimensions.
+func (b *cuboidBench) I() error {
+	b.g.CreateRandomCuboid()
+	return nil
+}
+
+// D deletes a randomly chosen Cuboid.
+func (b *cuboidBench) D() error {
+	return b.g.DeleteRandomCuboid()
+}
+
+// wop is a weighted operation.
+type wop struct {
+	w float64
+	f func() error
+}
+
+// runMix performs nops operations: with probability pup an update drawn
+// from umix, otherwise a query drawn from qmix (weights within each mix).
+// It returns the simulated seconds the operations took.
+func runMix(db *gomdb.Database, rng *rand.Rand, qmix, umix []wop, pup float64, nops int) (float64, error) {
+	start := db.Clock.Snapshot()
+	for i := 0; i < nops; i++ {
+		pool := qmix
+		if rng.Float64() < pup {
+			pool = umix
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		r := rng.Float64()
+		acc := 0.0
+		f := pool[len(pool)-1].f
+		for _, op := range pool {
+			acc += op.w
+			if r < acc {
+				f = op.f
+				break
+			}
+		}
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	d := db.Clock.Sub(start)
+	return float64(d.PhysReads+d.PhysWrites)*float64(db.Clock.IOCostMicros)/1e6 +
+		float64(d.CPUOps)*float64(db.Clock.CPUCostMicros)/1e6, nil
+}
+
+// Figure7 reproduces "Performance of GMR under Varying Update
+// Probabilities": 40 operations, Qmix = {(.5, Qbw), (.5, Qfw)},
+// Umix = {(.5, I), (.5, S)}, Pup = 0 step .05 to 1.
+func Figure7(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Figure 7",
+		Title:  "Performance of GMR under varying update probabilities",
+		XLabel: "Pup",
+		YLabel: "simulated seconds for 40 ops",
+		X:      thin(seq(0, 1, 0.05), sc.Points),
+	}
+	nops := sc.ops(40)
+	for _, v := range []Version{WithoutGMR, WithGMR, InfoHiding} {
+		s := Series{Name: v.String()}
+		for _, pup := range fig.X {
+			b, err := newCuboidBench(v, sc.Cuboids)
+			if err != nil {
+				return nil, err
+			}
+			t, err := runMix(b.db, b.rng,
+				[]wop{{0.5, b.Qbw}, {0.5, b.Qfw}},
+				[]wop{{0.5, b.I}, {0.5, b.S}},
+				pup, nops)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure8 reproduces "Determining the Break-Even Point of Function
+// Materialization": 500 operations, Qmix = {Qbw}, Umix = {S}, Pup from 0.94
+// to 1.0 (increments .02, .02, then .002).
+func Figure8(sc Scale) (*Figure, error) {
+	x := []float64{0.94, 0.96}
+	x = append(x, seq(0.98, 1.0, 0.002)...)
+	fig := &Figure{
+		ID:     "Figure 8",
+		Title:  "Break-even point of function materialization",
+		XLabel: "Pup",
+		YLabel: "simulated seconds for 500 ops",
+		X:      thin(x, sc.Points),
+	}
+	nops := sc.ops(500)
+	for _, v := range []Version{WithoutGMR, WithGMR, InfoHiding} {
+		s := Series{Name: v.String()}
+		for _, pup := range fig.X {
+			b, err := newCuboidBench(v, sc.Cuboids)
+			if err != nil {
+				return nil, err
+			}
+			t, err := runMix(b.db, b.rng,
+				[]wop{{1.0, b.Qbw}},
+				[]wop{{1.0, b.S}},
+				pup, nops)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure9 reproduces "Cost of Forward Queries": 200 to 2000 forward
+// queries, no updates.
+func Figure9(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Figure 9",
+		Title:  "Cost of forward queries",
+		XLabel: "#Qfw",
+		YLabel: "simulated seconds",
+		X:      thin(seq(200, 2000, 200), sc.Points),
+	}
+	for _, v := range []Version{WithoutGMR, WithGMR} {
+		s := Series{Name: v.String()}
+		for _, n := range fig.X {
+			b, err := newCuboidBench(v, sc.Cuboids)
+			if err != nil {
+				return nil, err
+			}
+			t, err := runMix(b.db, b.rng, []wop{{1.0, b.Qfw}}, nil, 0, sc.ops(int(n)))
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure10 reproduces "Invalidation Overhead Incurred by Materialized
+// volume": 250 to 2500 rotations, with the additional Lazy configuration in
+// which all volume results were invalidated before the run.
+func Figure10(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Figure 10",
+		Title:  "Invalidation overhead incurred by materialized volume (rotations only)",
+		XLabel: "#rotations",
+		YLabel: "simulated seconds",
+		X:      thin(seq(250, 2500, 250), sc.Points),
+	}
+	for _, v := range []Version{WithoutGMR, WithGMR, LazyStart, InfoHiding} {
+		s := Series{Name: v.String()}
+		for _, n := range fig.X {
+			b, err := newCuboidBench(v, sc.Cuboids)
+			if err != nil {
+				return nil, err
+			}
+			t, err := runMix(b.db, b.rng, nil, []wop{{1.0, b.R}}, 1.0, sc.ops(int(n)))
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure11 reproduces "The Benefits of Information Hiding": 400 update
+// operations with P(S) rising from 0 to 1 while P(R) falls from 1 to 0.
+func Figure11(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Figure 11",
+		Title:  "Benefits of information hiding (scale/rotate mix)",
+		XLabel: "#scalations",
+		YLabel: "simulated seconds for 400 ops",
+	}
+	probs := thin(seq(0, 1, 0.05), sc.Points)
+	for _, p := range probs {
+		fig.X = append(fig.X, math.Round(p*400))
+	}
+	nops := sc.ops(400)
+	for _, v := range []Version{WithoutGMR, WithGMR, InfoHiding} {
+		s := Series{Name: v.String()}
+		for _, pScale := range probs {
+			b, err := newCuboidBench(v, sc.Cuboids)
+			if err != nil {
+				return nil, err
+			}
+			t, err := runMix(b.db, b.rng, nil,
+				[]wop{{pScale, b.S}, {1 - pScale, b.R}},
+				1.0, nops)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Table1 reproduces the Section 3.1 example GMR extension over the Figure 2
+// database (volumes 300/200/100, weights 2358/1572/1900).
+func Table1() (*Figure, error) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		return nil, err
+	}
+	g, err := fixtures.ExampleGeometry(db)
+	if err != nil {
+		return nil, err
+	}
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Table 1",
+		Title:  "Extension of <<volume, weight>> over the Figure 2 database",
+		XLabel: "O1 (oid)",
+		YLabel: "volume / weight",
+		Series: []Series{{Name: "volume"}, {Name: "weight"}},
+	}
+	for _, oid := range g.Cuboids {
+		e, ok := func() (core.Match, bool) {
+			ms, err := db.GMRs.All("Cuboid.volume")
+			if err != nil {
+				return core.Match{}, false
+			}
+			for _, m := range ms {
+				if m.Args[0].R == oid {
+					return m, true
+				}
+			}
+			return core.Match{}, false
+		}()
+		if !ok {
+			return nil, fmt.Errorf("bench: no GMR entry for %v", oid)
+		}
+		fig.X = append(fig.X, float64(oid))
+		v, _ := e.Result.AsFloat()
+		fig.Series[0].Points = append(fig.Series[0].Points, v)
+		w, err := db.GMRs.Forward("Cuboid.weight", e.Args)
+		if err != nil {
+			return nil, err
+		}
+		wf, _ := w.AsFloat()
+		fig.Series[1].Points = append(fig.Series[1].Points, wf)
+	}
+	_ = gmr
+	return fig, nil
+}

@@ -1,0 +1,240 @@
+// Package bench reproduces the quantitative analysis of the paper's
+// Section 7: the Cuboid benchmarks (Figures 7-11) and the Company benchmarks
+// (Figures 13-15), plus the Section 3.1 example table.
+//
+// Times are *simulated seconds*: physical page I/Os through the 600 KB
+// buffer pool at 25 ms each plus a small CPU charge per interpreter step —
+// the cost model substituting for the paper's GOM/EXODUS/DECstation setup
+// (see DESIGN.md). Absolute values therefore differ from the paper; the
+// comparisons between program versions and the break-even points are what
+// this package reproduces.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Version names a benchmark program version, matching the paper's figure
+// legends.
+type Version string
+
+// Program versions.
+const (
+	WithoutGMR Version = "WithoutGMR"
+	WithGMR    Version = "WithGMR"
+	InfoHiding Version = "InfoHiding"
+	LazyStart  Version = "Lazy"       // Figure 10: lazy with all results pre-invalidated
+	Immediate  Version = "Immediate"  // company benchmarks
+	LazyRemat  Version = "Lazy "      // company benchmarks (lazy rematerialization)
+	CompAction Version = "CompAction" // Figure 15
+)
+
+func (v Version) String() string { return strings.TrimSpace(string(v)) }
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Figure is a reproduced table/figure: an x-axis and one series per program
+// version.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Print renders the figure as an aligned table.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %14s", s.Name)
+	}
+	fmt.Fprintf(w, "   [%s]\n", f.YLabel)
+	for i, x := range f.X {
+		fmt.Fprintf(w, "%-12.4g", x)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, " %14.2f", s.Points[i])
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintCSV renders the figure as comma-separated values.
+func (f *Figure) PrintCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s (%s)\n", f.ID, f.Title, f.YLabel)
+	fmt.Fprintf(w, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, ",%s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for i, x := range f.X {
+		fmt.Fprintf(w, "%g", x)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, ",%g", s.Points[i])
+			} else {
+				fmt.Fprintf(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// plotMarks assigns one mark per series, mirroring the paper's plot glyphs.
+var plotMarks = []byte{'*', '+', 'o', 'x', '#'}
+
+// PrintPlot renders an ASCII scatter plot with a logarithmic y-axis — the
+// paper's figures use log-scaled time axes, so crossovers and constant
+// factors appear as vertical offsets.
+func (f *Figure) PrintPlot(w io.Writer) {
+	const width, height = 64, 20
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p > 0 {
+				lo = math.Min(lo, p)
+				hi = math.Max(hi, p)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		fmt.Fprintf(w, "%s: nothing to plot\n", f.ID)
+		return
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	xSpan := f.X[len(f.X)-1] - f.X[0]
+	if xSpan == 0 {
+		xSpan = 1
+	}
+	for si, s := range f.Series {
+		mark := plotMarks[si%len(plotMarks)]
+		for i, p := range s.Points {
+			if i >= len(f.X) || p <= 0 {
+				continue
+			}
+			col := int(float64(width-1) * (f.X[i] - f.X[0]) / xSpan)
+			row := height - 1 - int(float64(height-1)*(math.Log10(p)-logLo)/(logHi-logLo))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s: %s  [log10 %s]\n", f.ID, f.Title, f.YLabel)
+	for r, rowBytes := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.1f ", hi)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.1f ", lo)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(rowBytes))
+	}
+	fmt.Fprintf(w, "%10s+%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s %-10g%*s%g  (%s)\n", "", f.X[0], width-20, "", f.X[len(f.X)-1], f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(w, "%10s %c = %s\n", "", plotMarks[si%len(plotMarks)], s.Name)
+	}
+	fmt.Fprintln(w)
+}
+
+// CrossoverX estimates where series a first becomes more expensive than
+// series b (linear interpolation between sample points); NaN if never.
+// EXPERIMENTS.md uses it to report break-even points.
+func (f *Figure) CrossoverX(a, b string) float64 {
+	var sa, sb *Series
+	for i := range f.Series {
+		if f.Series[i].Name == a {
+			sa = &f.Series[i]
+		}
+		if f.Series[i].Name == b {
+			sb = &f.Series[i]
+		}
+	}
+	if sa == nil || sb == nil {
+		return math.NaN()
+	}
+	for i := 1; i < len(f.X) && i < len(sa.Points) && i < len(sb.Points); i++ {
+		d0 := sa.Points[i-1] - sb.Points[i-1]
+		d1 := sa.Points[i] - sb.Points[i]
+		if d0 <= 0 && d1 > 0 {
+			// Interpolate the zero crossing.
+			t := d0 / (d0 - d1)
+			return f.X[i-1] + t*(f.X[i]-f.X[i-1])
+		}
+	}
+	return math.NaN()
+}
+
+// Scale shrinks benchmark dimensions for quick runs (go test -short).
+type Scale struct {
+	// Cuboids is the Cuboid database size (paper: 8000).
+	Cuboids int
+	// OpsDivisor divides the operation counts.
+	OpsDivisor int
+	// Points thins parameter sweeps to every k-th point (1 = all).
+	Points int
+	// CompanyDivisor divides the company population.
+	CompanyDivisor int
+}
+
+// FullScale is the paper's configuration.
+func FullScale() Scale { return Scale{Cuboids: 8000, OpsDivisor: 1, Points: 1, CompanyDivisor: 1} }
+
+// ShortScale is a reduced configuration for -short test runs.
+func ShortScale() Scale { return Scale{Cuboids: 600, OpsDivisor: 4, Points: 4, CompanyDivisor: 5} }
+
+func (s Scale) ops(n int) int {
+	if s.OpsDivisor <= 1 {
+		return n
+	}
+	n /= s.OpsDivisor
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// thin selects every k-th element of xs, always keeping the first and last.
+func thin(xs []float64, k int) []float64 {
+	if k <= 1 || len(xs) <= 2 {
+		return xs
+	}
+	var out []float64
+	for i, x := range xs {
+		if i%k == 0 || i == len(xs)-1 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// seq returns lo, lo+step, ..., up to hi inclusive (with tolerance).
+func seq(lo, hi, step float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi+step/1e6; x += step {
+		out = append(out, math.Round(x*1e9)/1e9)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+)
+
+// AblationMDS quantifies the Section 3.3 trade-off: tabular queries that
+// constrain a combination of columns (a volume window AND a weight window)
+// against <<volume, weight>> with and without the multidimensional Grid
+// File. Without the MDS the retrieval scans the extension; with it only the
+// intersecting grid buckets are visited.
+func AblationMDS(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "Ablation-MDS",
+		Title:  "Grid File (MDS) vs extension scan for combined-column retrievals",
+		XLabel: "#retrievals",
+		YLabel: "simulated seconds",
+		X:      thin(seq(100, 500, 100), sc.Points),
+	}
+	for _, useMDS := range []bool{false, true} {
+		name := "ExtensionScan"
+		if useMDS {
+			name = "GridFileMDS"
+		}
+		s := Series{Name: name}
+		for _, n := range fig.X {
+			t, err := mdsWorkload(useMDS, sc.Cuboids/2+1, sc.ops(int(n)))
+			if err != nil {
+				return nil, fmt.Errorf("mds ablation: %w", err)
+			}
+			s.Points = append(s.Points, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func mdsWorkload(useMDS bool, nCuboids, nOps int) (float64, error) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		return 0, err
+	}
+	g, err := fixtures.PopulateGeometry(db, nCuboids, cuboidSeed)
+	if err != nil {
+		return 0, err
+	}
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+		UseMDS: useMDS,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rng := g.Rng()
+	start := db.Clock.Snapshot()
+	for i := 0; i < nOps; i++ {
+		vLo := rng.Float64() * 500
+		wLo := rng.Float64() * 3000
+		if _, err := db.Retrieve(gmr.Name, []gomdb.FieldSpec{
+			core.AnySpec(),
+			core.RangeSpec(vLo, vLo+40),
+			core.RangeSpec(wLo, wLo+300),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	d := db.Clock.Sub(start)
+	return float64(d.PhysReads+d.PhysWrites)*float64(db.Clock.IOCostMicros)/1e6 +
+		float64(d.CPUOps)*float64(db.Clock.CPUCostMicros)/1e6, nil
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		ID: "F", Title: "sample", XLabel: "x", YLabel: "secs",
+		X: []float64{1, 2, 3},
+		Series: []Series{
+			{Name: "a", Points: []float64{1, 10, 100}},
+			{Name: "b", Points: []float64{5, 5, 5}},
+		},
+	}
+}
+
+func TestPrintCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sampleFigure().PrintCSV(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[1] != "x,a,b" {
+		t.Fatalf("csv header = %q", lines[1])
+	}
+	if lines[2] != "1,1,5" || lines[4] != "3,100,5" {
+		t.Fatalf("csv rows: %q / %q", lines[2], lines[4])
+	}
+}
+
+func TestPrintPlot(t *testing.T) {
+	var buf bytes.Buffer
+	fig := sampleFigure()
+	fig.PrintPlot(&buf)
+	out := buf.String()
+	for _, want := range []string{"log10 secs", "* = a", "+ = b", "100.0", "1.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The marks appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("plot has no data marks")
+	}
+	// Degenerate figures do not crash.
+	var buf2 bytes.Buffer
+	(&Figure{ID: "E", X: []float64{1}, Series: []Series{{Name: "z", Points: []float64{0}}}}).PrintPlot(&buf2)
+	if !strings.Contains(buf2.String(), "nothing to plot") {
+		t.Fatalf("degenerate plot output: %q", buf2.String())
+	}
+}
+
+func TestMDSAblationShape(t *testing.T) {
+	fig, err := AblationMDS(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(fig.X) - 1
+	scan := fig.Series[0].Points[last]
+	mds := fig.Series[1].Points[last]
+	if mds > scan {
+		t.Fatalf("MDS (%g) slower than extension scan (%g)", mds, scan)
+	}
+}

@@ -1,0 +1,202 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("empty tree has length %d", tr.Len())
+	}
+	if _, ok := tr.Get(Key{F: 1}); ok {
+		t.Fatal("Get on empty tree succeeded")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree succeeded")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree succeeded")
+	}
+	tr.Range(0, 100, func(Key, any) bool { t.Fatal("range on empty tree yielded"); return true })
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		if !tr.Insert(Key{F: float64(i), Aux: uint64(i)}, i) {
+			t.Fatalf("insert %d reported replace", i)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d, want 1000", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(Key{F: float64(i), Aux: uint64(i)})
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	// Replace.
+	if tr.Insert(Key{F: 5, Aux: 5}, "five") {
+		t.Fatal("replacing insert reported new")
+	}
+	if v, _ := tr.Get(Key{F: 5, Aux: 5}); v != "five" {
+		t.Fatalf("replaced value = %v", v)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len after replace = %d", tr.Len())
+	}
+	// Delete every third key.
+	for i := 0; i < 1000; i += 3 {
+		if !tr.Delete(Key{F: float64(i), Aux: uint64(i)}) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(Key{F: 0, Aux: 0}) {
+		t.Fatal("double delete succeeded")
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := tr.Get(Key{F: float64(i), Aux: uint64(i)})
+		if (i%3 == 0) == ok {
+			t.Fatalf("Get(%d) after deletes = %v", i, ok)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateFloatsDistinctAux(t *testing.T) {
+	tr := New()
+	for aux := uint64(1); aux <= 100; aux++ {
+		tr.Insert(Key{F: 7.5, Aux: aux}, aux)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	n := 0
+	tr.Range(7.5, 7.5, func(k Key, v any) bool {
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("range over duplicates found %d, want 100", n)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Key{F: float64(i)}, i)
+	}
+	var got []int
+	tr.Range(10, 20, func(_ Key, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Fatalf("range [10,20] = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 99, func(Key, any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Empty window between keys.
+	got = nil
+	tr.Range(10.2, 10.8, func(_ Key, v any) bool { got = append(got, v.(int)); return true })
+	if len(got) != 0 {
+		t.Fatalf("empty window returned %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	order := rand.New(rand.NewSource(3)).Perm(500)
+	for _, i := range order {
+		tr.Insert(Key{F: float64(i)}, i)
+	}
+	if k, _ := tr.Min(); k.F != 0 {
+		t.Fatalf("min = %v", k)
+	}
+	if k, _ := tr.Max(); k.F != 499 {
+		t.Fatalf("max = %v", k)
+	}
+}
+
+// TestQuickAgainstReference drives random operation sequences against a map
+// reference and compares contents and ordered iteration.
+func TestQuickAgainstReference(t *testing.T) {
+	check := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[Key]int{}
+		for i := 0; i < int(nOps)*20; i++ {
+			k := Key{F: float64(rng.Intn(50)), Aux: uint64(rng.Intn(4))}
+			switch rng.Intn(3) {
+			case 0, 1:
+				tr.Insert(k, i)
+				ref[k] = i
+			case 2:
+				delT := tr.Delete(k)
+				_, inRef := ref[k]
+				if delT != inRef {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		var keys []Key
+		tr.Ascend(func(k Key, v any) bool {
+			keys = append(keys, k)
+			if ref[k] != v.(int) {
+				keys = nil
+				return false
+			}
+			return true
+		})
+		if len(keys) != len(ref) {
+			return false
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i].Less(keys[j]) }) {
+			return false
+		}
+		// Random range queries against the reference.
+		for q := 0; q < 10; q++ {
+			lo := float64(rng.Intn(50))
+			hi := lo + float64(rng.Intn(10))
+			want := 0
+			for k := range ref {
+				if k.F >= lo && k.F <= hi {
+					want++
+				}
+			}
+			got := 0
+			tr.Range(lo, hi, func(Key, any) bool { got++; return true })
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

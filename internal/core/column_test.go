@@ -1,0 +1,91 @@
+package core_test
+
+// Column independence within a multi-function GMR: invalidation, backward
+// revalidation, and indexes operate per function column.
+
+import (
+	"testing"
+
+	"gomdb"
+)
+
+func TestColumnsRevalidateIndependently(t *testing.T) {
+	db, g := exampleDB(t, false)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// set_Mat invalidates weight only.
+	copper, err := db.New("Material", gomdb.Str("Copper"), gomdb.Float(8.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Set(g.Cuboids[0], "Mat", gomdb.Ref(copper)); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.InvalidCount("Cuboid.weight") != 1 || gmr.InvalidCount("Cuboid.volume") != 0 {
+		t.Fatalf("invalid counts: weight=%d volume=%d",
+			gmr.InvalidCount("Cuboid.weight"), gmr.InvalidCount("Cuboid.volume"))
+	}
+	// A backward query on volume must not pay weight's rematerialization.
+	rem := db.GMRs.Stats.Rematerializations
+	if _, err := db.GMRs.Backward("Cuboid.volume", 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.Rematerializations != rem {
+		t.Fatalf("volume backward query rematerialized %d results",
+			db.GMRs.Stats.Rematerializations-rem)
+	}
+	if gmr.InvalidCount("Cuboid.weight") != 1 {
+		t.Fatal("weight column was revalidated by a volume query")
+	}
+	// A backward query on weight pays exactly its own debt.
+	if _, err := db.GMRs.Backward("Cuboid.weight", 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.Rematerializations != rem+1 {
+		t.Fatalf("weight revalidation recomputed %d results, want 1",
+			db.GMRs.Stats.Rematerializations-rem)
+	}
+	if gmr.InvalidCount("Cuboid.weight") != 0 {
+		t.Fatal("weight column still invalid")
+	}
+	checkConsistent(t, db, gmr)
+}
+
+func TestSharedGMRAnswersBothColumns(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.GMRs.Stats.ForwardHits = 0
+	wantFloat(t, db, "Cuboid.volume", g.Cuboids[2], 100)
+	wantFloat(t, db, "Cuboid.weight", g.Cuboids[2], 1900)
+	if db.GMRs.Stats.ForwardHits != 2 {
+		t.Fatalf("shared GMR hits = %d, want 2", db.GMRs.Stats.ForwardHits)
+	}
+}
+
+func TestQueryDefaultsRespectedByMaterializeStmt(t *testing.T) {
+	db, _ := exampleDB(t, false)
+	db.Queries.DefaultStrategy = gomdb.Lazy
+	if _, err := db.Query(`range c: Cuboid materialize c.volume`, nil); err != nil {
+		t.Fatal(err)
+	}
+	gmr, ok := db.GMRs.GMRFor("Cuboid.volume")
+	if !ok {
+		t.Fatal("GMR missing")
+	}
+	if gmr.Strategy != gomdb.Lazy {
+		t.Fatalf("strategy = %v, want lazy", gmr.Strategy)
+	}
+	if gmr.Mode != gomdb.ModeObjDep {
+		t.Fatalf("mode = %v, want objdep default", gmr.Mode)
+	}
+}

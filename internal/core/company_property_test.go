@@ -1,0 +1,226 @@
+package core_test
+
+// Cross-cutting property test over the company application: two GMRs with
+// different argument types (Employee.ranking scalar, Company.matrix
+// complex) maintained simultaneously — one with a compensating action —
+// under random hires, promotions, project insertions, staffing changes, and
+// queries. After every operation both extensions must satisfy
+// Definition 3.2.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+type companyWorld struct {
+	t        *testing.T
+	db       *gomdb.Database
+	c        *fixtures.Company
+	ranking  *gomdb.GMR
+	matrix   *gomdb.GMR
+	rng      *rand.Rand
+	strategy gomdb.MaterializeOptions
+}
+
+func newCompanyWorld(t *testing.T, seed int64, lazyRanking bool, compensate bool) *companyWorld {
+	t.Helper()
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineCompany(db); err != nil {
+		t.Fatal(err)
+	}
+	c, err := fixtures.PopulateCompany(db, fixtures.CompanyConfig{
+		Departments: 3, EmpsPerDep: 4, Projects: 8, JobsPerEmp: 3, ProgsPerProj: 3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := gomdb.Immediate
+	if lazyRanking {
+		strat = gomdb.Lazy
+	}
+	ranking, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Employee.ranking"}, Complete: true,
+		Strategy: strat, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Company.matrix"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeInfoHiding,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compensate {
+		comp, err := db.Schema.LookupFunction("Company.comp_add_project")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.GMRs.DefineCompensation("Company", "add_project", "Company.matrix", comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &companyWorld{
+		t: t, db: db, c: c, ranking: ranking, matrix: matrix,
+		rng: rand.New(rand.NewSource(seed * 7)),
+	}
+}
+
+func (w *companyWorld) randomOp() error {
+	switch w.rng.Intn(7) {
+	case 0, 1: // promotion (affects ranking)
+		return w.c.Promote()
+	case 2: // hire (new argument object for ranking)
+		_, err := w.c.HireEmployee(2)
+		return err
+	case 3: // new project via add_project (affects matrix)
+		p, err := w.c.NewProjectWithProgrammers(2)
+		if err != nil {
+			return err
+		}
+		_, err = w.db.Call("Company.add_project", gomdb.Ref(w.c.Comp), gomdb.Ref(p))
+		return err
+	case 4: // restaff a project through the company's interface (strict
+		// encapsulation: matrix-relevant state only changes via public ops)
+		p := w.c.Projects[w.rng.Intn(len(w.c.Projects))]
+		e := w.c.Employees[w.rng.Intn(len(w.c.Employees))]
+		op := "Company.staff_project"
+		if w.rng.Intn(2) == 0 {
+			op = "Company.unstaff_project"
+		}
+		_, err := w.db.Call(op, gomdb.Ref(w.c.Comp), gomdb.Ref(p), gomdb.Ref(e))
+		return err
+	case 5: // forward ranking query (revalidates under lazy)
+		_, err := w.db.Call("Employee.ranking", gomdb.Ref(w.c.RandomEmployee()))
+		return err
+	default: // salary change: irrelevant to both functions
+		e := w.c.RandomEmployee()
+		return w.db.Set(e, "Salary", gomdb.Float(30000+w.rng.Float64()*50000))
+	}
+}
+
+func (w *companyWorld) checkInvariants() error {
+	// ranking: one entry per employee, valid entries consistent.
+	n := 0
+	var err error
+	w.ranking.Entries(func(args, results []gomdb.Value, valid []bool) bool {
+		n++
+		if !valid[0] {
+			return true
+		}
+		fn, _ := w.db.Schema.LookupFunction("Employee.ranking")
+		fresh, e := w.db.Engine.EvalRaw(fn, args)
+		if e != nil {
+			err = e
+			return false
+		}
+		if !valuesClose(fresh, results[0]) {
+			err = fmt.Errorf("ranking(%v): stored %v, fresh %v", args[0], results[0], fresh)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if n != len(w.c.Employees) {
+		return fmt.Errorf("ranking GMR has %d entries for %d employees", n, len(w.c.Employees))
+	}
+	// matrix: the single entry must canonically equal a recomputation.
+	var stored gomdb.Value
+	anyValid := false
+	w.matrix.Entries(func(_, results []gomdb.Value, valid []bool) bool {
+		stored = results[0]
+		anyValid = valid[0]
+		return false
+	})
+	if !anyValid {
+		// Lazy path: acceptable only if the matrix GMR is lazy — it is
+		// immediate here, so an invalid entry is a bug.
+		return fmt.Errorf("matrix entry invalid under immediate maintenance")
+	}
+	fn, _ := w.db.Schema.LookupFunction("Company.matrix")
+	fresh, e := w.db.Engine.EvalRaw(fn, []gomdb.Value{gomdb.Ref(w.c.Comp)})
+	if e != nil {
+		return e
+	}
+	a := canonValue(w.db, stored, 0, map[gomdb.OID]bool{})
+	b := canonValue(w.db, fresh, 0, map[gomdb.OID]bool{})
+	if a != b {
+		return fmt.Errorf("matrix diverged from recomputation")
+	}
+	return nil
+}
+
+func TestPropertyCompanyTwoGMRs(t *testing.T) {
+	for _, cfg := range []struct {
+		name        string
+		lazyRanking bool
+		compensate  bool
+	}{
+		{"immediate/no-ca", false, false},
+		{"lazy-ranking/no-ca", true, false},
+		{"immediate/with-ca", false, true},
+		{"lazy-ranking/with-ca", true, true},
+	} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			check := func(seed int64) bool {
+				w := newCompanyWorld(t, seed%500+1, cfg.lazyRanking, cfg.compensate)
+				for i := 0; i < 15; i++ {
+					if err := w.randomOp(); err != nil {
+						t.Logf("seed %d op %d: %v", seed, i, err)
+						return false
+					}
+					if err := w.checkInvariants(); err != nil {
+						t.Logf("seed %d after op %d: %v", seed, i, err)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 6}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCompensationEquivalenceProperty: Definition 5.4's equivalence — for
+// random project insertions, the compensated matrix equals the matrix
+// recomputed from scratch.
+func TestCompensationEquivalenceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		w := newCompanyWorld(t, seed%500+1, false, true)
+		for i := 0; i < 6; i++ {
+			n := 1 + w.rng.Intn(4)
+			p, err := w.c.NewProjectWithProgrammers(n)
+			if err != nil {
+				return false
+			}
+			if _, err := w.db.Call("Company.add_project", gomdb.Ref(w.c.Comp), gomdb.Ref(p)); err != nil {
+				return false
+			}
+			if err := w.checkInvariants(); err != nil {
+				t.Logf("seed %d insert %d: %v", seed, i, err)
+				return false
+			}
+		}
+		// All updates must have gone through compensation, none through
+		// full rematerialization of the matrix.
+		if w.db.GMRs.Stats.Compensations != 6 {
+			t.Logf("seed %d: %d compensations", seed, w.db.GMRs.Stats.Compensations)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

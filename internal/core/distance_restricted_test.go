@@ -1,0 +1,205 @@
+package core_test
+
+// The Section 6 worked example: a symmetric two-argument distance function
+// materialized under the restriction
+//
+//	p(c1, c2) ≡ (c1 ≠ c2) ∧ (c1.V1.X ≤ c2.V1.X)
+//
+// which halves the cross product (distance is symmetric and zero on the
+// diagonal). The backward query of the paper ORs both argument orders, each
+// conjunct implying p for its order.
+
+import (
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/lang"
+	"gomdb/internal/pred"
+)
+
+// defineCuboidDistance2 registers the free function
+// distance2: Cuboid, Cuboid -> float of the Section 6 example.
+func defineCuboidDistance2(t *testing.T, db *gomdb.Database) {
+	t.Helper()
+	d2 := &lang.Function{
+		Name:           "distance2",
+		Params:         []lang.Param{lang.Prm("c1", "Cuboid"), lang.Prm("c2", "Cuboid")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Ret(lang.CallFn("Vertex.dist", lang.A(lang.V("c1"), "V1"), lang.A(lang.V("c2"), "V1"))),
+		},
+	}
+	if err := db.Schema.DefineFunc(d2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func materializeDistance2(t *testing.T, db *gomdb.Database) *gomdb.GMR {
+	t.Helper()
+	pfn := &lang.Function{
+		Name:           "p_dist",
+		Params:         []lang.Param{lang.Prm("c1", "Cuboid"), lang.Prm("c2", "Cuboid")},
+		ResultType:     "bool",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Ret(lang.And(
+				lang.Ne(lang.V("c1"), lang.V("c2")),
+				lang.Le(lang.A(lang.V("c1"), "V1", "X"), lang.A(lang.V("c2"), "V1", "X")))),
+		},
+	}
+	// Declarative form over canonical names; the object-identity
+	// disequality is a variable comparison in p — allowed, because the
+	// class condition applies to ¬p (where it becomes equality) and to σ′.
+	formula := pred.And(
+		pred.CmpVars("O1", pred.Ne, "O2"),
+		pred.CmpVars("O1.V1.X", pred.Le, "O2.V1.X"),
+	)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:       []string{"distance2"},
+		Complete:    true,
+		Strategy:    gomdb.Immediate,
+		Mode:        gomdb.ModeObjDep,
+		Restriction: &gomdb.Restriction{Fn: pfn, Formula: formula},
+	})
+	if err != nil {
+		t.Fatalf("materialize distance2: %v", err)
+	}
+	return gmr
+}
+
+func TestSection6DistanceRestriction(t *testing.T) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fixtures.PopulateGeometry(db, 12, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineCuboidDistance2(t, db)
+	gmr := materializeDistance2(t, db)
+
+	// Completeness per Definition 6.1: exactly the ordered pairs with
+	// distinct cuboids and V1.X(c1) <= V1.X(c2).
+	x1 := func(c gomdb.OID) float64 {
+		v, err := db.GetAttr(c, "V1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		xv, err := db.GetAttr(v.R, "X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := xv.AsFloat()
+		return f
+	}
+	want := 0
+	for _, a := range g.Cuboids {
+		for _, b := range g.Cuboids {
+			if a != b && x1(a) <= x1(b) {
+				want++
+			}
+		}
+	}
+	if gmr.Len() != want {
+		t.Fatalf("restricted distance GMR has %d entries, want %d", gmr.Len(), want)
+	}
+	gmr.Entries(func(args, results []gomdb.Value, valid []bool) bool {
+		if args[0].R == args[1].R {
+			t.Fatalf("diagonal pair %v in restricted GMR", args[0])
+		}
+		if x1(args[0].R) > x1(args[1].R) {
+			t.Fatalf("unordered pair (%v, %v) in restricted GMR", args[0], args[1])
+		}
+		return true
+	})
+
+	// The symmetric answer can be reconstructed: distance2(b, a) for a
+	// stored (a, b) computes via the normal function, with the same value.
+	var a0, b0 gomdb.Value
+	gmr.Entries(func(args, _ []gomdb.Value, _ []bool) bool {
+		a0, b0 = args[0], args[1]
+		return false
+	})
+	d1, err := db.Call("distance2", a0, b0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := db.Call("distance2", b0, a0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valuesClose(d1, d2) {
+		t.Fatalf("distance not symmetric: %v vs %v", d1, d2)
+	}
+
+	// Moving a cuboid may flip pair orders: the predicate maintenance must
+	// keep Definition 6.1 intact.
+	if _, err := db.Call("Cuboid.translate", gomdb.Ref(g.Cuboids[0]),
+		gomdb.Ref(fixtures.NewVertex(db, 500, 0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	want = 0
+	for _, a := range g.Cuboids {
+		for _, b := range g.Cuboids {
+			if a != b && x1(a) <= x1(b) {
+				want++
+			}
+		}
+	}
+	if gmr.Len() != want {
+		t.Fatalf("after translate: %d entries, want %d", gmr.Len(), want)
+	}
+	checkConsistent(t, db, gmr)
+}
+
+// TestSection6Applicability reproduces the paper's applicability reasoning
+// for the backward query: each disjunct of
+//
+//	(distance(c, id99) < 100 ∧ c ≠ id99 ∧ c.V1.X ≤ id99.V1.X)
+//	∨ (distance(id99, c) < 100 ∧ c ≠ id99 ∧ id99.V1.X ≤ c.V1.X)
+//
+// has a relevant part σ′ implying p for its argument order.
+func TestSection6Applicability(t *testing.T) {
+	// p over canonical names for the order (O1 = c, O2 = id99).
+	id99 := 99.0 // the constant's numeric code (OIDs map to their number)
+	p := pred.And(
+		pred.CmpVars("O1", pred.Ne, "O2"),
+		pred.CmpVars("O1.V1.X", pred.Le, "O2.V1.X"),
+	)
+	// σ′ of the first disjunct: c ≠ id99 ∧ c.V1.X ≤ id99.V1.X, expressed
+	// with O2 bound to the constant id99.
+	sigma := pred.And(
+		pred.CmpConst("O1", pred.Ne, id99),
+		pred.CmpVars("O1.V1.X", pred.Le, "O2.V1.X"),
+		pred.CmpConst("O2", pred.Eq, id99),
+	)
+	covered, err := pred.Covers(p, sigma)
+	if err != nil {
+		t.Fatalf("Covers: %v", err)
+	}
+	if !covered {
+		t.Fatal("first disjunct's σ′ does not imply p")
+	}
+	// Without the ordering conjunct the restriction is not implied.
+	sigmaNoOrder := pred.And(
+		pred.CmpConst("O1", pred.Ne, id99),
+		pred.CmpConst("O2", pred.Eq, id99),
+	)
+	covered, err = pred.Covers(p, sigmaNoOrder)
+	if err != nil || covered {
+		t.Fatalf("unordered σ′ wrongly covered (err %v)", err)
+	}
+	// Without the disequality it is not implied either (the diagonal pair
+	// would be missing from the GMR).
+	sigmaNoNe := pred.And(
+		pred.CmpVars("O1.V1.X", pred.Le, "O2.V1.X"),
+		pred.CmpConst("O2", pred.Eq, id99),
+	)
+	covered, err = pred.Covers(p, sigmaNoNe)
+	if err != nil || covered {
+		t.Fatalf("σ′ without ≠ wrongly covered (err %v)", err)
+	}
+}

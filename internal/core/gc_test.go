@@ -1,0 +1,211 @@
+package core_test
+
+// Tests of the optional maintenance sweeps: second-chance immediate
+// rematerialization, RRR reorganization, and result-object garbage
+// collection.
+
+import (
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+)
+
+// TestSecondChanceAvoidsRRRChurn: with second chance, a scale that re-uses
+// the same objects performs no RRR deletions/insertions; the results stay
+// identical to the standard algorithm.
+func TestSecondChanceAvoidsRRRChurn(t *testing.T) {
+	run := func(secondChance bool) (rrrLen int, simIO int64, db *gomdb.Database, gmr *gomdb.GMR, g *fixtures.Geometry) {
+		db = gomdb.Open(gomdb.DefaultConfig())
+		if err := fixtures.DefineGeometry(db, false); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		g, err = fixtures.ExampleGeometry(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gmr, err = db.Materialize(gomdb.MaterializeOptions{
+			Funcs: []string{"Cuboid.volume"}, Complete: true,
+			Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+			SecondChance: secondChance,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := db.Clock.Snapshot()
+		s := fixtures.NewVertex(db, 2, 1, 1)
+		if _, err := db.Call("Cuboid.scale", gomdb.Ref(g.Cuboids[0]), gomdb.Ref(s)); err != nil {
+			t.Fatal(err)
+		}
+		d := db.Clock.Sub(before)
+		return db.GMRs.RRR().Len(), d.LogWrites, db, gmr, g
+	}
+	lenStd, ioStd, dbStd, gmrStd, _ := run(false)
+	lenSC, ioSC, dbSC, gmrSC, _ := run(true)
+	if lenStd != lenSC {
+		t.Fatalf("RRR sizes diverge: std %d, second-chance %d", lenStd, lenSC)
+	}
+	if ioSC >= ioStd {
+		t.Fatalf("second chance did not save writes: std %d, sc %d", ioStd, ioSC)
+	}
+	checkConsistent(t, dbStd, gmrStd)
+	checkConsistent(t, dbSC, gmrSC)
+}
+
+// TestSecondChanceRemovesStaleTuples: when the recomputation stops visiting
+// an object, its tuple is removed even under second chance.
+func TestSecondChanceRemovesStaleTuples(t *testing.T) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fixtures.ExampleGeometry(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+		SecondChance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iron, gold := g.MaterialO[0], g.MaterialO[1]
+	// Rewriting the material reference makes weight stop visiting iron.
+	if err := db.Set(g.Cuboids[0], "Mat", gomdb.Ref(gold)); err != nil {
+		t.Fatal(err)
+	}
+	args := []gomdb.Value{gomdb.Ref(g.Cuboids[0])}
+	_ = args
+	// Now update iron's SpecWeight: cuboid 0 no longer depends on it, but
+	// cuboid 1 does. The recomputation of cuboid 1's weight revisits iron;
+	// the stale tuple for cuboid 0 must disappear.
+	if err := db.Set(iron, "SpecWeight", gomdb.Float(8)); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.GMRs.RRR().FctCount(iron, "Cuboid.weight"); n != 1 {
+		t.Fatalf("iron still has %d weight tuples, want 1", n)
+	}
+	checkConsistent(t, db, gmr)
+}
+
+// TestReorganizeRRR removes blind references eagerly.
+func TestReorganizeRRR(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting a cuboid leaves blind references from shared objects (the
+	// material) to the removed entry.
+	if err := db.Delete(g.Cuboids[1]); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := db.GMRs.ReorganizeRRR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("reorganization found nothing despite blind references")
+	}
+	// Every remaining tuple now points at an existing entry.
+	bad := 0
+	_ = db.GMRs.RRR().Scan(func(tp core.Tuple) bool {
+		g, _ := db.GMRs.GMRFor(tp.F)
+		if g == nil {
+			bad++
+		}
+		return true
+	})
+	if bad != 0 {
+		t.Fatalf("%d tuples without GMR after reorganization", bad)
+	}
+	// Idempotent.
+	removed, err = db.GMRs.ReorganizeRRR()
+	if err != nil || removed != 0 {
+		t.Fatalf("second reorganization removed %d, err %v", removed, err)
+	}
+}
+
+// TestCollectResultGarbage: rematerializing a complex result strands the old
+// result objects; the collector reclaims exactly those.
+func TestCollectResultGarbage(t *testing.T) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineCompany(db); err != nil {
+		t.Fatal(err)
+	}
+	c, err := fixtures.PopulateCompany(db, fixtures.CompanyConfig{
+		Departments: 2, EmpsPerDep: 4, Projects: 6, JobsPerEmp: 3, ProgsPerProj: 3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Company.matrix"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeInfoHiding,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing to collect yet: the only result is current.
+	n, err := db.GMRs.CollectResultGarbage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("fresh materialization: collected %d", n)
+	}
+	objsBefore := db.Objects.NumObjects()
+	// Force three rematerializations.
+	for i := 0; i < 3; i++ {
+		p, err := c.NewProjectWithProgrammers(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Call("Company.add_project", gomdb.Ref(c.Comp), gomdb.Ref(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err = db.GMRs.CollectResultGarbage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no superseded result objects collected")
+	}
+	// The current result must survive and remain readable.
+	var cur gomdb.Value
+	gmr.Entries(func(_, results []gomdb.Value, valid []bool) bool {
+		cur = results[0]
+		if !valid[0] {
+			t.Fatal("entry invalid")
+		}
+		return false
+	})
+	lines, err := db.Engine.ReadElems(cur)
+	if err != nil {
+		t.Fatalf("current result unreadable after GC: %v", err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("current result empty")
+	}
+	for _, l := range lines {
+		if _, err := db.Engine.ReadAttr(l, "Dep"); err != nil {
+			t.Fatalf("matrix line unreadable after GC: %v", err)
+		}
+	}
+	checkConsistent(t, db, gmr)
+	// Second collection is a no-op.
+	n, err = db.GMRs.CollectResultGarbage()
+	if err != nil || n != 0 {
+		t.Fatalf("second GC collected %d, err %v", n, err)
+	}
+	if grown := db.Objects.NumObjects() - objsBefore; grown > 40 {
+		t.Logf("note: %d objects net growth after GC (current result set)", grown)
+	}
+}

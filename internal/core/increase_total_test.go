@@ -1,0 +1,211 @@
+package core_test
+
+// The Section 5.4 primary example: the compensating action
+//
+//	define increase_total(new_cuboid: Cuboid, old_total: float): float is
+//	    return old_total + new_cuboid.volume
+//	end
+//
+// for the materialized function Workpieces.total_volume and the update
+// operation Workpieces.insert. Inserting a cuboid into a workpiece set then
+// costs one volume evaluation instead of re-summing the whole set.
+
+import (
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/lang"
+)
+
+func workpiecesDB(t *testing.T) (*gomdb.Database, *fixtures.Geometry, []gomdb.OID) {
+	t.Helper()
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fixtures.PopulateGeometry(db, 12, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two workpiece sets over disjoint cuboids.
+	var sets []gomdb.OID
+	for s := 0; s < 2; s++ {
+		var elems []gomdb.Value
+		for i := 0; i < 4; i++ {
+			elems = append(elems, gomdb.Ref(g.Cuboids[s*4+i]))
+		}
+		set, err := db.NewSet("Workpieces", elems...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, set)
+	}
+	return db, g, sets
+}
+
+func TestIncreaseTotalCompensation(t *testing.T) {
+	db, g, sets := workpiecesDB(t)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Workpieces.total_volume"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != 2 {
+		t.Fatalf("total_volume GMR has %d entries", gmr.Len())
+	}
+	// The paper's compensating action, in textual GOMpl. The receiver is
+	// the Workpieces set; Definition 5.4's signature adds the update's
+	// argument and the old result.
+	if _, err := db.Schema.DefineOpSrc("Workpieces", `
+		define increase_total(new_cuboid: Cuboid, old_total: float): float is
+			return old_total + new_cuboid.volume
+		end`, true); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := db.Schema.LookupFunction("Workpieces.increase_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.GMRs.DefineCompensation("Workpieces", "insert", "Workpieces.total_volume", comp); err != nil {
+		t.Fatalf("DefineCompensation: %v", err)
+	}
+
+	before, err := db.Call("Workpieces.total_volume", gomdb.Ref(sets[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCuboid := g.Cuboids[10] // in neither set
+	vol, err := db.Call("Cuboid.volume", gomdb.Ref(newCuboid))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db.GMRs.Stats = core.Stats{}
+	if err := db.Insert(sets[0], gomdb.Ref(newCuboid)); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.Compensations != 1 {
+		t.Fatalf("insert ran %d compensations (stats %+v)", db.GMRs.Stats.Compensations, db.GMRs.Stats)
+	}
+	if db.GMRs.Stats.Rematerializations != 0 {
+		t.Fatalf("insert still rematerialized %d times", db.GMRs.Stats.Rematerializations)
+	}
+	after, err := db.Call("Workpieces.total_volume", gomdb.Ref(sets[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := before.AsFloat()
+	vf, _ := vol.AsFloat()
+	af, _ := after.AsFloat()
+	if !valuesClose(gomdb.Float(af), gomdb.Float(bf+vf)) {
+		t.Fatalf("compensated total %g, want %g + %g", af, bf, vf)
+	}
+	// The untouched set is unaffected.
+	checkConsistent(t, db, gmr)
+
+	// remove has no compensating action: it invalidates and (immediate)
+	// recomputes the whole sum.
+	db.GMRs.Stats = core.Stats{}
+	if err := db.Remove(sets[0], gomdb.Ref(newCuboid)); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.Compensations != 0 {
+		t.Fatalf("remove was compensated")
+	}
+	if db.GMRs.Stats.Rematerializations != 1 {
+		t.Fatalf("remove caused %d rematerializations, want 1", db.GMRs.Stats.Rematerializations)
+	}
+	restored, err := db.Call("Workpieces.total_volume", gomdb.Ref(sets[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valuesClose(restored, before) {
+		t.Fatalf("total after remove %v, want %v", restored, before)
+	}
+	checkConsistent(t, db, gmr)
+}
+
+// TestCompensatedInsertRegistersDependencies: a regression test for a gap
+// in the paper's Section 5.4 design — after a compensated insert, the newly
+// inserted cuboid must carry RRR tuples for total_volume (the action read
+// its volume), so a later scale of exactly that cuboid invalidates the
+// total. Without tracking the action's accesses the total would go stale.
+func TestCompensatedInsertRegistersDependencies(t *testing.T) {
+	db, g, sets := workpiecesDB(t)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Workpieces.total_volume"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Schema.DefineOpSrc("Workpieces", `
+		define increase_total(new_cuboid: Cuboid, old_total: float): float is
+			return old_total + new_cuboid.volume
+		end`, true); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := db.Schema.LookupFunction("Workpieces.increase_total")
+	if err := db.GMRs.DefineCompensation("Workpieces", "insert", "Workpieces.total_volume", comp); err != nil {
+		t.Fatal(err)
+	}
+	newCuboid := g.Cuboids[11]
+	if err := db.Insert(sets[0], gomdb.Ref(newCuboid)); err != nil {
+		t.Fatal(err)
+	}
+	// The inserted cuboid must now be marked for total_volume.
+	o, _ := db.Objects.Get(newCuboid)
+	if !o.HasDepFct("Workpieces.total_volume") {
+		t.Fatalf("compensated insert left %v unmarked: %v", newCuboid, o.DepFcts)
+	}
+	// Scaling it must invalidate (and immediately rematerialize) the total.
+	s := fixtures.NewVertex(db, 3, 1, 1)
+	if _, err := db.Call("Cuboid.scale", gomdb.Ref(newCuboid), gomdb.Ref(s)); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent(t, db, gmr)
+}
+
+// TestIncreaseTotalScaleStillInvalidates: the compensation is attached to
+// insert only; scaling a member must go through normal invalidation —
+// including the paper's warning scenario where a compensating action on the
+// wrong (non-argument) operation would corrupt the GMR.
+func TestIncreaseTotalScaleStillInvalidates(t *testing.T) {
+	db, g, sets := workpiecesDB(t)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Workpieces.total_volume"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Schema.DefineOpSrc("Workpieces", `
+		define increase_total(new_cuboid: Cuboid, old_total: float): float is
+			return old_total + new_cuboid.volume
+		end`, true); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := db.Schema.LookupFunction("Workpieces.increase_total")
+	if err := db.GMRs.DefineCompensation("Workpieces", "insert", "Workpieces.total_volume", comp); err != nil {
+		t.Fatal(err)
+	}
+	// The paper forbids attaching the action to Cuboid.scale (a
+	// non-argument type for total_volume): it would corrupt the GMR after
+	// a remove leaves the cuboid marked.
+	if err := db.GMRs.DefineCompensation("Cuboid", "scale", "Workpieces.total_volume", comp); err == nil {
+		t.Fatal("compensation on non-argument type Cuboid accepted")
+	}
+	// Scaling a member invalidates through the elementary vertex updates.
+	member := g.Cuboids[0]
+	s := fixtures.NewVertex(db, 2, 1, 1)
+	if _, err := db.Call("Cuboid.scale", gomdb.Ref(member), gomdb.Ref(s)); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent(t, db, gmr)
+	_ = sets
+	_ = lang.ElemSeg
+}

@@ -1,0 +1,160 @@
+package core_test
+
+// Materialization under single inheritance with substitutability
+// (Section 2): the extension of the argument type includes subtype
+// instances, the materialized invocation dispatches dynamically, and
+// invalidation must track the dependencies of subtype overrides.
+
+import (
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/lang"
+)
+
+// inheritanceDB defines Base [X] with f = 2*X and Sub <: Base [Y] with the
+// override f = 2*X + Y.
+func inheritanceDB(t *testing.T) (*gomdb.Database, []gomdb.OID, []gomdb.OID) {
+	t.Helper()
+	db := gomdb.Open(gomdb.DefaultConfig())
+	db.MustDefineType(gomdb.NewTupleType("Base",
+		gomdb.PubAttr("X", "float")), "f")
+	sub := gomdb.NewTupleType("Sub", gomdb.PubAttr("Y", "float"))
+	sub.Super = "Base"
+	db.MustDefineType(sub, "f")
+	if err := db.DefineOpSrc("Base", `define f: float is
+		return 2.0 * self.X
+	end`, true); err != nil {
+		t.Fatal(err)
+	}
+	// The override reads an attribute the supertype body never touches.
+	f2 := &gomdb.Function{
+		Name:           "Sub.f",
+		Params:         []gomdb.Param{lang.Prm("self", "Sub")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []gomdb.Stmt{
+			lang.Ret(lang.Add(lang.Mul(lang.F(2), lang.A(lang.Self(), "X")), lang.A(lang.Self(), "Y"))),
+		},
+	}
+	db.MustDefineOp("Sub", "f", f2)
+
+	var bases, subs []gomdb.OID
+	for i := 1; i <= 3; i++ {
+		bases = append(bases, db.MustNew("Base", gomdb.Float(float64(i))))
+	}
+	for i := 1; i <= 3; i++ {
+		subs = append(subs, db.MustNew("Sub", gomdb.Float(float64(i)), gomdb.Float(100)))
+	}
+	return db, bases, subs
+}
+
+func TestMaterializeWithOverrides(t *testing.T) {
+	db, bases, subs := inheritanceDB(t)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Base.f"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extension = 3 Base + 3 Sub instances (substitutability).
+	if gmr.Len() != 6 {
+		t.Fatalf("GMR has %d entries, want 6", gmr.Len())
+	}
+	// Entries for Sub instances must hold the OVERRIDE's results.
+	wantFloat(t, db, "Base.f", bases[0], 2)
+	wantFloat(t, db, "Base.f", subs[0], 102)
+	// Forward calls on Sub instances are answered from the GMR: the
+	// interceptor catches the dynamically dispatched override.
+	db.GMRs.Stats.ForwardHits = 0
+	wantFloat(t, db, "Sub.f", subs[1], 104)
+	if db.GMRs.Stats.ForwardHits != 1 {
+		t.Fatalf("override invocation missed the GMR: %+v", db.GMRs.Stats)
+	}
+	// An update to the override-only attribute Y must invalidate the Sub
+	// entry: the hook planner analyzed the override's paths.
+	if err := db.Set(subs[0], "Y", gomdb.Float(1000)); err != nil {
+		t.Fatal(err)
+	}
+	wantFloat(t, db, "Base.f", subs[0], 1002)
+	checkConsistentDispatch(t, db, gmr)
+	// An update to X invalidates both kinds.
+	if err := db.Set(bases[1], "X", gomdb.Float(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Set(subs[1], "X", gomdb.Float(50)); err != nil {
+		t.Fatal(err)
+	}
+	wantFloat(t, db, "Base.f", bases[1], 100)
+	wantFloat(t, db, "Base.f", subs[1], 200)
+	checkConsistentDispatch(t, db, gmr)
+	// Backward query sees dispatched results.
+	matches, err := db.GMRs.Backward("Base.f", 101, 1003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[gomdb.OID]bool{subs[0]: true, subs[1]: true, subs[2]: true}
+	if len(matches) != 3 {
+		t.Fatalf("backward over override results: %d matches", len(matches))
+	}
+	for _, m := range matches {
+		if !want[m.Args[0].R] {
+			t.Fatalf("unexpected match %v", m.Args[0])
+		}
+	}
+	// Dropping the GMR removes the override registration too.
+	if err := db.Dematerialize(gmr.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.GMRs.GMRFor("Sub.f"); ok {
+		t.Fatal("override mapping survived drop")
+	}
+	wantFloat(t, db, "Sub.f", subs[2], 106)
+}
+
+// TestMaterializeOverrideConflict: the override may not be independently
+// materialized in a second GMR.
+func TestMaterializeOverrideConflict(t *testing.T) {
+	db, _, _ := inheritanceDB(t)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Sub.f"}, Complete: true, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Base.f"}, Complete: true, Mode: gomdb.ModeObjDep,
+	}); err == nil {
+		t.Fatal("materializing Base.f accepted while its override is materialized elsewhere")
+	}
+}
+
+// checkConsistentDispatch verifies Definition 3.2 with dynamic dispatch:
+// each entry compares against the override its receiver would execute.
+func checkConsistentDispatch(t *testing.T, db *gomdb.Database, g *gomdb.GMR) {
+	t.Helper()
+	g.Entries(func(args, results []gomdb.Value, valid []bool) bool {
+		for i, fid := range g.FuncIDs() {
+			if !valid[i] {
+				continue
+			}
+			o, err := db.Objects.Get(args[0].R)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opName := fid[len("Base."):]
+			fn, ok := db.Schema.ResolveOp(o.Type, opName)
+			if !ok {
+				t.Fatalf("no dispatch target for %s on %s", fid, o.Type)
+			}
+			fresh, err := db.Engine.EvalRaw(fn, args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !valuesClose(fresh, results[i]) {
+				t.Fatalf("dispatched consistency violated for %v: stored %v, fresh %v", args[0], results[i], fresh)
+			}
+		}
+		return true
+	})
+}

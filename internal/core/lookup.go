@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gomdb/internal/btree"
+	"gomdb/internal/lang"
+	"gomdb/internal/object"
+)
+
+// Retrieval operations on GMRs (Section 3.2): forward queries that probe a
+// known argument combination and backward range queries over the result
+// columns, plus the interceptor that rewrites ordinary invocations of
+// materialized functions into forward queries.
+
+// ErrNotMaterialized reports a lookup on a function with no GMR.
+var ErrNotMaterialized = errors.New("core: function is not materialized")
+
+// ErrIncomplete reports a backward query on an incomplete GMR extension; a
+// complete answer would require computing the missing combinations, so the
+// planner falls back to an extension scan instead.
+var ErrIncomplete = errors.New("core: GMR extension is not complete")
+
+// intercept is the CallInterceptor installed into the engine: "an invocation
+// f(o1,...,on) would be transformed to [a selection on] <<f1,...,fm>> if the
+// GMR is present".
+func (m *Manager) intercept(fn *lang.Function, args []object.Value) (object.Value, bool, error) {
+	if _, ok := m.byFunc[fn.Name]; !ok {
+		return object.Null(), false, nil
+	}
+	v, err := m.Forward(fn.Name, args)
+	return v, true, err
+}
+
+// Forward answers a forward query: the result of fid for the given argument
+// combination. Invalid or missing results are (re)computed; computed results
+// refresh or extend the GMR where the restriction and completeness rules
+// allow it (Section 3.2).
+func (m *Manager) Forward(fid string, args []object.Value) (object.Value, error) {
+	g, ok := m.byFunc[fid]
+	if !ok {
+		return object.Null(), fmt.Errorf("%w: %s", ErrNotMaterialized, fid)
+	}
+	i := g.funcIndex(fid)
+	if !g.admitsArgs(args) {
+		// Outside the restricted atomic domain: compute with the "normal"
+		// function, do not store.
+		m.Stats.ForwardMisses++
+		return m.computeRaw(g.Funcs[i], args)
+	}
+	if e, ok := g.lookup(args); ok {
+		if e.Valid[i] {
+			m.Stats.ForwardHits++
+			m.emit("forward_hit", g.Name, fid, object.NilOID)
+			if err := g.touch(e); err != nil {
+				return object.Null(), err
+			}
+			return e.Results[i], nil
+		}
+		// Lazy rematerialization: "at the latest at the next time the
+		// function result is needed".
+		m.Stats.ForwardMisses++
+		if err := m.rematerialize(g, e, i); err != nil {
+			return object.Null(), err
+		}
+		return e.Results[i], nil
+	}
+	m.Stats.ForwardMisses++
+	if g.Complete {
+		// A complete extension misses an argument combination only when the
+		// restriction predicate excludes it.
+		return m.computeRaw(g.Funcs[i], args)
+	}
+	// Incremental GMR: cache the freshly computed result (Section 3.2,
+	// "missing GMR entries whose results are computed during the evaluation
+	// of some query may be inserted").
+	if g.Restriction != nil {
+		holds, err := m.evalPredicate(g, args)
+		if err != nil {
+			return object.Null(), err
+		}
+		if !holds {
+			return m.computeRaw(g.Funcs[i], args)
+		}
+	}
+	if err := m.computeEntry(g, args); err != nil {
+		return object.Null(), err
+	}
+	e, _ := g.lookup(args)
+	if e == nil {
+		return object.Null(), fmt.Errorf("core: entry vanished after insert in %s", g.Name)
+	}
+	return e.Results[i], nil
+}
+
+// computeRaw evaluates the plain function (dynamically dispatched) without
+// tracking, interception, or GMR bookkeeping.
+func (m *Manager) computeRaw(fn *lang.Function, args []object.Value) (object.Value, error) {
+	return m.En.EvalRaw(m.dispatch(fn, args), args)
+}
+
+// Match is one backward-query result row.
+type Match struct {
+	Args   []object.Value
+	Result object.Value
+}
+
+// Backward answers a backward range query: all argument combinations whose
+// materialized fid result lies in [lb, ub]. Backward queries need the whole
+// column valid (an invalid result might lie in the range), so invalid
+// entries are rematerialized first — this is where lazy GMRs pay their debt.
+func (m *Manager) Backward(fid string, lb, ub float64) ([]Match, error) {
+	g, ok := m.byFunc[fid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotMaterialized, fid)
+	}
+	if !g.Complete {
+		return nil, fmt.Errorf("%w: %s", ErrIncomplete, g.Name)
+	}
+	i := g.funcIndex(fid)
+	if g.resIdx[i] == nil {
+		return nil, fmt.Errorf("core: %s has a non-numeric result; no backward index", fid)
+	}
+	m.Stats.BackwardQueries++
+	m.emit("backward", g.Name, fid, object.NilOID)
+	if err := m.revalidateColumn(g, i); err != nil {
+		return nil, err
+	}
+	var out []Match
+	var scanErr error
+	g.resIdx[i].Range(lb, ub, func(_ btree.Key, v any) bool {
+		e := v.(*entry)
+		if err := g.touchIdx(e, i); err != nil {
+			scanErr = err
+			return false
+		}
+		if err := g.touch(e); err != nil {
+			scanErr = err
+			return false
+		}
+		out = append(out, Match{Args: e.Args, Result: e.Results[i]})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
+
+// All returns every (args, result) pair of column fid with all results
+// valid — the access path for aggregate queries over materialized results.
+func (m *Manager) All(fid string) ([]Match, error) {
+	g, ok := m.byFunc[fid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotMaterialized, fid)
+	}
+	if !g.Complete {
+		return nil, fmt.Errorf("%w: %s", ErrIncomplete, g.Name)
+	}
+	i := g.funcIndex(fid)
+	if err := m.revalidateColumn(g, i); err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(g.entries))
+	for _, k := range g.order {
+		e := g.entries[k]
+		if err := g.touch(e); err != nil {
+			return nil, err
+		}
+		out = append(out, Match{Args: e.Args, Result: e.Results[i]})
+	}
+	return out, nil
+}
+
+// BackwardAny returns one argument combination whose fid result lies in
+// [lb, ub] if one can be found among the currently valid entries, without
+// recomputing anything — the paper's counterweight example: "if such a
+// Cuboid can be found by inspecting the (incomplete) GMR no invalidated or
+// missing results need be (re-)computed".
+func (m *Manager) BackwardAny(fid string, lb, ub float64) (Match, bool, error) {
+	g, ok := m.byFunc[fid]
+	if !ok {
+		return Match{}, false, fmt.Errorf("%w: %s", ErrNotMaterialized, fid)
+	}
+	i := g.funcIndex(fid)
+	if g.resIdx[i] == nil {
+		return Match{}, false, fmt.Errorf("core: %s has a non-numeric result; no backward index", fid)
+	}
+	var found *Match
+	var scanErr error
+	g.resIdx[i].Range(lb, ub, func(_ btree.Key, v any) bool {
+		e := v.(*entry)
+		if !e.Valid[i] {
+			return true
+		}
+		if err := g.touch(e); err != nil {
+			scanErr = err
+			return false
+		}
+		found = &Match{Args: e.Args, Result: e.Results[i]}
+		return false
+	})
+	if scanErr != nil {
+		return Match{}, false, scanErr
+	}
+	if found == nil {
+		return Match{}, false, nil
+	}
+	return *found, true, nil
+}
+
+// Sum aggregates a valid numeric column (the forward aggregate query
+// "retrieve sum(c.weight)" over a set of argument objects, or over the full
+// extension when oids is nil).
+func (m *Manager) Sum(fid string, oids []object.OID) (float64, error) {
+	if oids == nil {
+		all, err := m.All(fid)
+		if err != nil {
+			return 0, err
+		}
+		sum := 0.0
+		for _, mt := range all {
+			f, _ := mt.Result.AsFloat()
+			sum += f
+		}
+		return sum, nil
+	}
+	sum := 0.0
+	for _, oid := range oids {
+		v, err := m.Forward(fid, []object.Value{object.Ref(oid)})
+		if err != nil {
+			return 0, err
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return 0, fmt.Errorf("core: non-numeric result %v from %s", v, fid)
+		}
+		sum += f
+	}
+	return sum, nil
+}
+
+// FullRange is the (-inf, +inf) backward range.
+var FullRange = [2]float64{math.Inf(-1), math.Inf(1)}

@@ -1,0 +1,95 @@
+package core_test
+
+// Retrieval API coverage: All, Sum, FullRange, forward errors.
+
+import (
+	"math"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+)
+
+func TestAllAndSum(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := db.GMRs.All("Cuboid.weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("All returned %d rows", len(all))
+	}
+	sum, err := db.GMRs.Sum("Cuboid.weight", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-(2358+1572+1900)) > 1e-6 {
+		t.Fatalf("Sum = %g", sum)
+	}
+	// Sum over a subset (the paper's MyValuableCuboids forward aggregate).
+	sum, err = db.GMRs.Sum("Cuboid.weight", []gomdb.OID{g.Cuboids[0], g.Cuboids[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-(2358+1900)) > 1e-6 {
+		t.Fatalf("subset Sum = %g", sum)
+	}
+	// All must revalidate lazily invalidated entries first.
+	s := fixtures.NewVertex(db, 2, 1, 1)
+	if _, err := db.Call("Cuboid.scale", gomdb.Ref(g.Cuboids[0]), gomdb.Ref(s)); err != nil {
+		t.Fatal(err)
+	}
+	sum2, err := db.GMRs.Sum("Cuboid.weight", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum2-(2*2358+1572+1900)) > 1e-6 {
+		t.Fatalf("Sum after doubling length = %g", sum2)
+	}
+	// FullRange backward sweep returns everything.
+	matches, err := db.GMRs.Backward("Cuboid.weight", core.FullRange[0], core.FullRange[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("FullRange backward returned %d", len(matches))
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if _, err := db.GMRs.Forward("Cuboid.volume", []gomdb.Value{gomdb.Ref(g.Cuboids[0])}); err == nil {
+		t.Fatal("forward on unmaterialized function succeeded")
+	}
+	if _, err := db.GMRs.Backward("Cuboid.volume", 0, 1); err == nil {
+		t.Fatal("backward on unmaterialized function succeeded")
+	}
+	if _, err := db.GMRs.All("Cuboid.volume"); err == nil {
+		t.Fatal("All on unmaterialized function succeeded")
+	}
+	if _, _, err := db.GMRs.BackwardAny("Cuboid.volume", 0, 1); err == nil {
+		t.Fatal("BackwardAny on unmaterialized function succeeded")
+	}
+	if _, err := db.GMRs.Sum("Cuboid.volume", nil); err == nil {
+		t.Fatal("Sum on unmaterialized function succeeded")
+	}
+	if _, err := db.GMRs.Retrieve("nope", nil); err == nil {
+		t.Fatal("Retrieve on unknown GMR succeeded")
+	}
+	// Wrong spec arity.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GMRs.Retrieve("<<Cuboid.volume>>", []gomdb.FieldSpec{gomdb.AnySpec()}); err == nil {
+		t.Fatal("wrong Retrieve arity accepted")
+	}
+}

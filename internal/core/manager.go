@@ -1,0 +1,824 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gomdb/internal/btree"
+	"gomdb/internal/lang"
+	"gomdb/internal/object"
+	"gomdb/internal/pred"
+	"gomdb/internal/schema"
+	"gomdb/internal/storage"
+)
+
+// Stats counts the maintenance work the manager performs; benchmarks and
+// tests read them to verify, e.g., that rotate under information hiding
+// triggers no invalidations while the basic mechanism triggers twelve.
+type Stats struct {
+	RRRLookups         int64 // GMR_Manager.invalidate invocations that consulted the RRR
+	Invalidations      int64 // materialized results invalidated (marked or recomputed)
+	Rematerializations int64 // function recomputations for GMR maintenance
+	Compensations      int64 // compensating-action applications
+	ForwardHits        int64 // forward lookups answered from a valid entry
+	ForwardMisses      int64 // forward lookups that had to compute
+	BackwardQueries    int64
+	NewObjects         int64
+	ForgottenObjects   int64
+	PredicateUpdates   int64
+}
+
+// Manager is the GMR manager: it owns all GMR extensions and the RRR, and is
+// notified of updates through the hooks it installs into the schema (the
+// update notification mechanism of Section 4.3).
+type Manager struct {
+	En    *schema.Engine
+	Sch   *schema.Schema
+	Objs  *object.Manager
+	Clock *storage.Clock
+	Pool  *storage.BufferPool
+
+	gmrs      map[string]*GMR
+	byFunc    map[string]*GMR
+	rrr       *RRR
+	ca        *CATable
+	uninstall map[string][]func()
+	extractor *lang.Extractor
+
+	// Intern maps string constants to numeric codes shared between
+	// restriction formulas and query predicates, so the Section 6
+	// applicability test can reason about string equality.
+	Intern *pred.Interner
+
+	// resultObjs tracks objects created to store complex materialized
+	// results, the garbage-collection candidates of CollectResultGarbage.
+	resultObjs map[object.OID]bool
+
+	// trace receives maintenance events when set (SetTrace).
+	trace func(TraceEvent)
+
+	Stats Stats
+}
+
+// NewManager creates a GMR manager over an engine and registers the
+// materialized-call interceptor that maps invocations of materialized
+// functions to forward GMR queries.
+func NewManager(en *schema.Engine, pool *storage.BufferPool) *Manager {
+	m := &Manager{
+		En:        en,
+		Sch:       en.Sch,
+		Objs:      en.Objs,
+		Clock:     en.Clock,
+		Pool:      pool,
+		gmrs:      make(map[string]*GMR),
+		byFunc:    make(map[string]*GMR),
+		rrr:       NewRRR(pool),
+		ca:        newCATable(),
+		uninstall: make(map[string][]func()),
+		extractor: lang.NewExtractor(en.Sch, en.Sch),
+		Intern:    pred.NewInterner(),
+	}
+	en.SetInterceptor(m.intercept)
+	return m
+}
+
+// RRR exposes the reverse reference relation for tests and diagnostics.
+func (m *Manager) RRR() *RRR { return m.rrr }
+
+// GMRs returns the names of all existing GMRs.
+func (m *Manager) GMRs() []string {
+	out := make([]string, 0, len(m.gmrs))
+	for n := range m.gmrs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the GMR with the given name.
+func (m *Manager) Get(name string) (*GMR, bool) {
+	g, ok := m.gmrs[name]
+	return g, ok
+}
+
+// GMRFor returns the GMR materializing function fid, if any.
+func (m *Manager) GMRFor(fid string) (*GMR, bool) {
+	g, ok := m.byFunc[fid]
+	return g, ok
+}
+
+// Materialize creates a GMR per opts, precomputes its extension if Complete,
+// and performs the schema rewrite installing the update notification hooks.
+// This is the runtime of the GOMql statement
+//
+//	range c: Cuboid materialize c.volume, c.weight [where p]
+func (m *Manager) Materialize(opts Options) (*GMR, error) {
+	if len(opts.Funcs) == 0 {
+		return nil, errors.New("core: materialize needs at least one function")
+	}
+	fns := make([]*lang.Function, len(opts.Funcs))
+	for i, name := range opts.Funcs {
+		fn, err := m.Sch.LookupFunction(name)
+		if err != nil {
+			return nil, err
+		}
+		if !fn.SideEffectFree {
+			return nil, fmt.Errorf("core: %s is not declared side-effect free and cannot be materialized", fn.Name)
+		}
+		if _, dup := m.byFunc[fn.Name]; dup {
+			return nil, fmt.Errorf("core: %s is already materialized", fn.Name)
+		}
+		fns[i] = fn
+	}
+	argTypes := fns[0].ParamTypes()
+	for _, fn := range fns[1:] {
+		ts := fn.ParamTypes()
+		if len(ts) != len(argTypes) {
+			return nil, fmt.Errorf("core: %s and %s do not share argument types", fns[0].Name, fn.Name)
+		}
+		for i := range ts {
+			if ts[i] != argTypes[i] {
+				return nil, fmt.Errorf("core: %s and %s do not share argument types", fns[0].Name, fn.Name)
+			}
+		}
+	}
+	for i, t := range argTypes {
+		if object.IsAtomicName(t) {
+			r, ok := opts.AtomicArgs[i]
+			if !ok {
+				return nil, fmt.Errorf("core: atomic argument %d (%s) must be value- or range-restricted (Section 6.2)", i, t)
+			}
+			if t == "float" && r.IsRange {
+				return nil, fmt.Errorf("core: float argument %d must be value-restricted, not range-restricted", i)
+			}
+		} else if m.Sch.Reg.Lookup(t) == nil {
+			return nil, fmt.Errorf("core: unknown argument type %q", t)
+		}
+	}
+	if opts.Restriction != nil {
+		p := opts.Restriction.Fn
+		if p == nil {
+			return nil, errors.New("core: restricted GMR needs an executable predicate")
+		}
+		if len(p.Params) != len(argTypes) {
+			return nil, fmt.Errorf("core: restriction predicate arity %d does not match %d argument types", len(p.Params), len(argTypes))
+		}
+	}
+	if opts.Complete && opts.MaxEntries > 0 {
+		return nil, errors.New("core: MaxEntries applies to incremental (cache) GMRs only; a complete extension cannot evict entries")
+	}
+	name := opts.Name
+	if name == "" {
+		name = "<<" + strings.Join(opts.Funcs, ",") + ">>"
+	}
+	if _, dup := m.gmrs[name]; dup {
+		return nil, fmt.Errorf("core: GMR %q already exists", name)
+	}
+
+	g := &GMR{
+		Name:         name,
+		Funcs:        fns,
+		ArgTypes:     argTypes,
+		Strategy:     opts.Strategy,
+		Mode:         opts.Mode,
+		Complete:     opts.Complete,
+		MaxEntries:   opts.MaxEntries,
+		Restriction:  opts.Restriction,
+		AtomicArgs:   opts.AtomicArgs,
+		SecondChance: opts.SecondChance,
+		entries:      make(map[string]*entry),
+		argIndex:     make(map[object.OID]map[string]bool),
+		heap:         storage.NewForcedHeapFile(m.Pool, "GMR:"+name),
+		resIdx:       make([]*btree.Tree, len(fns)),
+		invalid:      make([]map[string]bool, len(fns)),
+		mgr:          m,
+	}
+	if opts.UseMDS {
+		if err := m.initMDS(g); err != nil {
+			return nil, err
+		}
+	}
+	g.idxHeap = make([]*storage.HeapFile, len(fns))
+	for i, fn := range fns {
+		g.invalid[i] = make(map[string]bool)
+		if isNumericType(fn.ResultType) {
+			g.resIdx[i] = btree.New()
+			g.idxHeap[i] = storage.NewHeapFile(m.Pool, "IDX:"+name+":"+fn.Name)
+		}
+	}
+
+	m.gmrs[name] = g
+	g.colFid = make(map[string]int, len(fns))
+	g.variants = make(map[int][]*lang.Function)
+	for i, fn := range fns {
+		m.byFunc[fn.Name] = g
+		g.colFid[fn.Name] = i
+		// Substitutability: the extension of the argument type includes
+		// subtype instances, and the materialized invocation dispatches
+		// dynamically. Register every subtype override of the operation so
+		// (a) the interceptor catches calls that resolve to the override,
+		// (b) the hook planner analyzes the override's relevant paths, and
+		// (c) funcIndex maps the override to the right column.
+		for _, variant := range m.overridesOf(fn) {
+			if other, dup := m.byFunc[variant.Name]; dup && other != g {
+				m.dropState(g)
+				return nil, fmt.Errorf("core: override %s is already materialized in %s", variant.Name, other.Name)
+			}
+			m.byFunc[variant.Name] = g
+			g.colFid[variant.Name] = i
+			g.variants[i] = append(g.variants[i], variant)
+		}
+	}
+
+	if opts.Complete {
+		if err := m.populate(g); err != nil {
+			m.dropState(g)
+			return nil, err
+		}
+	}
+	if err := m.installHooks(g); err != nil {
+		m.dropState(g)
+		return nil, err
+	}
+	return g, nil
+}
+
+func isNumericType(t string) bool {
+	return t == "float" || t == "int" || t == "decimal"
+}
+
+// Drop deletes a GMR: its extension, its RRR tuples and ObjDepFct marks, and
+// the hook rewrites — restoring the unmodified schema.
+func (m *Manager) Drop(name string) error {
+	g, ok := m.gmrs[name]
+	if !ok {
+		return fmt.Errorf("core: no GMR %q", name)
+	}
+	// Remove RRR tuples and markings belonging to this GMR's functions.
+	fids := make(map[string]bool, len(g.Funcs)+1)
+	for _, f := range g.Funcs {
+		fids[f.Name] = true
+	}
+	fids[g.predID()] = true
+	var victims []Tuple
+	_ = m.rrr.Scan(func(t Tuple) bool {
+		if fids[t.F] {
+			victims = append(victims, t)
+		}
+		return true
+	})
+	for _, t := range victims {
+		if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+			return err
+		}
+	}
+	m.dropState(g)
+	return nil
+}
+
+func (m *Manager) dropState(g *GMR) {
+	for _, undo := range m.uninstall[g.Name] {
+		undo()
+	}
+	delete(m.uninstall, g.Name)
+	for fid, owner := range m.byFunc {
+		if owner == g {
+			delete(m.byFunc, fid)
+		}
+	}
+	delete(m.gmrs, g.Name)
+	m.ca.dropGMR(g)
+}
+
+// populate computes the complete extension (Definition 3.4 / 6.1): one entry
+// per argument combination drawn from the type extensions (and restricted
+// atomic values), filtered by the restriction predicate.
+func (m *Manager) populate(g *GMR) error {
+	combos, err := m.argCombinations(g, -1, object.Null())
+	if err != nil {
+		return err
+	}
+	for _, args := range combos {
+		if err := m.considerEntry(g, args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// argCombinations enumerates the cross product of the argument domains,
+// optionally pinning position fixedPos to fixedVal (used by new_object).
+func (m *Manager) argCombinations(g *GMR, fixedPos int, fixedVal object.Value) ([][]object.Value, error) {
+	domains := make([][]object.Value, len(g.ArgTypes))
+	for i, t := range g.ArgTypes {
+		if i == fixedPos {
+			domains[i] = []object.Value{fixedVal}
+			continue
+		}
+		if object.IsAtomicName(t) {
+			r := g.AtomicArgs[i]
+			if r.IsRange {
+				for v := r.Lo; v <= r.Hi; v++ {
+					domains[i] = append(domains[i], object.Int(v))
+				}
+			} else {
+				domains[i] = append(domains[i], r.Values...)
+			}
+			continue
+		}
+		for _, oid := range m.Objs.Extension(t) {
+			domains[i] = append(domains[i], object.Ref(oid))
+		}
+	}
+	var out [][]object.Value
+	cur := make([]object.Value, len(domains))
+	var rec func(int)
+	rec = func(i int) {
+		if i == len(domains) {
+			args := make([]object.Value, len(cur))
+			copy(args, cur)
+			out = append(out, args)
+			return
+		}
+		for _, v := range domains[i] {
+			cur[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// considerEntry evaluates the restriction predicate (if any) for args and
+// computes an entry when it admits them. Predicate evaluation is tracked and
+// recorded in the RRR under the pseudo-function id p:<gmr> (Section 6.1).
+func (m *Manager) considerEntry(g *GMR, args []object.Value) error {
+	if _, exists := g.lookup(args); exists {
+		return nil
+	}
+	if !g.admitsArgs(args) {
+		return nil
+	}
+	if g.Restriction != nil {
+		ok, err := m.evalPredicate(g, args)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return m.computeEntry(g, args)
+}
+
+// evalPredicate evaluates p(args) with tracking and refreshes the RRR tuples
+// of the predicate materialization.
+func (m *Manager) evalPredicate(g *GMR, args []object.Value) (bool, error) {
+	v, accessed, err := m.En.EvalTracked(g.Restriction.Fn, args)
+	if err != nil {
+		return false, err
+	}
+	pid := g.predID()
+	for _, oid := range sortedOIDs(accessed) {
+		if err := m.addRRR(oid, pid, args); err != nil {
+			return false, err
+		}
+	}
+	return v.Truth(), nil
+}
+
+// dispatch resolves the variant of a materialized operation that a dynamic
+// invocation on args would execute (subtype overrides win); free functions
+// and non-reference receivers dispatch statically.
+func (m *Manager) dispatch(fn *lang.Function, args []object.Value) *lang.Function {
+	dot := strings.IndexByte(fn.Name, '.')
+	if dot < 0 || len(args) == 0 || args[0].Kind != object.KRef {
+		return fn
+	}
+	o, err := m.Objs.Get(args[0].R)
+	if err != nil {
+		return fn
+	}
+	if variant, ok := m.Sch.ResolveOp(o.Type, fn.Name[dot+1:]); ok {
+		return variant
+	}
+	return fn
+}
+
+// overridesOf returns the subtype overrides of a type-associated operation.
+func (m *Manager) overridesOf(fn *lang.Function) []*lang.Function {
+	dot := strings.IndexByte(fn.Name, '.')
+	if dot < 0 {
+		return nil
+	}
+	declType, opName := fn.Name[:dot], fn.Name[dot+1:]
+	var out []*lang.Function
+	for _, sub := range m.Sch.Reg.WithSubtypes(declType)[1:] {
+		if v, ok := m.Sch.ResolveOp(sub, opName); ok && v != fn {
+			dup := false
+			for _, seen := range out {
+				if seen == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// computeEntry materializes all function columns for args and inserts the
+// entry plus its RRR tuples and ObjDepFct marks.
+func (m *Manager) computeEntry(g *GMR, args []object.Value) error {
+	results := make([]object.Value, len(g.Funcs))
+	valid := make([]bool, len(g.Funcs))
+	accessedPer := make([]map[object.OID]struct{}, len(g.Funcs))
+	for i, fn := range g.Funcs {
+		v, accessed, err := m.En.EvalTracked(m.dispatch(fn, args), args)
+		if err != nil {
+			return fmt.Errorf("core: materializing %s: %w", fn.Name, err)
+		}
+		v, err = m.storeComplexResult(fn, v)
+		if err != nil {
+			return err
+		}
+		results[i] = v
+		valid[i] = true
+		accessedPer[i] = accessed
+		m.Stats.Rematerializations++
+	}
+	e := &entry{Args: args, Results: results, Valid: valid}
+	if err := g.insertEntry(e); err != nil {
+		return err
+	}
+	for i, fn := range g.Funcs {
+		for _, oid := range sortedOIDs(accessedPer[i]) {
+			if err := m.addRRR(oid, fn.Name, args); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// storeComplexResult persists a complex (tuple/set/list) result as objects
+// and returns the reference stored in the GMR (Section 3.1: the attributes
+// store "references to the result objects").
+func (m *Manager) storeComplexResult(fn *lang.Function, v object.Value) (object.Value, error) {
+	switch v.Kind {
+	case object.KTuple, object.KSet, object.KList:
+		watermark := m.Objs.NextOID()
+		out, err := m.Objs.MaterializeValue(v, fn.ResultType)
+		if err != nil {
+			return object.Null(), err
+		}
+		m.trackResultObjects(watermark, m.Objs.NextOID())
+		return out, nil
+	}
+	return v, nil
+}
+
+// sortedOIDs returns the keys of an accessed-object set in ascending order,
+// so RRR tuples are inserted (and thus physically placed) deterministically.
+func sortedOIDs(set map[object.OID]struct{}) []object.OID {
+	out := make([]object.OID, 0, len(set))
+	for oid := range set {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// addRRR inserts an RRR tuple and maintains the object's ObjDepFct marking.
+func (m *Manager) addRRR(oid object.OID, fid string, args []object.Value) error {
+	isNew, first, err := m.rrr.Insert(oid, fid, args)
+	if err != nil {
+		return err
+	}
+	if isNew && first {
+		o, err := m.Objs.Get(oid)
+		if err != nil {
+			return err
+		}
+		if o.AddDepFct(fid) {
+			if err := m.Objs.Put(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// removeRRR removes an RRR tuple and demotes the ObjDepFct marking when the
+// last tuple for (oid, fid) disappears. A vanished object is fine — its
+// marking died with it.
+func (m *Manager) removeRRR(oid object.OID, fid string, args []object.Value) error {
+	existed, last, err := m.rrr.Remove(oid, fid, args)
+	if err != nil {
+		return err
+	}
+	if existed && last && m.Objs.Exists(oid) {
+		o, err := m.Objs.Get(oid)
+		if err != nil {
+			return err
+		}
+		if o.RemoveDepFct(fid) {
+			if err := m.Objs.Put(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Invalidate is GMR_Manager.invalidate(o[, RelevFct]): called by the
+// rewritten update operations after an object was modified. relev == nil
+// means "check everything" (the Figure 4 version); otherwise only tuples
+// whose function is in relev are processed (Sections 5.1/5.2/5.3).
+func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
+	m.Stats.RRRLookups++
+	tuples, err := m.rrr.Lookup(o.OID)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		if relev != nil && !relev[t.F] {
+			continue
+		}
+		if strings.HasPrefix(t.F, "p:") {
+			if err := m.predicateUpdate(t); err != nil {
+				return err
+			}
+			continue
+		}
+		g, ok := m.byFunc[t.F]
+		if !ok {
+			// The GMR was dropped; stale tuple.
+			if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+				return err
+			}
+			continue
+		}
+		e, ok := g.lookup(t.Args)
+		if !ok {
+			// Blind reference (Section 4.2): the entry is gone; clean up
+			// lazily.
+			if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+				return err
+			}
+			continue
+		}
+		i := g.funcIndex(t.F)
+		m.Stats.Invalidations++
+		m.emit("invalidate", g.Name, t.F, o.OID)
+		switch g.Strategy {
+		case Lazy:
+			// lazy(o): (1) set Vi := false, (2) remove the RRR tuple so a
+			// repeated update of o does not pay the GMR access again.
+			if err := g.markInvalid(argKey(t.Args), i); err != nil {
+				return err
+			}
+			if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+				return err
+			}
+		case Immediate:
+			if g.SecondChance {
+				// Second-chance variant (Section 4.1): keep the tuple
+				// through the rematerialization; remove it only if the
+				// recomputation no longer visited the object.
+				visited, err := m.rematerializeTracked(g, e, i)
+				if err != nil {
+					return err
+				}
+				if _, ok := visited[t.O]; !ok {
+					if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+						return err
+					}
+				}
+				break
+			}
+			// immediate(o): (1) remove the RRR tuple, (2) recompute and
+			// replace, (3) re-insert tuples for all accessed objects.
+			if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+				return err
+			}
+			if err := m.rematerialize(g, e, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rematerialize recomputes column i of entry e and refreshes the RRR.
+func (m *Manager) rematerialize(g *GMR, e *entry, i int) error {
+	_, err := m.rematerializeTracked(g, e, i)
+	return err
+}
+
+// rematerializeTracked recomputes column i of entry e, refreshes the RRR,
+// and returns the set of objects the recomputation visited.
+func (m *Manager) rematerializeTracked(g *GMR, e *entry, i int) (map[object.OID]struct{}, error) {
+	fn := g.Funcs[i]
+	v, accessed, err := m.En.EvalTracked(m.dispatch(fn, e.Args), e.Args)
+	if err != nil {
+		return nil, fmt.Errorf("core: rematerializing %s: %w", fn.Name, err)
+	}
+	v, err = m.storeComplexResult(fn, v)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.setResult(e, i, v); err != nil {
+		return nil, err
+	}
+	m.Stats.Rematerializations++
+	m.emit("rematerialize", g.Name, fn.Name, object.NilOID)
+	for _, oid := range sortedOIDs(accessed) {
+		if err := m.addRRR(oid, fn.Name, e.Args); err != nil {
+			return nil, err
+		}
+	}
+	return accessed, nil
+}
+
+// predicateUpdate implements the predicate(o) algorithm of Section 6.1: the
+// update may have changed the restriction predicate's value for the
+// argument combination, so the entry is admitted or expelled accordingly.
+func (m *Manager) predicateUpdate(t Tuple) error {
+	gname := strings.TrimPrefix(t.F, "p:")
+	g, ok := m.gmrs[gname]
+	if !ok || g.Restriction == nil {
+		return m.removeRRR(t.O, t.F, t.Args)
+	}
+	m.Stats.PredicateUpdates++
+	m.emit("predicate", g.Name, t.F, t.O)
+	// (1) remove the triple.
+	if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+		return err
+	}
+	// Dangling argument objects mean the combination is being deleted.
+	for _, a := range t.Args {
+		if a.Kind == object.KRef && !m.Objs.Exists(a.R) {
+			return g.removeEntry(argKey(t.Args))
+		}
+	}
+	// (2) recompute p and admit/expel; (3) re-insert predicate tuples —
+	// evalPredicate performs (3) as a side effect.
+	holds, err := m.evalPredicate(g, t.Args)
+	if err != nil {
+		return err
+	}
+	if holds {
+		if _, exists := g.lookup(t.Args); !exists {
+			return m.computeEntry(g, t.Args)
+		}
+		return nil
+	}
+	return g.removeEntry(argKey(t.Args))
+}
+
+// NewObject is GMR_Manager.new_object(o, t) (Section 4.2): extends every
+// complete GMR with entries for all argument combinations containing o.
+func (m *Manager) NewObject(o *object.Obj) error {
+	m.Stats.NewObjects++
+	m.emit("new_object", "", "", o.OID)
+	for _, name := range m.GMRs() {
+		g := m.gmrs[name]
+		if !g.Complete {
+			continue
+		}
+		for i, at := range g.ArgTypes {
+			if object.IsAtomicName(at) || !m.Sch.Reg.IsSubtypeOf(o.Type, at) {
+				continue
+			}
+			combos, err := m.argCombinations(g, i, object.Ref(o.OID))
+			if err != nil {
+				return err
+			}
+			for _, args := range combos {
+				if err := m.considerEntry(g, args); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ForgetObject is GMR_Manager.forget_object(o) (Section 4.2): removes the
+// GMR entries whose argument list contains the object about to be deleted,
+// plus the deleted object's own RRR tuples. Affected entries are found via
+// each GMR's supplementary argument index — lazy invalidation may already
+// have consumed the RRR tuple that step 1 of the paper's algorithm relies
+// on. RRR tuples of *other* objects that still reference the removed
+// entries become blind references, cleaned lazily on their next access.
+func (m *Manager) ForgetObject(o *object.Obj) error {
+	m.Stats.ForgottenObjects++
+	m.emit("forget_object", "", "", o.OID)
+	for _, name := range m.GMRs() {
+		g := m.gmrs[name]
+		for _, k := range g.entryKeysWithArg(o.OID) {
+			if err := g.removeEntry(k); err != nil {
+				return err
+			}
+		}
+	}
+	tuples, err := m.rrr.Lookup(o.OID)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hasEntriesWithArg reports whether any GMR has an entry whose argument
+// list contains oid.
+func (m *Manager) hasEntriesWithArg(oid object.OID) bool {
+	for _, g := range m.gmrs {
+		if len(g.argIndex[oid]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll marks every result of the named GMR invalid and removes all
+// of its RRR tuples and ObjDepFct marks — the starting state of the paper's
+// Figure 10 "Lazy" configuration ("all materialized volume results had been
+// invalidated before the benchmark was started — this causes the RRR and
+// the sets ObjDepFct to be empty with respect to <<volume>>").
+func (m *Manager) InvalidateAll(name string) error {
+	g, ok := m.gmrs[name]
+	if !ok {
+		return fmt.Errorf("core: no GMR %q", name)
+	}
+	fids := make(map[string]bool, len(g.Funcs)+1)
+	for _, f := range g.Funcs {
+		fids[f.Name] = true
+	}
+	fids[g.predID()] = true
+	var victims []Tuple
+	_ = m.rrr.Scan(func(t Tuple) bool {
+		if fids[t.F] {
+			victims = append(victims, t)
+		}
+		return true
+	})
+	for _, t := range victims {
+		if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+			return err
+		}
+	}
+	for _, k := range g.order {
+		for i := range g.Funcs {
+			if err := g.markInvalid(k, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Revalidate recomputes every invalid result of the named GMR — the
+// background sweep lazy rematerialization performs "as soon as the load ...
+// falls below a predetermined threshold".
+func (m *Manager) Revalidate(name string) error {
+	g, ok := m.gmrs[name]
+	if !ok {
+		return fmt.Errorf("core: no GMR %q", name)
+	}
+	for i := range g.Funcs {
+		if err := m.revalidateColumn(g, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) revalidateColumn(g *GMR, i int) error {
+	keys := make([]string, 0, len(g.invalid[i]))
+	for k := range g.invalid[i] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e, ok := g.entries[k]
+		if !ok {
+			delete(g.invalid[i], k)
+			continue
+		}
+		if err := m.rematerialize(g, e, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package core_test
+
+// Error paths and edge cases of the GMR manager.
+
+import (
+	"strings"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/lang"
+)
+
+func TestMaterializeValidation(t *testing.T) {
+	db, _ := exampleDB(t, false)
+	// No functions.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{}); err == nil {
+		t.Fatal("empty materialize accepted")
+	}
+	// Unknown function.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{Funcs: []string{"Cuboid.nope"}}); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	// Non-side-effect-free function (translate mutates).
+	if _, err := db.Materialize(gomdb.MaterializeOptions{Funcs: []string{"Cuboid.translate"}}); err == nil {
+		t.Fatal("updating operation accepted for materialization")
+	}
+	// Functions with different argument types cannot share a GMR.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Vertex.dist"},
+	}); err == nil {
+		t.Fatal("mismatched argument types accepted")
+	}
+	// Double materialization of the same function.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Name: "other",
+	}); err == nil {
+		t.Fatal("double materialization accepted")
+	}
+	// Duplicate GMR name.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.weight"}, Name: "<<Cuboid.volume>>",
+	}); err == nil {
+		t.Fatal("duplicate GMR name accepted")
+	}
+	// Restriction with wrong arity.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.weight"},
+		Restriction: &gomdb.Restriction{Fn: &lang.Function{
+			Name: "p2", Params: []lang.Param{lang.Prm("a", "Cuboid"), lang.Prm("b", "Cuboid")},
+		}},
+	}); err == nil {
+		t.Fatal("restriction arity mismatch accepted")
+	}
+	// Drop of unknown GMR.
+	if err := db.Dematerialize("nope"); err == nil {
+		t.Fatal("drop of unknown GMR succeeded")
+	}
+}
+
+// TestTwoGMRsCoexist: <<volume,weight>> and <<distance>> are maintained
+// independently, matching the paper's Figure 3 setup.
+func TestTwoGMRsCoexist(t *testing.T) {
+	db, g := exampleDB(t, false)
+	for i := 0; i < 2; i++ {
+		pos := fixtures.NewVertex(db, float64(100+i), 0, 0)
+		if _, err := db.New("Robot", gomdb.Str("R"), gomdb.Ref(pos)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vw, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.distance"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vw.Len() != 3 || dist.Len() != 6 {
+		t.Fatalf("GMR sizes: %d, %d", vw.Len(), dist.Len())
+	}
+	// A vertex's X coordinate is relevant to both; Figure 3 shows the RRR
+	// holding tuples for volume, weight, and distance per V1.
+	c, _ := db.Objects.Get(g.Cuboids[0])
+	v1 := c.Attrs[db.Objects.AttrIndex("Cuboid", "V1")].R
+	for _, fid := range []string{"Cuboid.volume", "Cuboid.weight", "Cuboid.distance"} {
+		if db.GMRs.RRR().FctCount(v1, fid) == 0 {
+			t.Errorf("V1 has no RRR tuple for %s", fid)
+		}
+	}
+	// translate invalidates distance but not volume.
+	db.GMRs.Stats = core.Stats{}
+	if _, err := db.Call("Cuboid.translate", gomdb.Ref(g.Cuboids[0]),
+		gomdb.Ref(fixtures.NewVertex(db, 1, 0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent(t, db, vw)
+	checkConsistent(t, db, dist)
+	// Dropping one leaves the other intact.
+	if err := db.Dematerialize(vw.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.GMRs.GMRFor("Cuboid.distance"); !ok {
+		t.Fatal("distance GMR lost")
+	}
+	if _, ok := db.GMRs.GMRFor("Cuboid.volume"); ok {
+		t.Fatal("volume GMR survived drop")
+	}
+	checkConsistent(t, db, dist)
+}
+
+// TestBlindReferenceCleanup: after an entry vanishes (argument deleted), a
+// leftover RRR tuple of a shared object is removed lazily on its next
+// access without corrupting anything.
+func TestBlindReferenceCleanup(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	iron := g.MaterialO[0]
+	// The iron material has RRR tuples for both iron cuboids' weights.
+	if db.GMRs.RRR().FctCount(iron, "Cuboid.weight") != 2 {
+		t.Fatalf("iron FctCount = %d", db.GMRs.RRR().FctCount(iron, "Cuboid.weight"))
+	}
+	// Delete one iron cuboid: its entry goes; the material keeps a blind
+	// reference (the cuboid's tuple removal happens via forget_object, but
+	// the material's tuple for the dead entry stays).
+	if err := db.Delete(g.Cuboids[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Touch the material: the blind reference is detected and removed; the
+	// surviving entry is maintained correctly.
+	if err := db.Set(iron, "SpecWeight", gomdb.Float(8.0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.GMRs.RRR().FctCount(iron, "Cuboid.weight"); n != 1 {
+		t.Fatalf("after cleanup FctCount = %d, want 1", n)
+	}
+	wantFloat(t, db, "Cuboid.weight", g.Cuboids[0], 300*8.0)
+}
+
+// TestRevalidateSweep: the background revalidation of lazy GMRs.
+func TestRevalidateSweep(t *testing.T) {
+	db, g := exampleDB(t, false)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true,
+		Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Cuboids {
+		s := fixtures.NewVertex(db, 2, 1, 1)
+		if _, err := db.Call("Cuboid.scale", gomdb.Ref(c), gomdb.Ref(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gmr.InvalidCount("Cuboid.volume") != 3 {
+		t.Fatalf("invalid = %d", gmr.InvalidCount("Cuboid.volume"))
+	}
+	if err := db.GMRs.Revalidate(gmr.Name); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.InvalidCount("Cuboid.volume") != 0 {
+		t.Fatal("revalidate left invalid entries")
+	}
+	checkConsistent(t, db, gmr)
+	if err := db.GMRs.Revalidate("nope"); err == nil {
+		t.Fatal("revalidate of unknown GMR succeeded")
+	}
+}
+
+// TestRepeatedUpdateSingleInvalidation: the purpose of step 2 of lazy(o) —
+// a second update of the same object does not pay the GMR access again.
+func TestRepeatedUpdateSingleInvalidation(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true,
+		Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := db.Objects.Get(g.Cuboids[0])
+	v2 := c.Attrs[db.Objects.AttrIndex("Cuboid", "V2")].R
+	db.GMRs.Stats = core.Stats{}
+	if err := db.Set(v2, "X", gomdb.Float(11)); err != nil {
+		t.Fatal(err)
+	}
+	first := db.GMRs.Stats.Invalidations
+	if first != 1 {
+		t.Fatalf("first update: %d invalidations", first)
+	}
+	// Second update of the same object: the RRR tuple is gone and the
+	// ObjDepFct mark with it, so the manager is not even invoked.
+	if err := db.Set(v2, "X", gomdb.Float(12)); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.Invalidations != first {
+		t.Fatalf("repeated update invalidated again: %+v", db.GMRs.Stats)
+	}
+	if db.GMRs.Stats.RRRLookups != 1 {
+		t.Fatalf("repeated update paid an RRR lookup: %+v", db.GMRs.Stats)
+	}
+}
+
+// TestDescribePlanListsRewrites sanity-checks the rewrite plan description
+// used by the gomql shell.
+func TestDescribePlanListsRewrites(t *testing.T) {
+	db, _ := exampleDB(t, false)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := db.GMRs.DescribePlan(gmr)
+	for _, want := range []string{"Vertex.set_X", "Cuboid.set_V1", "SchemaDepFct"} {
+		if !strings.Contains(desc, want) {
+			t.Fatalf("plan description missing %q:\n%s", want, desc)
+		}
+	}
+	if strings.Contains(desc, "Cuboid.set_Value") {
+		t.Fatalf("plan rewrites irrelevant operation set_Value:\n%s", desc)
+	}
+}
+
+// TestCompleteWithMaxEntriesRejected: a complete extension cannot evict.
+func TestCompleteWithMaxEntriesRejected(t *testing.T) {
+	db, _ := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true, MaxEntries: 5,
+	}); err == nil {
+		t.Fatal("Complete + MaxEntries accepted")
+	}
+}

@@ -1,0 +1,305 @@
+package core_test
+
+// Tests of the Section 3.2/3.3 tabular retrieval over a multidimensional
+// (Grid File) GMR index.
+
+import (
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+)
+
+func mdsDB(t *testing.T) (*gomdb.Database, *fixtures.Geometry, *gomdb.GMR) {
+	t.Helper()
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fixtures.PopulateGeometry(db, 50, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:    []string{"Cuboid.volume", "Cuboid.weight"},
+		Complete: true,
+		Strategy: gomdb.Lazy,
+		Mode:     gomdb.ModeObjDep,
+		UseMDS:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gmr.HasMDS() {
+		t.Fatal("MDS not created")
+	}
+	return db, g, gmr
+}
+
+// retrieveRef runs the same tabular query by scanning the extension.
+func retrieveRef(t *testing.T, db *gomdb.Database, gmr *gomdb.GMR, spec []core.FieldSpec) int {
+	t.Helper()
+	// Build a second, scan-only answer via Entries after revalidation.
+	for _, fid := range gmr.FuncIDs() {
+		_ = fid
+	}
+	n := 0
+	gmr.Entries(func(args, results []gomdb.Value, valid []bool) bool {
+		cols := append(append([]gomdb.Value{}, args...), results...)
+		ok := true
+		for i, f := range spec {
+			if f.Exact != nil && !cols[i].Equal(*f.Exact) {
+				ok = false
+			}
+			if f.Lo != nil {
+				v, _ := cols[i].AsFloat()
+				if cols[i].Kind == gomdb.Ref(0).Kind {
+					v = float64(cols[i].R)
+				}
+				if v < *f.Lo {
+					ok = false
+				}
+			}
+			if f.Hi != nil {
+				v, _ := cols[i].AsFloat()
+				if cols[i].Kind == gomdb.Ref(0).Kind {
+					v = float64(cols[i].R)
+				}
+				if v > *f.Hi {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// TestRetrieveForwardAndBackward reproduces the Section 3.2 table: the
+// forward query (all arguments bound, results retrieved) and the backward
+// range query (ranges on results, arguments retrieved).
+func TestRetrieveForwardAndBackward(t *testing.T) {
+	db, g, gmr := mdsDB(t)
+	// Forward: [id_i | ? | ?].
+	rows, err := db.GMRs.Retrieve(gmr.Name, []core.FieldSpec{
+		core.ExactSpec(gomdb.Ref(g.Cuboids[3])),
+		core.AnySpec(),
+		core.AnySpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Args[0].R != g.Cuboids[3] {
+		t.Fatalf("forward retrieve: %v", rows)
+	}
+	fn, _ := db.Schema.LookupFunction("Cuboid.volume")
+	want, _ := db.Engine.EvalRaw(fn, rows[0].Args)
+	if !rows[0].Results[0].Equal(want) {
+		t.Fatalf("forward retrieve volume = %v, want %v", rows[0].Results[0], want)
+	}
+	// Backward: [? | [100,300] | [500, 3000]].
+	spec := []core.FieldSpec{
+		core.AnySpec(),
+		core.RangeSpec(100, 300),
+		core.RangeSpec(500, 3000),
+	}
+	rows, err = db.GMRs.Retrieve(gmr.Name, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != retrieveRef(t, db, gmr, spec) {
+		t.Fatalf("backward retrieve %d rows, scan says %d", len(rows), retrieveRef(t, db, gmr, spec))
+	}
+	if len(rows) == 0 {
+		t.Fatal("vacuous backward window")
+	}
+}
+
+// TestRetrieveRevalidatesConstrainedColumns: under lazy maintenance a
+// constrained result column is revalidated before searching, so stale
+// values cannot cause misses.
+func TestRetrieveRevalidatesConstrainedColumns(t *testing.T) {
+	db, g, gmr := mdsDB(t)
+	// Shrink one cuboid so its stale volume would wrongly stay in a large
+	// window (and its fresh volume in a small one).
+	s := fixtures.NewVertex(db, 0.1, 1, 1)
+	if _, err := db.Call("Cuboid.scale", gomdb.Ref(g.Cuboids[0]), gomdb.Ref(s)); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.InvalidCount("Cuboid.volume") == 0 {
+		t.Fatal("scale did not invalidate under lazy")
+	}
+	fn, _ := db.Schema.LookupFunction("Cuboid.volume")
+	fresh, _ := db.Engine.EvalRaw(fn, []gomdb.Value{gomdb.Ref(g.Cuboids[0])})
+	f, _ := fresh.AsFloat()
+	rows, err := db.GMRs.Retrieve(gmr.Name, []core.FieldSpec{
+		core.AnySpec(),
+		core.RangeSpec(f-0.001, f+0.001),
+		core.AnySpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Args[0].R == g.Cuboids[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("retrieve missed the rescaled cuboid (stale MDS key not repaired)")
+	}
+	if gmr.InvalidCount("Cuboid.volume") != 0 {
+		t.Fatal("constrained retrieve did not revalidate")
+	}
+}
+
+// TestRetrieveExposesValidity: an unconstrained ('don't care') column may
+// carry a stale value, flagged through Row.Valid.
+func TestRetrieveExposesValidity(t *testing.T) {
+	db, g, gmr := mdsDB(t)
+	// Invalidate weight only (lazy GMR): change the material reference.
+	mat := g.MaterialO[1]
+	if err := db.Set(g.Cuboids[0], "Mat", gomdb.Ref(mat)); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.InvalidCount("Cuboid.weight") == 0 {
+		t.Fatal("set_Mat did not invalidate weight")
+	}
+	// Query constraining only the argument: weight column stays stale and
+	// is reported as invalid.
+	rows, err := db.GMRs.Retrieve(gmr.Name, []core.FieldSpec{
+		core.ExactSpec(gomdb.Ref(g.Cuboids[0])),
+		core.AnySpec(),
+		core.AnySpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Valid[1] {
+		t.Fatal("stale weight column reported valid")
+	}
+	if !rows[0].Valid[0] {
+		t.Fatal("volume column wrongly invalid")
+	}
+	// Constraining the weight column forces revalidation.
+	rows, err = db.GMRs.Retrieve(gmr.Name, []core.FieldSpec{
+		core.ExactSpec(gomdb.Ref(g.Cuboids[0])),
+		core.AnySpec(),
+		core.RangeSpec(-1e12, 1e12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Valid[1] {
+		t.Fatalf("constrained retrieve did not revalidate: %+v", rows)
+	}
+}
+
+// TestRetrieveCombinedArgAndResult constrains an argument and a result at
+// once — the "any combination" the paper's QBE table promises.
+func TestRetrieveCombinedArgAndResult(t *testing.T) {
+	db, g, gmr := mdsDB(t)
+	oid := g.Cuboids[7]
+	fn, _ := db.Schema.LookupFunction("Cuboid.volume")
+	v, _ := db.Engine.EvalRaw(fn, []gomdb.Value{gomdb.Ref(oid)})
+	f, _ := v.AsFloat()
+	rows, err := db.GMRs.Retrieve(gmr.Name, []core.FieldSpec{
+		core.ExactSpec(gomdb.Ref(oid)),
+		core.RangeSpec(f-1, f+1),
+		core.AnySpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("combined retrieve returned %d rows", len(rows))
+	}
+	rows, err = db.GMRs.Retrieve(gmr.Name, []core.FieldSpec{
+		core.ExactSpec(gomdb.Ref(oid)),
+		core.RangeSpec(f+10, f+20), // wrong window
+		core.AnySpec(),
+	})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("mismatching combined retrieve returned %d rows, err %v", len(rows), err)
+	}
+}
+
+// TestRetrieveWithoutMDSFallsBackToScan: Retrieve works (by scanning) when
+// the GMR was created without an MDS.
+func TestRetrieveWithoutMDSFallsBackToScan(t *testing.T) {
+	db, _ := exampleDB(t, false)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmr.HasMDS() {
+		t.Fatal("MDS created without UseMDS")
+	}
+	rows, err := db.GMRs.Retrieve(gmr.Name, []core.FieldSpec{
+		core.AnySpec(),
+		core.RangeSpec(150, 350),
+		core.AnySpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // volumes 200 and 300
+		t.Fatalf("scan retrieve returned %d rows", len(rows))
+	}
+}
+
+// TestMDSRejectsHighArity: the distance GMR (Cuboid x Robot + 1 result) fits
+// in 3 dims, but a hypothetical 5-column GMR must be rejected, matching the
+// paper's dimensionality caveat.
+func TestMDSRejectsHighArity(t *testing.T) {
+	db, _ := exampleDB(t, false)
+	// volume+weight+distance can't share (different args); build a GMR with
+	// 4 functions over Cuboid: length, width, height, volume = 5 columns.
+	_, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:    []string{"Cuboid.length", "Cuboid.width", "Cuboid.height", "Cuboid.volume"},
+		Complete: true,
+		Mode:     gomdb.ModeObjDep,
+		UseMDS:   true,
+	})
+	if err == nil {
+		t.Fatal("5-column MDS accepted")
+	}
+}
+
+// TestMDSMaintainedUnderUpdates: updates, creates, and deletes keep the MDS
+// in sync with the extension.
+func TestMDSMaintainedUnderUpdates(t *testing.T) {
+	db, g, gmr := mdsDB(t)
+	// Scale a few cuboids, create one, delete one.
+	for i := 0; i < 5; i++ {
+		s := fixtures.NewVertex(db, 0.5+float64(i)*0.2, 1, 1)
+		if _, err := db.Call("Cuboid.scale", gomdb.Ref(g.Cuboids[i]), gomdb.Ref(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.CreateRandomCuboid()
+	if err := g.DeleteRandomCuboid(); err != nil {
+		t.Fatal(err)
+	}
+	// Full-window retrieve must agree with the extension.
+	rows, err := db.GMRs.Retrieve(gmr.Name, []core.FieldSpec{
+		core.AnySpec(), core.RangeSpec(-1e12, 1e12), core.AnySpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(db.Extension("Cuboid")) {
+		t.Fatalf("retrieve %d rows for %d cuboids", len(rows), len(db.Extension("Cuboid")))
+	}
+}

@@ -1,0 +1,512 @@
+package core_test
+
+// Tests of Section 6: p-restricted GMRs, the predicate(o) maintenance
+// algorithm, incremental (cache) GMRs, and atomic argument restrictions.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/lang"
+	"gomdb/internal/pred"
+)
+
+// materializeIronOnly creates the Section 6 restricted GMR
+// <<volume, weight>>_p with p ≡ (c.Mat.Name = "Iron").
+func materializeIronOnly(t *testing.T, db *gomdb.Database, strategy core.Strategy) *gomdb.GMR {
+	t.Helper()
+	pfn := &lang.Function{
+		Name:           "p_iron",
+		Params:         []lang.Param{lang.Prm("c", "Cuboid")},
+		ResultType:     "bool",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Ret(lang.Eq(lang.A(lang.V("c"), "Mat", "Name"), lang.S("Iron"))),
+		},
+	}
+	formula := pred.CmpConst("O1.Mat.Name", pred.Eq, db.GMRs.Intern.Code("Iron"))
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:       []string{"Cuboid.volume", "Cuboid.weight"},
+		Complete:    true,
+		Strategy:    strategy,
+		Mode:        gomdb.ModeObjDep,
+		Restriction: &gomdb.Restriction{Fn: pfn, Formula: formula},
+	})
+	if err != nil {
+		t.Fatalf("restricted Materialize: %v", err)
+	}
+	return gmr
+}
+
+// ironCount counts cuboids whose material is named "Iron".
+func ironCount(t *testing.T, db *gomdb.Database) int {
+	t.Helper()
+	n := 0
+	for _, oid := range db.Extension("Cuboid") {
+		mat, err := db.GetAttr(oid, "Mat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		name, err := db.GetAttr(mat.R, "Name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name.S == "Iron" {
+			n++
+		}
+	}
+	return n
+}
+
+// checkRestrictedComplete verifies Definition 6.1 completeness: one entry
+// per argument combination satisfying p, no others.
+func checkRestrictedComplete(t *testing.T, db *gomdb.Database, g *gomdb.GMR) {
+	t.Helper()
+	want := ironCount(t, db)
+	if g.Len() != want {
+		t.Fatalf("restricted GMR has %d entries, %d iron cuboids exist", g.Len(), want)
+	}
+	g.Entries(func(args, _ []gomdb.Value, _ []bool) bool {
+		mat, _ := db.GetAttr(args[0].R, "Mat")
+		name, _ := db.GetAttr(mat.R, "Name")
+		if name.S != "Iron" {
+			t.Fatalf("non-iron cuboid %v in restricted GMR", args[0])
+		}
+		return true
+	})
+}
+
+func restrictedDB(t *testing.T, n int) (*gomdb.Database, *fixtures.Geometry) {
+	t.Helper()
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fixtures.PopulateGeometry(db, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+// TestRestrictedMaterialization checks initial Definition 6.1 completeness.
+func TestRestrictedMaterialization(t *testing.T) {
+	db, _ := restrictedDB(t, 40)
+	gmr := materializeIronOnly(t, db, core.Immediate)
+	checkRestrictedComplete(t, db, gmr)
+	if gmr.Len() == 0 {
+		t.Fatal("vacuous test: no iron cuboids generated")
+	}
+}
+
+// TestPredicateFlipViaSetMat changes a cuboid's material reference and
+// expects the entry to be admitted/expelled by the predicate(o) algorithm.
+func TestPredicateFlipViaSetMat(t *testing.T) {
+	db, g := restrictedDB(t, 30)
+	gmr := materializeIronOnly(t, db, core.Immediate)
+	iron := g.MaterialO[0]
+	gold := g.MaterialO[1]
+
+	// Find one iron cuboid.
+	var ironC gomdb.OID
+	gmr.Entries(func(args, _ []gomdb.Value, _ []bool) bool {
+		ironC = args[0].R
+		return false
+	})
+	before := gmr.Len()
+	if err := db.Set(ironC, "Mat", gomdb.Ref(gold)); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != before-1 {
+		t.Fatalf("entry not expelled: %d -> %d", before, gmr.Len())
+	}
+	checkRestrictedComplete(t, db, gmr)
+	if err := db.Set(ironC, "Mat", gomdb.Ref(iron)); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != before {
+		t.Fatalf("entry not admitted back: %d", gmr.Len())
+	}
+	checkRestrictedComplete(t, db, gmr)
+}
+
+// TestPredicateFlipViaMaterialRename renames a Material: every cuboid made
+// of it flips in or out of the restricted extension at once (the predicate
+// depends on Material.Name through a shared subobject).
+func TestPredicateFlipViaMaterialRename(t *testing.T) {
+	db, g := restrictedDB(t, 30)
+	gmr := materializeIronOnly(t, db, core.Immediate)
+	iron := g.MaterialO[0]
+	before := gmr.Len()
+	if before == 0 {
+		t.Fatal("vacuous")
+	}
+	if err := db.Set(iron, "Name", gomdb.Str("Steel")); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != 0 {
+		t.Fatalf("rename left %d entries (iron cuboids no longer match)", gmr.Len())
+	}
+	checkRestrictedComplete(t, db, gmr)
+	if err := db.Set(iron, "Name", gomdb.Str("Iron")); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != before {
+		t.Fatalf("rename back restored %d entries, want %d", gmr.Len(), before)
+	}
+	checkRestrictedComplete(t, db, gmr)
+}
+
+// TestRestrictedCreateDelete: new iron cuboids enter the restricted
+// extension, new gold ones do not; deletion removes entries.
+func TestRestrictedCreateDelete(t *testing.T) {
+	db, g := restrictedDB(t, 20)
+	gmr := materializeIronOnly(t, db, core.Immediate)
+	before := gmr.Len()
+	ironC := fixtures.NewCuboid(db, 900, 0, 0, 0, 2, 2, 2, g.MaterialO[0], 1)
+	if gmr.Len() != before+1 {
+		t.Fatalf("iron create: %d -> %d", before, gmr.Len())
+	}
+	goldC := fixtures.NewCuboid(db, 901, 0, 0, 0, 2, 2, 2, g.MaterialO[1], 1)
+	if gmr.Len() != before+1 {
+		t.Fatalf("gold create changed the restricted extension")
+	}
+	checkRestrictedComplete(t, db, gmr)
+	if err := db.Delete(ironC); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(goldC); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != before {
+		t.Fatalf("after deletes: %d, want %d", gmr.Len(), before)
+	}
+	checkRestrictedComplete(t, db, gmr)
+}
+
+// TestRestrictedForwardOutsideDomain: results for excluded combinations are
+// computed with the normal function and not stored.
+func TestRestrictedForwardOutsideDomain(t *testing.T) {
+	db, g := restrictedDB(t, 20)
+	gmr := materializeIronOnly(t, db, core.Immediate)
+	var goldC gomdb.OID
+	for _, oid := range db.Extension("Cuboid") {
+		mat, _ := db.GetAttr(oid, "Mat")
+		if mat.R != g.MaterialO[0] {
+			goldC = oid
+			break
+		}
+	}
+	if goldC == 0 {
+		t.Skip("no non-iron cuboid generated")
+	}
+	before := gmr.Len()
+	v, err := db.Call("Cuboid.volume", gomdb.Ref(goldC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := db.Schema.LookupFunction("Cuboid.volume")
+	want, _ := db.Engine.EvalRaw(fn, []gomdb.Value{gomdb.Ref(goldC)})
+	if !v.Equal(want) {
+		t.Fatalf("forward outside domain = %v, want %v", v, want)
+	}
+	if gmr.Len() != before {
+		t.Fatalf("excluded combination was stored")
+	}
+}
+
+// TestPropertyRestrictedConsistency drives random material/geometry updates
+// and re-verifies Definition 6.1 completeness and Definition 3.2
+// consistency after each.
+func TestPropertyRestrictedConsistency(t *testing.T) {
+	check := func(seed int64) bool {
+		db, g := restrictedDB(t, 10)
+		gmr := materializeIronOnly(t, db, core.Immediate)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				c := g.Cuboids[rng.Intn(len(g.Cuboids))]
+				mat := g.MaterialO[rng.Intn(len(g.MaterialO))]
+				if err := db.Set(c, "Mat", gomdb.Ref(mat)); err != nil {
+					return false
+				}
+			case 1:
+				mat := g.MaterialO[rng.Intn(2)]
+				names := []string{"Iron", "Gold", "Steel"}
+				if err := db.Set(mat, "Name", gomdb.Str(names[rng.Intn(3)])); err != nil {
+					return false
+				}
+			case 2:
+				c := g.Cuboids[rng.Intn(len(g.Cuboids))]
+				s := fixtures.NewVertex(db, 0.5+rng.Float64(), 1, 1)
+				if _, err := db.Call("Cuboid.scale", gomdb.Ref(c), gomdb.Ref(s)); err != nil {
+					return false
+				}
+			case 3:
+				g.CreateRandomCuboid()
+			case 4:
+				if err := g.DeleteRandomCuboid(); err != nil {
+					return false
+				}
+			}
+			// Completeness per Definition 6.1.
+			want := ironCount(t, db)
+			if gmr.Len() != want {
+				t.Logf("seed %d op %d: %d entries, %d iron cuboids", seed, i, gmr.Len(), want)
+				return false
+			}
+			// Consistency of valid results.
+			bad := false
+			gmr.Entries(func(args, results []gomdb.Value, valid []bool) bool {
+				for fi, fid := range gmr.FuncIDs() {
+					if !valid[fi] {
+						continue
+					}
+					fn, _ := db.Schema.LookupFunction(fid)
+					fresh, err := db.Engine.EvalRaw(fn, args)
+					if err != nil || !valuesClose(fresh, results[fi]) {
+						bad = true
+						return false
+					}
+				}
+				return true
+			})
+			if bad {
+				t.Logf("seed %d op %d: inconsistent restricted GMR", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalCacheGMR: a non-complete GMR fills as queries compute
+// results (Section 3.2's cache) and evicts beyond MaxEntries.
+func TestIncrementalCacheGMR(t *testing.T) {
+	db, g := restrictedDB(t, 30)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:      []string{"Cuboid.volume"},
+		Complete:   false,
+		MaxEntries: 10,
+		Strategy:   gomdb.Immediate,
+		Mode:       gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != 0 {
+		t.Fatalf("incremental GMR starts with %d entries", gmr.Len())
+	}
+	// Forward queries populate the cache.
+	for i := 0; i < 5; i++ {
+		if _, err := db.Call("Cuboid.volume", gomdb.Ref(g.Cuboids[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gmr.Len() != 5 {
+		t.Fatalf("cache has %d entries after 5 queries", gmr.Len())
+	}
+	// Repeat queries hit.
+	db.GMRs.Stats = core.Stats{}
+	if _, err := db.Call("Cuboid.volume", gomdb.Ref(g.Cuboids[0])); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.ForwardHits != 1 {
+		t.Fatalf("cache hit not recorded: %+v", db.GMRs.Stats)
+	}
+	// Overflow evicts the oldest entries.
+	for i := 5; i < 20; i++ {
+		if _, err := db.Call("Cuboid.volume", gomdb.Ref(g.Cuboids[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gmr.Len() != 10 {
+		t.Fatalf("cache size = %d, want cap 10", gmr.Len())
+	}
+	// Backward queries refuse incomplete extensions.
+	if _, err := db.GMRs.Backward("Cuboid.volume", 0, 1e9); err == nil {
+		t.Fatal("backward query over incomplete GMR succeeded")
+	}
+	// Cached entries stay consistent under updates.
+	s := fixtures.NewVertex(db, 2, 1, 1)
+	if _, err := db.Call("Cuboid.scale", gomdb.Ref(g.Cuboids[19]), gomdb.Ref(s)); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := db.Schema.LookupFunction("Cuboid.volume")
+	gmr.Entries(func(args, results []gomdb.Value, valid []bool) bool {
+		if !valid[0] {
+			return true
+		}
+		fresh, err := db.Engine.EvalRaw(fn, args)
+		if err != nil || !valuesClose(fresh, results[0]) {
+			t.Fatalf("stale cache entry for %v", args)
+		}
+		return true
+	})
+}
+
+// TestBackwardAnyFindsWithoutRecomputing: the paper's counterweight example
+// (Section 3.2) — BackwardAny may answer from valid entries without
+// recomputing invalid ones.
+func TestBackwardAnyFindsWithoutRecomputing(t *testing.T) {
+	db, g := restrictedDB(t, 20)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:    []string{"Cuboid.weight"},
+		Complete: true,
+		Strategy: gomdb.Lazy,
+		Mode:     gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalidate one cuboid's weight.
+	s := fixtures.NewVertex(db, 2, 1, 1)
+	if _, err := db.Call("Cuboid.scale", gomdb.Ref(g.Cuboids[0]), gomdb.Ref(s)); err != nil {
+		t.Fatal(err)
+	}
+	invalid := gmr.InvalidCount("Cuboid.weight")
+	if invalid == 0 {
+		t.Fatal("scale did not invalidate")
+	}
+	remBefore := db.GMRs.Stats.Rematerializations
+	m, found, err := db.GMRs.BackwardAny("Cuboid.weight", 100, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("no heavy cuboid found")
+	}
+	if db.GMRs.Stats.Rematerializations != remBefore {
+		t.Fatal("BackwardAny recomputed results")
+	}
+	if gmr.InvalidCount("Cuboid.weight") != invalid {
+		t.Fatal("BackwardAny changed validity state")
+	}
+	if f, _ := m.Result.AsFloat(); f < 100 {
+		t.Fatalf("match %v out of range", m.Result)
+	}
+}
+
+// TestAtomicArgValidation: float arguments must be value-restricted.
+func TestAtomicArgValidation(t *testing.T) {
+	db, _ := restrictedDB(t, 5)
+	wg := &lang.Function{
+		Name:           "wgrav",
+		Params:         []lang.Param{lang.Prm("c", "Cuboid"), lang.Prm("g", "float")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Ret(lang.Mul(lang.CallFn("Cuboid.weight", lang.V("c")), lang.V("g"))),
+		},
+	}
+	if err := db.Schema.DefineFunc(wg); err != nil {
+		t.Fatal(err)
+	}
+	// Missing restriction.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"wgrav"}, Complete: true,
+	}); err == nil {
+		t.Fatal("unrestricted float argument accepted")
+	}
+	// Range restriction on float is rejected.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"wgrav"}, Complete: true,
+		AtomicArgs: map[int]gomdb.ArgRestriction{1: {IsRange: true, Lo: 0, Hi: 5}},
+	}); err == nil {
+		t.Fatal("range-restricted float argument accepted")
+	}
+	// Value restriction works; combinations = cuboids x values.
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"wgrav"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+		AtomicArgs: map[int]gomdb.ArgRestriction{1: {Values: []gomdb.Value{gomdb.Float(1), gomdb.Float(9.81)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != 2*len(db.Extension("Cuboid")) {
+		t.Fatalf("entries = %d, want %d", gmr.Len(), 2*len(db.Extension("Cuboid")))
+	}
+	// Outside the domain: computed, not stored; inside: forward hit.
+	c := db.Extension("Cuboid")[0]
+	before := gmr.Len()
+	if _, err := db.Call("wgrav", gomdb.Ref(c), gomdb.Float(3.3)); err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != before {
+		t.Fatal("out-of-domain combination stored")
+	}
+	db.GMRs.Stats = core.Stats{}
+	if _, err := db.Call("wgrav", gomdb.Ref(c), gomdb.Float(9.81)); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.ForwardHits != 1 {
+		t.Fatalf("in-domain lookup missed: %+v", db.GMRs.Stats)
+	}
+	// Geometry updates keep the atomic-arg GMR consistent.
+	s := fixtures.NewVertex(db, 2, 1, 1)
+	if _, err := db.Call("Cuboid.scale", gomdb.Ref(c), gomdb.Ref(s)); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := db.Schema.LookupFunction("wgrav")
+	gmr.Entries(func(args, results []gomdb.Value, valid []bool) bool {
+		if !valid[0] {
+			return true
+		}
+		fresh, err := db.Engine.EvalRaw(fn, args)
+		if err != nil || !valuesClose(fresh, results[0]) {
+			t.Fatalf("stale atomic-arg entry for %v", args)
+		}
+		return true
+	})
+}
+
+// TestRangeRestrictedIntArg: int arguments may be range-restricted
+// (Section 6.2).
+func TestRangeRestrictedIntArg(t *testing.T) {
+	db, _ := restrictedDB(t, 4)
+	fn := &lang.Function{
+		Name:           "scaled_volume",
+		Params:         []lang.Param{lang.Prm("c", "Cuboid"), lang.Prm("k", "int")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Ret(lang.Mul(lang.CallFn("Cuboid.volume", lang.V("c")), lang.V("k"))),
+		},
+	}
+	if err := db.Schema.DefineFunc(fn); err != nil {
+		t.Fatal(err)
+	}
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"scaled_volume"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+		AtomicArgs: map[int]gomdb.ArgRestriction{1: {IsRange: true, Lo: 1, Hi: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmr.Len() != 3*len(db.Extension("Cuboid")) {
+		t.Fatalf("entries = %d", gmr.Len())
+	}
+	v, err := db.Call("scaled_volume", gomdb.Ref(db.Extension("Cuboid")[0]), gomdb.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := db.Call("Cuboid.volume", gomdb.Ref(db.Extension("Cuboid")[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := v.AsFloat()
+	f2, _ := vol.AsFloat()
+	if !valuesClose(gomdb.Float(f1), gomdb.Float(2*f2)) {
+		t.Fatalf("scaled_volume = %v, volume = %v", v, vol)
+	}
+}

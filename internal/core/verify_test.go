@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/core"
+	"gomdb/internal/fixtures"
+)
+
+// TestCheckConsistencyCleanAndComplete: a freshly materialized GMR passes
+// the online checker.
+func TestCheckConsistencyCleanAndComplete(t *testing.T) {
+	db, _ := exampleDB(t, false)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.GMRs.CheckConsistency(gmr.Name, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 3 || rep.Valid != 6 || rep.Invalid != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if _, err := db.GMRs.CheckConsistency("nope", 1e-9, false); err == nil {
+		t.Fatal("check of unknown GMR succeeded")
+	}
+}
+
+// TestCheckConsistencyDetectsCorruption: a result corrupted behind the
+// manager's back is reported.
+func TestCheckConsistencyDetectsCorruption(t *testing.T) {
+	db, g := exampleDB(t, false)
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true,
+		Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the base data without going through the rewritten update
+	// path: write the vertex object directly via the object manager.
+	c, _ := db.Objects.Get(g.Cuboids[0])
+	v2 := c.Attrs[db.Objects.AttrIndex("Cuboid", "V2")].R
+	vo, _ := db.Objects.Get(v2)
+	vo.Attrs[0] = gomdb.Float(999)
+	if err := db.Objects.Put(vo); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.GMRs.CheckConsistency(gmr.Name, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("corruption not detected")
+	}
+	if rep.Err() == nil {
+		t.Fatal("Err() nil despite violations")
+	}
+}
+
+// TestCheckConsistencyRestricted verifies the Definition 6.1 completeness
+// branch of the checker on a restricted GMR.
+func TestCheckConsistencyRestricted(t *testing.T) {
+	db, _ := restrictedDB(t, 25)
+	gmr := materializeIronOnly(t, db, core.Immediate)
+	rep, err := db.GMRs.CheckConsistency(gmr.Name, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries == 0 {
+		t.Fatal("vacuous check")
+	}
+}
+
+// TestTraceEvents: the trace hook observes the expected maintenance events.
+func TestTraceEvents(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	db.GMRs.SetTrace(func(e core.TraceEvent) { events = append(events, e.String()) })
+
+	// An update triggers invalidate + rematerialize.
+	c, _ := db.Objects.Get(g.Cuboids[0])
+	v2 := c.Attrs[db.Objects.AttrIndex("Cuboid", "V2")].R
+	if err := db.Set(v2, "X", gomdb.Float(20)); err != nil {
+		t.Fatal(err)
+	}
+	// A forward call hits; a backward query emits a backward event.
+	if _, err := db.Call("Cuboid.volume", gomdb.Ref(g.Cuboids[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GMRs.Backward("Cuboid.volume", 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(events, "\n")
+	for _, want := range []string{"invalidate Cuboid.volume", "rematerialize Cuboid.volume", "forward_hit", "backward"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q:\n%s", want, joined)
+		}
+	}
+	// Create/delete trace.
+	events = nil
+	oid := fixtures.NewCuboid(db, 77, 0, 0, 0, 1, 1, 1, g.MaterialO[0], 1)
+	if err := db.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	joined = strings.Join(events, "\n")
+	for _, want := range []string{"new_object", "forget_object"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q:\n%s", want, joined)
+		}
+	}
+	// Disable.
+	db.GMRs.SetTrace(nil)
+	events = nil
+	if err := db.Set(v2, "X", gomdb.Float(21)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatal("disabled trace still fired")
+	}
+}
+
+// TestTraceCompensateAndPredicate: the remaining trace event kinds.
+func TestTraceCompensateAndPredicate(t *testing.T) {
+	// Compensation events via the Workpieces example.
+	db, g, sets := workpiecesDB(t)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Workpieces.total_volume"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Schema.DefineOpSrc("Workpieces", `
+		define increase_total(new_cuboid: Cuboid, old_total: float): float is
+			return old_total + new_cuboid.volume
+		end`, true); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := db.Schema.LookupFunction("Workpieces.increase_total")
+	if err := db.GMRs.DefineCompensation("Workpieces", "insert", "Workpieces.total_volume", comp); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	db.GMRs.SetTrace(func(e core.TraceEvent) { events = append(events, e.Op) })
+	if err := db.Insert(sets[1], gomdb.Ref(g.Cuboids[10])); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range events {
+		if e == "compensate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no compensate event in %v", events)
+	}
+
+	// Predicate events via a restricted GMR.
+	db2, g2 := restrictedDB(t, 10)
+	materializeIronOnly(t, db2, core.Immediate)
+	var events2 []string
+	db2.GMRs.SetTrace(func(e core.TraceEvent) { events2 = append(events2, e.Op) })
+	if err := db2.Set(g2.Cuboids[0], "Mat", gomdb.Ref(g2.MaterialO[1])); err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, e := range events2 {
+		if e == "predicate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no predicate event in %v", events2)
+	}
+}

@@ -1,0 +1,465 @@
+package fixtures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gomdb"
+	"gomdb/internal/lang"
+)
+
+// DefineCompany installs the Section 7.2 schema: the matrix organization of
+// a company with departments, projects, employees, and job histories.
+//
+//	Company   [CName, Deps: Departments, Projs: Projects]
+//	Department[DName, DepNo, Emps: Employees]
+//	Project   [PName, PStatus, Size, Programmers: Employees]
+//	Person    [Name]
+//	Employee  <: Person [EmpNo, Salary, JobHistory: Jobs]
+//	Job       [Proj: Project, Lines: int, OnTime: bool, Good: bool]
+//	MatrixLine[Dep, Proj, Emps] and MatrixSet {MatrixLine}
+//
+// Functions: Job.assessment, Employee.ranking (materialized in Figures
+// 13/14), Company.matrix (materialized in Figure 15), and the compensating
+// action Company.comp_add_project for the insertion of a new project.
+//
+// Company is strictly encapsulated with the public updating operation
+// add_project, so the Figure 15 compensating action can attach to an
+// argument-type operation as Definition 5.4 requires.
+func DefineCompany(db *gomdb.Database) error {
+	if err := db.DefineType(gomdb.NewTupleType("Person",
+		gomdb.PubAttr("Name", "string"))); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewTupleType("Project",
+		gomdb.PubAttr("PName", "string"),
+		gomdb.PubAttr("PStatus", "float"), // -1000 .. 1000
+		gomdb.PubAttr("Size", "int"),      // lines of code
+		gomdb.PubAttr("Programmers", "Employees"),
+	)); err != nil {
+		return err
+	}
+	emp := gomdb.NewTupleType("Employee",
+		gomdb.PubAttr("EmpNo", "int"),
+		gomdb.PubAttr("Salary", "float"),
+		gomdb.PubAttr("JobHistory", "Jobs"),
+	)
+	emp.Super = "Person"
+	if err := db.DefineType(emp, "ranking"); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewTupleType("Job",
+		gomdb.PubAttr("Proj", "Project"),
+		gomdb.PubAttr("Lines", "int"),
+		gomdb.PubAttr("OnTime", "bool"),
+		gomdb.PubAttr("Good", "bool"),
+	), "assessment"); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewTupleType("Department",
+		gomdb.PubAttr("DName", "string"),
+		gomdb.PubAttr("DepNo", "int"),
+		gomdb.PubAttr("Emps", "Employees"),
+	)); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewSetType("Employees", "Employee"), "insert", "remove"); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewSetType("Jobs", "Job"), "insert", "remove"); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewSetType("Departments", "Department"), "insert", "remove"); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewSetType("Projects", "Project"), "insert", "remove"); err != nil {
+		return err
+	}
+	company := gomdb.NewTupleType("Company",
+		gomdb.Attr("CName", "string"),
+		gomdb.Attr("Deps", "Departments"),
+		gomdb.Attr("Projs", "Projects"),
+	)
+	company.StrictEncapsulated = true
+	if err := db.DefineType(company, "matrix", "add_project", "add_department",
+		"staff_project", "unstaff_project"); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewTupleType("MatrixLine",
+		gomdb.PubAttr("Dep", "Department"),
+		gomdb.PubAttr("Proj", "Project"),
+		gomdb.PubAttr("Emps", "Employees"),
+	)); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewSetType("MatrixSet", "MatrixLine")); err != nil {
+		return err
+	}
+
+	self := lang.Self()
+	a := lang.A
+	v := lang.V
+
+	// assessment: the attributes of a Job yield an assessment value.
+	assessment := &lang.Function{
+		Params:         []lang.Param{lang.Prm("self", "Job")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Let("base", lang.F(0)),
+			lang.When(a(self, "Good"),
+				[]lang.Stmt{lang.Let("base", lang.Add(v("base"), lang.F(500)))}),
+			lang.When(a(self, "OnTime"),
+				[]lang.Stmt{lang.Let("base", lang.Add(v("base"), lang.F(250)))}),
+			// Productivity: share of the project written by this employee,
+			// scaled; plus a bonus or malus from the project status.
+			lang.Let("prod", lang.Div(lang.Mul(a(self, "Lines"), lang.F(250)), a(self, "Proj", "Size"))),
+			lang.Ret(lang.Add(lang.Add(v("base"), v("prod")), lang.Div(a(self, "Proj", "PStatus"), lang.F(4)))),
+		},
+	}
+	if err := db.DefineOp("Job", "assessment", assessment); err != nil {
+		return err
+	}
+
+	// ranking: the average of the assessment values of all jobs in the
+	// employee's job history.
+	ranking := &lang.Function{
+		Params:         []lang.Param{lang.Prm("self", "Employee")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Let("s", lang.F(0)),
+			lang.Let("n", lang.F(0)),
+			lang.Each("j", a(self, "JobHistory"),
+				lang.Let("s", lang.Add(v("s"), lang.CallFn("Job.assessment", v("j")))),
+				lang.Let("n", lang.Add(v("n"), lang.F(1)))),
+			lang.When(lang.Eq(v("n"), lang.F(0)), []lang.Stmt{lang.Ret(lang.F(0))}),
+			lang.Ret(lang.Div(v("s"), v("n"))),
+		},
+	}
+	if err := db.DefineOp("Employee", "ranking", ranking); err != nil {
+		return err
+	}
+
+	// matrix: the department-project matrix — a set of MatrixLine tuples
+	// [Dep, Proj, Emps] with Emps != {} (Section 7.2).
+	matrix := &lang.Function{
+		Params:         []lang.Param{lang.Prm("self", "Company")},
+		ResultType:     "MatrixSet",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Let("lines", lang.EmptySet()),
+			lang.Each("d", a(self, "Deps"),
+				lang.Each("p", a(self, "Projs"),
+					lang.Let("emps", lang.EmptySet()),
+					lang.Each("e", a(v("d"), "Emps"),
+						lang.When(lang.In(v("e"), a(v("p"), "Programmers")),
+							[]lang.Stmt{lang.Let("emps", lang.Union(v("emps"), v("e")))})),
+					lang.When(lang.Gt(lang.Count(v("emps")), lang.I(0)),
+						[]lang.Stmt{lang.Let("lines", lang.Union(v("lines"),
+							lang.Tup("MatrixLine", v("d"), v("p"), v("emps"))))}))),
+			lang.Ret(v("lines")),
+		},
+	}
+	if err := db.DefineOp("Company", "matrix", matrix); err != nil {
+		return err
+	}
+
+	// add_project: the public updating operation through which projects
+	// enter the company (strict encapsulation means Projs is not reachable
+	// from outside).
+	addProject := &lang.Function{
+		Params: []lang.Param{lang.Prm("self", "Company"), lang.Prm("p", "Project")},
+		Body: []lang.Stmt{
+			lang.InsertInto(a(self, "Projs"), v("p")),
+		},
+	}
+	if err := db.DefineOp("Company", "add_project", addProject); err != nil {
+		return err
+	}
+	addDepartment := &lang.Function{
+		Params: []lang.Param{lang.Prm("self", "Company"), lang.Prm("d", "Department")},
+		Body: []lang.Stmt{
+			lang.InsertInto(a(self, "Deps"), v("d")),
+		},
+	}
+	if err := db.DefineOp("Company", "add_department", addDepartment); err != nil {
+		return err
+	}
+	// staff_project / unstaff_project: strict encapsulation means project
+	// staffing, which the matrix depends on, is changed through the
+	// company's interface, never by direct updates to a Programmers set.
+	staff := &lang.Function{
+		Params: []lang.Param{lang.Prm("self", "Company"), lang.Prm("p", "Project"), lang.Prm("e", "Employee")},
+		Body: []lang.Stmt{
+			lang.InsertInto(a(v("p"), "Programmers"), v("e")),
+		},
+	}
+	if err := db.DefineOp("Company", "staff_project", staff); err != nil {
+		return err
+	}
+	unstaff := &lang.Function{
+		Params: []lang.Param{lang.Prm("self", "Company"), lang.Prm("p", "Project"), lang.Prm("e", "Employee")},
+		Body: []lang.Stmt{
+			lang.RemoveFrom(a(v("p"), "Programmers"), v("e")),
+		},
+	}
+	if err := db.DefineOp("Company", "unstaff_project", unstaff); err != nil {
+		return err
+	}
+	// The implementor's analysis: adding a project or department or
+	// changing a project's staffing changes the matrix.
+	db.Schema.DeclareInvalidatedFct("Company", "add_project", "Company.matrix")
+	db.Schema.DeclareInvalidatedFct("Company", "add_department", "Company.matrix")
+	db.Schema.DeclareInvalidatedFct("Company", "staff_project", "Company.matrix")
+	db.Schema.DeclareInvalidatedFct("Company", "unstaff_project", "Company.matrix")
+
+	// comp_add_project: the Figure 15 compensating action. Instead of
+	// recomputing the whole matrix it extends the old result with the lines
+	// of the newly inserted project:
+	//   new := old ∪ { [d, p, emps(d,p)] | d ∈ self.Deps, emps(d,p) != {} }.
+	// Note it runs before the insertion (Section 5.4), so self.Projs does
+	// not yet contain p.
+	compAddProject := &lang.Function{
+		Name:           "Company.comp_add_project",
+		Params:         []lang.Param{lang.Prm("self", "Company"), lang.Prm("p", "Project"), lang.Prm("old", "MatrixSet")},
+		ResultType:     "MatrixSet",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Let("lines", lang.EmptySet()),
+			lang.Each("l", v("old"), lang.Let("lines", lang.Union(v("lines"), v("l")))),
+			lang.Each("d", a(self, "Deps"),
+				lang.Let("emps", lang.EmptySet()),
+				lang.Each("e", a(v("d"), "Emps"),
+					lang.When(lang.In(v("e"), a(v("p"), "Programmers")),
+						[]lang.Stmt{lang.Let("emps", lang.Union(v("emps"), v("e")))})),
+				lang.When(lang.Gt(lang.Count(v("emps")), lang.I(0)),
+					[]lang.Stmt{lang.Let("lines", lang.Union(v("lines"),
+						lang.Tup("MatrixLine", v("d"), v("p"), v("emps"))))})),
+			lang.Ret(v("lines")),
+		},
+	}
+	return db.DefineOp("Company", "comp_add_project", compAddProject)
+}
+
+// Company is a populated company database.
+type Company struct {
+	DB          *gomdb.Database
+	Comp        gomdb.OID
+	Departments []gomdb.OID
+	Employees   []gomdb.OID
+	ByEmpNo     map[int64]gomdb.OID
+	Projects    []gomdb.OID
+	nextEmpNo   int64
+	nextProjNo  int64
+	rng         *rand.Rand
+}
+
+// CompanyConfig sizes the generated database. The paper's Figure 13/14
+// configuration is 20 departments x 100 employees, 1000 projects, 10 jobs
+// per employee; the Figure 15 (matrix) configuration is 5 departments x 10
+// employees, 100 projects, 5 programmers per project.
+type CompanyConfig struct {
+	Departments  int
+	EmpsPerDep   int
+	Projects     int
+	JobsPerEmp   int
+	ProgsPerProj int
+	Seed         int64
+}
+
+// Figure13Config returns the ranking benchmark sizing.
+func Figure13Config() CompanyConfig {
+	return CompanyConfig{Departments: 20, EmpsPerDep: 100, Projects: 1000, JobsPerEmp: 10, ProgsPerProj: 20, Seed: 7}
+}
+
+// Figure15Config returns the matrix benchmark sizing.
+func Figure15Config() CompanyConfig {
+	return CompanyConfig{Departments: 5, EmpsPerDep: 10, Projects: 100, JobsPerEmp: 10, ProgsPerProj: 5, Seed: 7}
+}
+
+// PopulateCompany creates one Company instance per cfg.
+func PopulateCompany(db *gomdb.Database, cfg CompanyConfig) (*Company, error) {
+	c := &Company{
+		DB:      db,
+		ByEmpNo: make(map[int64]gomdb.OID),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	// Projects first (jobs reference them).
+	for i := 0; i < cfg.Projects; i++ {
+		if _, err := c.newProject(nil); err != nil {
+			return nil, err
+		}
+	}
+	// Departments with employees; each employee gets a job history and is
+	// registered as programmer of the referenced projects.
+	var depRefs []gomdb.Value
+	for d := 0; d < cfg.Departments; d++ {
+		var empRefs []gomdb.Value
+		for e := 0; e < cfg.EmpsPerDep; e++ {
+			oid, err := c.newEmployee(cfg.JobsPerEmp)
+			if err != nil {
+				return nil, err
+			}
+			empRefs = append(empRefs, gomdb.Ref(oid))
+		}
+		empsSet, err := db.NewSet("Employees", empRefs...)
+		if err != nil {
+			return nil, err
+		}
+		dep, err := db.New("Department",
+			gomdb.Str(fmt.Sprintf("D%03d", d+1)),
+			gomdb.Int(int64(d+1)),
+			gomdb.Ref(empsSet))
+		if err != nil {
+			return nil, err
+		}
+		c.Departments = append(c.Departments, dep)
+		depRefs = append(depRefs, gomdb.Ref(dep))
+	}
+	depsSet, err := db.NewSet("Departments", depRefs...)
+	if err != nil {
+		return nil, err
+	}
+	projRefs := make([]gomdb.Value, len(c.Projects))
+	for i, p := range c.Projects {
+		projRefs[i] = gomdb.Ref(p)
+	}
+	projsSet, err := db.NewSet("Projects", projRefs...)
+	if err != nil {
+		return nil, err
+	}
+	c.Comp, err = db.New("Company", gomdb.Str("ACME"), gomdb.Ref(depsSet), gomdb.Ref(projsSet))
+	if err != nil {
+		return nil, err
+	}
+	// Assign programmers to projects from the employee population.
+	if len(c.Employees) > 0 {
+		for _, p := range c.Projects {
+			po, err := db.Objects.Get(p)
+			if err != nil {
+				return nil, err
+			}
+			progSet := po.Attrs[db.Objects.AttrIndex("Project", "Programmers")].R
+			n := cfg.ProgsPerProj
+			for k := 0; k < n; k++ {
+				e := c.Employees[c.rng.Intn(len(c.Employees))]
+				if err := db.Insert(progSet, gomdb.Ref(e)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// newProject creates a Project with random status and size; programmers may
+// be supplied or assigned later.
+func (c *Company) newProject(programmers []gomdb.Value) (gomdb.OID, error) {
+	c.nextProjNo++
+	progSet, err := c.DB.NewSet("Employees", programmers...)
+	if err != nil {
+		return 0, err
+	}
+	oid, err := c.DB.New("Project",
+		gomdb.Str(fmt.Sprintf("P%04d", c.nextProjNo)),
+		gomdb.Float(float64(c.rng.Intn(2001)-1000)),
+		gomdb.Int(int64(1000+c.rng.Intn(99000))),
+		gomdb.Ref(progSet))
+	if err != nil {
+		return 0, err
+	}
+	c.Projects = append(c.Projects, oid)
+	return oid, nil
+}
+
+// NewProjectWithProgrammers creates a project staffed with n random existing
+// employees (the Figure 15 N operation creates the project; the harness then
+// calls Company.add_project).
+func (c *Company) NewProjectWithProgrammers(n int) (gomdb.OID, error) {
+	var progs []gomdb.Value
+	for i := 0; i < n && len(c.Employees) > 0; i++ {
+		progs = append(progs, gomdb.Ref(c.Employees[c.rng.Intn(len(c.Employees))]))
+	}
+	return c.newProject(progs)
+}
+
+// newEmployee creates an Employee with a job history of jobs random jobs.
+func (c *Company) newEmployee(jobs int) (gomdb.OID, error) {
+	c.nextEmpNo++
+	var jobRefs []gomdb.Value
+	for j := 0; j < jobs && len(c.Projects) > 0; j++ {
+		proj := c.Projects[c.rng.Intn(len(c.Projects))]
+		job, err := c.DB.New("Job",
+			gomdb.Ref(proj),
+			gomdb.Int(int64(100+c.rng.Intn(9900))),
+			gomdb.Bool(c.rng.Intn(2) == 0),
+			gomdb.Bool(c.rng.Intn(2) == 0))
+		if err != nil {
+			return 0, err
+		}
+		jobRefs = append(jobRefs, gomdb.Ref(job))
+	}
+	hist, err := c.DB.NewSet("Jobs", jobRefs...)
+	if err != nil {
+		return 0, err
+	}
+	oid, err := c.DB.New("Employee",
+		gomdb.Str(fmt.Sprintf("E%05d", c.nextEmpNo)), // inherited Person.Name
+		gomdb.Int(c.nextEmpNo),
+		gomdb.Float(30000+float64(c.rng.Intn(70000))),
+		gomdb.Ref(hist))
+	if err != nil {
+		return 0, err
+	}
+	c.Employees = append(c.Employees, oid)
+	c.ByEmpNo[c.nextEmpNo] = oid
+	return oid, nil
+}
+
+// HireEmployee creates a new employee (the Figure 13/14 N operation).
+func (c *Company) HireEmployee(jobs int) (gomdb.OID, error) {
+	return c.newEmployee(jobs)
+}
+
+// Promote flips the Good flag on one random job of a random employee — the
+// P (promotion/degradation) update of Figures 13/14, affecting the
+// employee's ranking.
+func (c *Company) Promote() error {
+	if len(c.Employees) == 0 {
+		return nil
+	}
+	e := c.Employees[c.rng.Intn(len(c.Employees))]
+	eo, err := c.DB.Objects.Get(e)
+	if err != nil {
+		return err
+	}
+	hist := eo.Attrs[c.DB.Objects.AttrIndex("Employee", "JobHistory")].R
+	ho, err := c.DB.Objects.Get(hist)
+	if err != nil {
+		return err
+	}
+	if len(ho.Elems) == 0 {
+		return nil
+	}
+	job := ho.Elems[c.rng.Intn(len(ho.Elems))].R
+	jo, err := c.DB.Objects.Get(job)
+	if err != nil {
+		return err
+	}
+	good := jo.Attrs[c.DB.Objects.AttrIndex("Job", "Good")]
+	return c.DB.Set(job, "Good", gomdb.Bool(!good.B))
+}
+
+// RandomEmployee returns a uniformly chosen employee OID.
+func (c *Company) RandomEmployee() gomdb.OID {
+	return c.Employees[c.rng.Intn(len(c.Employees))]
+}
+
+// RandomDepNo returns a uniformly chosen department number.
+func (c *Company) RandomDepNo() int64 {
+	return int64(1 + c.rng.Intn(len(c.Departments)))
+}
+
+// Rng exposes the deterministic random stream.
+func (c *Company) Rng() *rand.Rand { return c.rng }

@@ -1,0 +1,448 @@
+// Package fixtures builds the two benchmark schemas of the paper's
+// Section 7 — the computer-geometry Cuboid application and the
+// personnel/project administration Company application — as GOM schemas over
+// the public gomdb API. Tests, benchmarks, and the gomql shell share them.
+package fixtures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gomdb"
+	"gomdb/internal/lang"
+)
+
+// Materials available to the generator; SpecWeight values follow the paper's
+// Figure 2 (iron 7.86, gold 19.0).
+var Materials = []struct {
+	Name       string
+	SpecWeight float64
+}{
+	{"Iron", 7.86},
+	{"Gold", 19.0},
+	{"Copper", 8.96},
+	{"Aluminium", 2.70},
+}
+
+// DefineGeometry installs the Cuboid schema of Figure 1: Vertex, Material,
+// Robot, Cuboid, Workpieces, Valuables with the operations length, width,
+// height, volume, weight, translate, scale, rotate, distance, total_volume,
+// total_weight, total_value.
+//
+// With encapsulated=false every structural detail of Cuboid is public (the
+// paper's "full generality" variant); with encapsulated=true the Cuboid
+// representation is strictly encapsulated and the InvalidatedFct sets of
+// Section 5.3 are declared: scale invalidates volume and weight, translate
+// and rotate invalidate nothing.
+func DefineGeometry(db *gomdb.Database, encapsulated bool) error {
+	vertex := gomdb.NewTupleType("Vertex",
+		gomdb.PubAttr("X", "float"),
+		gomdb.PubAttr("Y", "float"),
+		gomdb.PubAttr("Z", "float"),
+	)
+	if err := db.DefineType(vertex, "translate", "scale", "rotate", "dist"); err != nil {
+		return err
+	}
+	material := gomdb.NewTupleType("Material",
+		gomdb.PubAttr("Name", "string"),
+		gomdb.PubAttr("SpecWeight", "float"),
+	)
+	if err := db.DefineType(material); err != nil {
+		return err
+	}
+	// Robot is "defined elsewhere" in the paper; a position suffices for
+	// the distance function.
+	robot := gomdb.NewTupleType("Robot",
+		gomdb.PubAttr("RName", "string"),
+		gomdb.PubAttr("Pos", "Vertex"),
+	)
+	if err := db.DefineType(robot); err != nil {
+		return err
+	}
+	var cuboidAttrs []gomdb.AttrDef
+	mk := gomdb.Attr
+	if !encapsulated {
+		mk = gomdb.PubAttr
+	}
+	for i := 1; i <= 8; i++ {
+		cuboidAttrs = append(cuboidAttrs, mk(fmt.Sprintf("V%d", i), "Vertex"))
+	}
+	cuboidAttrs = append(cuboidAttrs,
+		mk("Mat", "Material"),
+		mk("Value", "decimal"),
+		gomdb.PubAttr("CuboidID", "int"),
+	)
+	cuboid := gomdb.NewTupleType("Cuboid", cuboidAttrs...)
+	cuboid.StrictEncapsulated = encapsulated
+	if err := db.DefineType(cuboid,
+		"length", "width", "height", "volume", "weight",
+		"rotate", "scale", "translate", "distance"); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewSetType("Workpieces", "Cuboid"),
+		"total_volume", "total_weight", "insert", "remove"); err != nil {
+		return err
+	}
+	if err := db.DefineType(gomdb.NewSetType("Valuables", "Cuboid"),
+		"total_value", "insert", "remove"); err != nil {
+		return err
+	}
+
+	if err := defineVertexOps(db); err != nil {
+		return err
+	}
+	if err := defineCuboidOps(db); err != nil {
+		return err
+	}
+	if err := defineAggregateOps(db); err != nil {
+		return err
+	}
+
+	if encapsulated {
+		// Section 5.3: "the only operation that affects a materialized
+		// volume is the operation scale. All other operations do not
+		// invalidate the precomputed volume."
+		db.Schema.DeclareInvalidatedFct("Cuboid", "scale", "Cuboid.volume", "Cuboid.weight",
+			"Workpieces.total_volume", "Workpieces.total_weight")
+		db.Schema.DeclareInvalidatedFct("Cuboid", "translate")
+		db.Schema.DeclareInvalidatedFct("Cuboid", "rotate")
+		// distance depends on vertex positions, so all three geometric
+		// transformations invalidate it.
+		db.Schema.DeclareInvalidatedFct("Cuboid", "scale", "Cuboid.distance")
+		db.Schema.DeclareInvalidatedFct("Cuboid", "translate", "Cuboid.distance")
+		db.Schema.DeclareInvalidatedFct("Cuboid", "rotate", "Cuboid.distance")
+	}
+	return nil
+}
+
+func defineVertexOps(db *gomdb.Database) error {
+	self := lang.Self()
+	v := lang.V
+	a := lang.A
+	// dist: Vertex -> float (Euclidean distance).
+	dist := &lang.Function{
+		Params:         []lang.Param{lang.Prm("self", "Vertex"), lang.Prm("v", "Vertex")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Let("dx", lang.Sub(a(self, "X"), a(v("v"), "X"))),
+			lang.Let("dy", lang.Sub(a(self, "Y"), a(v("v"), "Y"))),
+			lang.Let("dz", lang.Sub(a(self, "Z"), a(v("v"), "Z"))),
+			lang.Ret(lang.Sqrt(lang.Add(lang.Add(
+				lang.Mul(v("dx"), v("dx")),
+				lang.Mul(v("dy"), v("dy"))),
+				lang.Mul(v("dz"), v("dz"))))),
+		},
+	}
+	if err := db.DefineOp("Vertex", "dist", dist); err != nil {
+		return err
+	}
+	translate := &lang.Function{
+		Params: []lang.Param{lang.Prm("self", "Vertex"), lang.Prm("t", "Vertex")},
+		Body: []lang.Stmt{
+			lang.SetA(self, "X", lang.Add(a(self, "X"), a(v("t"), "X"))),
+			lang.SetA(self, "Y", lang.Add(a(self, "Y"), a(v("t"), "Y"))),
+			lang.SetA(self, "Z", lang.Add(a(self, "Z"), a(v("t"), "Z"))),
+		},
+	}
+	if err := db.DefineOp("Vertex", "translate", translate); err != nil {
+		return err
+	}
+	scale := &lang.Function{
+		Params: []lang.Param{lang.Prm("self", "Vertex"), lang.Prm("s", "Vertex")},
+		Body: []lang.Stmt{
+			lang.SetA(self, "X", lang.Mul(a(self, "X"), a(v("s"), "X"))),
+			lang.SetA(self, "Y", lang.Mul(a(self, "Y"), a(v("s"), "Y"))),
+			lang.SetA(self, "Z", lang.Mul(a(self, "Z"), a(v("s"), "Z"))),
+		},
+	}
+	if err := db.DefineOp("Vertex", "scale", scale); err != nil {
+		return err
+	}
+	// rotate: float, char -> void. Rotation about the named axis; all three
+	// coordinates are rewritten, so one Cuboid rotation performs 24
+	// elementary vertex updates, 12 of which touch the vertices relevant to
+	// a materialized volume — matching the paper's "12 (!) invalidations".
+	rotate := &lang.Function{
+		Params: []lang.Param{lang.Prm("self", "Vertex"), lang.Prm("angle", "float"), lang.Prm("axis", "string")},
+		Body: []lang.Stmt{
+			lang.Let("c", lang.Cos(v("angle"))),
+			lang.Let("s", lang.Sin(v("angle"))),
+			lang.Let("x", a(self, "X")),
+			lang.Let("y", a(self, "Y")),
+			lang.Let("z", a(self, "Z")),
+			lang.When(lang.Eq(v("axis"), lang.S("z")),
+				[]lang.Stmt{
+					lang.SetA(self, "X", lang.Sub(lang.Mul(v("x"), v("c")), lang.Mul(v("y"), v("s")))),
+					lang.SetA(self, "Y", lang.Add(lang.Mul(v("x"), v("s")), lang.Mul(v("y"), v("c")))),
+					lang.SetA(self, "Z", v("z")),
+				},
+				lang.When(lang.Eq(v("axis"), lang.S("y")),
+					[]lang.Stmt{
+						lang.SetA(self, "X", lang.Add(lang.Mul(v("x"), v("c")), lang.Mul(v("z"), v("s")))),
+						lang.SetA(self, "Y", v("y")),
+						lang.SetA(self, "Z", lang.Sub(lang.Mul(v("z"), v("c")), lang.Mul(v("x"), v("s")))),
+					},
+					lang.SetA(self, "X", v("x")),
+					lang.SetA(self, "Y", lang.Sub(lang.Mul(v("y"), v("c")), lang.Mul(v("z"), v("s")))),
+					lang.SetA(self, "Z", lang.Add(lang.Mul(v("y"), v("s")), lang.Mul(v("z"), v("c")))),
+				),
+			),
+		},
+	}
+	return db.DefineOp("Vertex", "rotate", rotate)
+}
+
+func defineCuboidOps(db *gomdb.Database) error {
+	self := lang.Self()
+	a := lang.A
+	v := lang.V
+	edge := func(to string) *lang.Function {
+		return &lang.Function{
+			Params:         []lang.Param{lang.Prm("self", "Cuboid")},
+			ResultType:     "float",
+			SideEffectFree: true,
+			Body: []lang.Stmt{
+				// delegate the computation to Vertex V1 (Figure 1).
+				lang.Ret(lang.CallFn("Vertex.dist", a(self, "V1"), a(self, to))),
+			},
+		}
+	}
+	if err := db.DefineOp("Cuboid", "length", edge("V2")); err != nil {
+		return err
+	}
+	if err := db.DefineOp("Cuboid", "width", edge("V4")); err != nil {
+		return err
+	}
+	if err := db.DefineOp("Cuboid", "height", edge("V5")); err != nil {
+		return err
+	}
+	volume := &lang.Function{
+		Params:         []lang.Param{lang.Prm("self", "Cuboid")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Ret(lang.Mul(lang.Mul(
+				lang.CallFn("Cuboid.length", self),
+				lang.CallFn("Cuboid.width", self)),
+				lang.CallFn("Cuboid.height", self))),
+		},
+	}
+	if err := db.DefineOp("Cuboid", "volume", volume); err != nil {
+		return err
+	}
+	weight := &lang.Function{
+		Params:         []lang.Param{lang.Prm("self", "Cuboid")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Ret(lang.Mul(lang.CallFn("Cuboid.volume", self), a(self, "Mat", "SpecWeight"))),
+		},
+	}
+	if err := db.DefineOp("Cuboid", "weight", weight); err != nil {
+		return err
+	}
+	// The geometric transformations delegate to the eight boundary vertices.
+	delegate := func(op string, extra ...lang.Param) *lang.Function {
+		params := append([]lang.Param{lang.Prm("self", "Cuboid")}, extra...)
+		var body []lang.Stmt
+		for i := 1; i <= 8; i++ {
+			args := []lang.Expr{a(self, fmt.Sprintf("V%d", i))}
+			for _, p := range extra {
+				args = append(args, v(p.Name))
+			}
+			body = append(body, lang.Do(lang.CallFn("Vertex."+op, args...)))
+		}
+		return &lang.Function{Params: params, Body: body}
+	}
+	if err := db.DefineOp("Cuboid", "translate", delegate("translate", lang.Prm("t", "Vertex"))); err != nil {
+		return err
+	}
+	if err := db.DefineOp("Cuboid", "scale", delegate("scale", lang.Prm("s", "Vertex"))); err != nil {
+		return err
+	}
+	if err := db.DefineOp("Cuboid", "rotate", delegate("rotate", lang.Prm("angle", "float"), lang.Prm("axis", "string"))); err != nil {
+		return err
+	}
+	distance := &lang.Function{
+		Params:         []lang.Param{lang.Prm("self", "Cuboid"), lang.Prm("r", "Robot")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body: []lang.Stmt{
+			lang.Ret(lang.CallFn("Vertex.dist", a(self, "V1"), a(v("r"), "Pos"))),
+		},
+	}
+	return db.DefineOp("Cuboid", "distance", distance)
+}
+
+func defineAggregateOps(db *gomdb.Database) error {
+	self := lang.Self()
+	sumOf := func(recvType string, elemExpr func(lang.Expr) lang.Expr) *lang.Function {
+		return &lang.Function{
+			Params:         []lang.Param{lang.Prm("self", recvType)},
+			ResultType:     "float",
+			SideEffectFree: true,
+			Body: []lang.Stmt{
+				lang.Let("s", lang.F(0)),
+				lang.Each("c", self,
+					lang.Let("s", lang.Add(lang.V("s"), elemExpr(lang.V("c"))))),
+				lang.Ret(lang.V("s")),
+			},
+		}
+	}
+	if err := db.DefineOp("Workpieces", "total_volume",
+		sumOf("Workpieces", func(c lang.Expr) lang.Expr { return lang.CallFn("Cuboid.volume", c) })); err != nil {
+		return err
+	}
+	if err := db.DefineOp("Workpieces", "total_weight",
+		sumOf("Workpieces", func(c lang.Expr) lang.Expr { return lang.CallFn("Cuboid.weight", c) })); err != nil {
+		return err
+	}
+	return db.DefineOp("Valuables", "total_value",
+		sumOf("Valuables", func(c lang.Expr) lang.Expr { return lang.A(c, "Value") }))
+}
+
+// NewVertex creates a Vertex instance.
+func NewVertex(db *gomdb.Database, x, y, z float64) gomdb.OID {
+	return db.MustNew("Vertex", gomdb.Float(x), gomdb.Float(y), gomdb.Float(z))
+}
+
+// NewCuboid creates a Cuboid at origin (ox, oy, oz) with extents (l, w, h),
+// its eight boundary vertices, the given material and value, and a
+// user-supplied CuboidID. Vertex layout follows the standard corner order:
+// V2 = V1 + length·x̂, V4 = V1 + width·ŷ, V5 = V1 + height·ẑ.
+func NewCuboid(db *gomdb.Database, id int64, ox, oy, oz, l, w, h float64, mat gomdb.OID, value float64) gomdb.OID {
+	v := func(x, y, z float64) gomdb.Value {
+		return gomdb.Ref(NewVertex(db, x, y, z))
+	}
+	attrs := []gomdb.Value{
+		v(ox, oy, oz),       // V1
+		v(ox+l, oy, oz),     // V2
+		v(ox+l, oy+w, oz),   // V3
+		v(ox, oy+w, oz),     // V4
+		v(ox, oy, oz+h),     // V5
+		v(ox+l, oy, oz+h),   // V6
+		v(ox+l, oy+w, oz+h), // V7
+		v(ox, oy+w, oz+h),   // V8
+		gomdb.Ref(mat),      // Mat
+		gomdb.Float(value),  // Value
+		gomdb.Int(id),       // CuboidID
+	}
+	return db.MustNew("Cuboid", attrs...)
+}
+
+// Geometry is a populated Cuboid database.
+type Geometry struct {
+	DB        *gomdb.Database
+	Cuboids   []gomdb.OID
+	ByID      map[int64]gomdb.OID // the CuboidID index of the paper's footnote 8
+	MaterialO []gomdb.OID
+	Robots    []gomdb.OID
+	NextID    int64
+	rng       *rand.Rand
+}
+
+// PopulateGeometry creates n Cuboid instances (each with 8 vertices and a
+// material reference, as in the paper's 8000-cuboid database), two robots,
+// and the material catalogue.
+func PopulateGeometry(db *gomdb.Database, n int, seed int64) (*Geometry, error) {
+	g := &Geometry{
+		DB:   db,
+		ByID: make(map[int64]gomdb.OID, n),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	for _, m := range Materials {
+		oid, err := db.New("Material", gomdb.Str(m.Name), gomdb.Float(m.SpecWeight))
+		if err != nil {
+			return nil, err
+		}
+		g.MaterialO = append(g.MaterialO, oid)
+	}
+	for i := 0; i < 2; i++ {
+		pos := NewVertex(db, float64(100+i*50), 0, 0)
+		oid, err := db.New("Robot", gomdb.Str(fmt.Sprintf("R%d", i+1)), gomdb.Ref(pos))
+		if err != nil {
+			return nil, err
+		}
+		g.Robots = append(g.Robots, oid)
+	}
+	for i := 0; i < n; i++ {
+		g.CreateRandomCuboid()
+	}
+	return g, nil
+}
+
+// CreateRandomCuboid creates one Cuboid of randomly chosen dimensions (the
+// benchmark's I operation) and registers it in the CuboidID index.
+func (g *Geometry) CreateRandomCuboid() gomdb.OID {
+	g.NextID++
+	id := g.NextID
+	l := 1 + g.rng.Float64()*9
+	w := 1 + g.rng.Float64()*9
+	h := 1 + g.rng.Float64()*9
+	mat := g.MaterialO[g.rng.Intn(len(g.MaterialO))]
+	val := 10 + g.rng.Float64()*90
+	oid := NewCuboid(g.DB, id, g.rng.Float64()*100, g.rng.Float64()*100, g.rng.Float64()*100, l, w, h, mat, val)
+	g.Cuboids = append(g.Cuboids, oid)
+	g.ByID[id] = oid
+	return oid
+}
+
+// RandomCuboid returns a uniformly chosen live cuboid.
+func (g *Geometry) RandomCuboid() gomdb.OID {
+	return g.Cuboids[g.rng.Intn(len(g.Cuboids))]
+}
+
+// DeleteRandomCuboid removes a random cuboid (the D operation).
+func (g *Geometry) DeleteRandomCuboid() error {
+	if len(g.Cuboids) == 0 {
+		return nil
+	}
+	i := g.rng.Intn(len(g.Cuboids))
+	oid := g.Cuboids[i]
+	g.Cuboids[i] = g.Cuboids[len(g.Cuboids)-1]
+	g.Cuboids = g.Cuboids[:len(g.Cuboids)-1]
+	o, err := g.DB.Objects.Get(oid)
+	if err != nil {
+		return err
+	}
+	idIdx := g.DB.Objects.AttrIndex("Cuboid", "CuboidID")
+	delete(g.ByID, o.Attrs[idIdx].I)
+	return g.DB.Delete(oid)
+}
+
+// Rng exposes the generator's random stream so operation mixes draw from the
+// same deterministic sequence.
+func (g *Geometry) Rng() *rand.Rand { return g.rng }
+
+// ExampleGeometry builds the exact three-cuboid database of the paper's
+// Figure 2 / Section 3.1 example: two iron cuboids with volumes 300 and 200
+// (weights 2358 and 1572) and one gold cuboid with volume 100 (weight 1900).
+func ExampleGeometry(db *gomdb.Database) (*Geometry, error) {
+	g := &Geometry{DB: db, ByID: make(map[int64]gomdb.OID), rng: rand.New(rand.NewSource(1))}
+	iron, err := db.New("Material", gomdb.Str("Iron"), gomdb.Float(7.86))
+	if err != nil {
+		return nil, err
+	}
+	gold, err := db.New("Material", gomdb.Str("Gold"), gomdb.Float(19.0))
+	if err != nil {
+		return nil, err
+	}
+	g.MaterialO = []gomdb.OID{iron, gold}
+	dims := []struct {
+		l, w, h float64
+		mat     gomdb.OID
+		value   float64
+	}{
+		{10, 6, 5, iron, 39.99}, // volume 300, weight 2358
+		{10, 5, 4, iron, 19.95}, // volume 200, weight 1572
+		{5, 5, 4, gold, 89.90},  // volume 100, weight 1900
+	}
+	for i, d := range dims {
+		g.NextID = int64(i + 1)
+		oid := NewCuboid(db, g.NextID, 0, 0, 0, d.l, d.w, d.h, d.mat, d.value)
+		g.Cuboids = append(g.Cuboids, oid)
+		g.ByID[g.NextID] = oid
+	}
+	return g, nil
+}

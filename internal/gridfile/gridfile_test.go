@@ -1,0 +1,238 @@
+package gridfile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gomdb/internal/storage"
+)
+
+func newGrid(t *testing.T, k int) *GridFile {
+	t.Helper()
+	clock := storage.NewClock()
+	disk := storage.NewDisk(clock)
+	pool := storage.NewPool(disk, 64)
+	g, err := New(pool, "t", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDimensionLimits(t *testing.T) {
+	clock := storage.NewClock()
+	pool := storage.NewPool(storage.NewDisk(clock), 8)
+	if _, err := New(pool, "t", 0); err == nil {
+		t.Fatal("0 dims accepted")
+	}
+	if _, err := New(pool, "t", MaxDims+1); err == nil {
+		t.Fatal("too many dims accepted (the paper's 3-4 dimension limit)")
+	}
+	if _, err := New(pool, "t", MaxDims); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSearchExact(t *testing.T) {
+	g := newGrid(t, 2)
+	for i := 0; i < 500; i++ {
+		if err := g.Insert([]float64{float64(i % 25), float64(i / 25)}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Len() != 500 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	// Exact-match query.
+	found := 0
+	err := g.Search([]Range{Exact(7), Exact(3)}, func(e Entry) bool {
+		found++
+		if e.Val.(int) != 7+3*25 {
+			t.Fatalf("wrong payload %v", e.Val)
+		}
+		return true
+	})
+	if err != nil || found != 1 {
+		t.Fatalf("exact search found %d, err %v", found, err)
+	}
+	// Partially specified query (the paper's QBE '?' / '-' columns).
+	found = 0
+	if err := g.Search([]Range{Exact(7), Any()}, func(Entry) bool { found++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if found != 20 {
+		t.Fatalf("column query found %d, want 20", found)
+	}
+	// Box query.
+	found = 0
+	if err := g.Search([]Range{Between(5, 9), Between(0, 1)}, func(Entry) bool { found++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if found != 10 {
+		t.Fatalf("box query found %d, want 10", found)
+	}
+	// Early stop.
+	found = 0
+	if err := g.Search([]Range{Any(), Any()}, func(Entry) bool { found++; return found < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if found != 5 {
+		t.Fatalf("early stop at %d", found)
+	}
+	// Structure actually split.
+	st := g.Describe()
+	if st.Buckets < 2 || st.DirCells < 2 {
+		t.Fatalf("no splits happened: %+v", st)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	g := newGrid(t, 2)
+	for i := 0; i < 100; i++ {
+		if err := g.Insert([]float64{float64(i), 0}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := g.Delete([]float64{42, 0}, nil)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	ok, _ = g.Delete([]float64{42, 0}, nil)
+	if ok {
+		t.Fatal("double delete succeeded")
+	}
+	// Payload-filtered delete among duplicates.
+	_ = g.Insert([]float64{1, 0}, "a")
+	_ = g.Insert([]float64{1, 0}, "b")
+	ok, _ = g.Delete([]float64{1, 0}, func(v any) bool { s, is := v.(string); return is && s == "b" })
+	if !ok {
+		t.Fatal("filtered delete failed")
+	}
+	n := 0
+	_ = g.Search([]Range{Exact(1), Exact(0)}, func(e Entry) bool {
+		if s, is := e.Val.(string); is && s == "b" {
+			t.Fatal("wrong duplicate deleted")
+		}
+		n++
+		return true
+	})
+	if n != 2 { // the int payload 1 and "a"
+		t.Fatalf("found %d entries at (1,0)", n)
+	}
+}
+
+func TestDuplicateKeysOverflowError(t *testing.T) {
+	g := newGrid(t, 2)
+	var err error
+	for i := 0; i < bucketCapacity+1; i++ {
+		err = g.Insert([]float64{5, 5}, i)
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("unbounded duplicate key insertion accepted")
+	}
+}
+
+// TestQuickAgainstReference compares the grid file against a brute-force
+// reference under random insert/delete/search workloads in 2 and 3 dims.
+func TestQuickAgainstReference(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		k := k
+		check := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			g := newGrid(t, k)
+			type refEntry struct {
+				key []float64
+				val int
+			}
+			var ref []refEntry
+			randKey := func() []float64 {
+				key := make([]float64, k)
+				for d := range key {
+					key[d] = float64(rng.Intn(40))
+				}
+				return key
+			}
+			for i := 0; i < 400; i++ {
+				switch rng.Intn(5) {
+				case 0, 1, 2: // insert
+					key := randKey()
+					if err := g.Insert(key, i); err != nil {
+						return false
+					}
+					ref = append(ref, refEntry{key, i})
+				case 3: // delete
+					if len(ref) == 0 {
+						continue
+					}
+					j := rng.Intn(len(ref))
+					want := ref[j].val
+					ok, err := g.Delete(ref[j].key, func(v any) bool { return v.(int) == want })
+					if err != nil || !ok {
+						return false
+					}
+					ref = append(ref[:j], ref[j+1:]...)
+				case 4: // box search
+					q := make([]Range, k)
+					for d := range q {
+						switch rng.Intn(3) {
+						case 0:
+							q[d] = Any()
+						case 1:
+							q[d] = Exact(float64(rng.Intn(40)))
+						default:
+							lo := float64(rng.Intn(40))
+							q[d] = Between(lo, lo+float64(rng.Intn(10)))
+						}
+					}
+					got := map[int]bool{}
+					if err := g.Search(q, func(e Entry) bool { got[e.Val.(int)] = true; return true }); err != nil {
+						return false
+					}
+					want := 0
+					for _, re := range ref {
+						match := true
+						for d := range q {
+							if q[d].Any {
+								continue
+							}
+							if re.key[d] < q[d].Lo || re.key[d] > q[d].Hi {
+								match = false
+								break
+							}
+						}
+						if match {
+							want++
+							if !got[re.val] {
+								return false
+							}
+						}
+					}
+					if len(got) != want {
+						return false
+					}
+				}
+			}
+			return g.Len() == len(ref)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestSearchArityMismatch(t *testing.T) {
+	g := newGrid(t, 2)
+	if err := g.Insert([]float64{1}, nil); err == nil {
+		t.Fatal("wrong insert arity accepted")
+	}
+	if err := g.Search([]Range{Any()}, func(Entry) bool { return true }); err == nil {
+		t.Fatal("wrong search arity accepted")
+	}
+	if _, err := g.Delete([]float64{1, 2, 3}, nil); err == nil {
+		t.Fatal("wrong delete arity accepted")
+	}
+}

@@ -1,0 +1,429 @@
+package lang
+
+// The binder turns a parsed GOMpl function into an executable, analyzable
+// one: it type-checks the body against the schema, qualifies method calls
+// with the receiver's static type (so the extractor can resolve them), and
+// rewrites the elementary-update call syntax (recv.set_A(e), recv.insert(e),
+// recv.remove(e)) into the corresponding update statements. This is the
+// static knowledge GOM's schema compiler applied when a type was compiled.
+
+import (
+	"fmt"
+	"strings"
+
+	"gomdb/internal/object"
+)
+
+// Binder resolves parsed functions against a schema.
+type Binder struct {
+	Types TypeInfo
+	Funcs FuncResolver
+	// Kinds reports the structural kind of a named type; the schema
+	// implements it via its registry.
+	Kinds TypeKinder
+}
+
+// TypeKinder answers structural questions about named types.
+type TypeKinder interface {
+	// IsCollection reports whether the named type is set- or
+	// list-structured.
+	IsCollection(typeName string) bool
+	// IsKnownType reports whether the name denotes a registered type or a
+	// built-in atomic type.
+	IsKnownType(typeName string) bool
+}
+
+// builtinResult gives the result type of each pure builtin ("" = depends on
+// arguments or unknown).
+var builtinResult = map[string]string{
+	"sqrt": "float", "abs": "", "min": "", "max": "",
+	"sin": "float", "cos": "float",
+	"count": "int", "len": "int",
+	"union": "",
+}
+
+// Bind type-checks and resolves pf. If recvType is non-empty the function
+// becomes a type-associated operation with the implicit receiver parameter
+// self: recvType prepended (unless a self parameter was declared
+// explicitly).
+func (b *Binder) Bind(pf *ParsedFunction, recvType string, sideEffectFree bool) (*Function, error) {
+	fn := &Function{
+		Name:           pf.Name,
+		ResultType:     pf.ResultType,
+		SideEffectFree: sideEffectFree,
+	}
+	if recvType != "" {
+		fn.Name = recvType + "." + pf.Name
+		if len(pf.Params) == 0 || pf.Params[0].Name != "self" {
+			fn.Params = append(fn.Params, Param{Name: "self", Type: recvType})
+		}
+	}
+	fn.Params = append(fn.Params, pf.Params...)
+	env := map[string]string{}
+	for _, p := range fn.Params {
+		if !b.Kinds.IsKnownType(p.Type) {
+			return nil, fmt.Errorf("gompl: %s: unknown parameter type %q", fn.Name, p.Type)
+		}
+		env[p.Name] = p.Type
+	}
+	body, err := b.bindStmts(fn, pf.Body, env)
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (b *Binder) bindStmts(fn *Function, stmts []Stmt, env map[string]string) ([]Stmt, error) {
+	out := make([]Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		bs, err := b.bindStmt(fn, s, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bs)
+	}
+	return out, nil
+}
+
+func (b *Binder) bindStmt(fn *Function, s Stmt, env map[string]string) (Stmt, error) {
+	switch st := s.(type) {
+	case Assign:
+		e, t, err := b.bindExpr(fn, st.E, env)
+		if err != nil {
+			return nil, err
+		}
+		env[st.Var] = t
+		return Assign{Var: st.Var, E: e}, nil
+	case Return:
+		if st.E == nil {
+			return st, nil
+		}
+		e, t, err := b.bindExpr(fn, st.E, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.checkAssignable(fn.ResultType, t); err != nil {
+			return nil, fmt.Errorf("gompl: %s: return %w", fn.Name, err)
+		}
+		return Return{E: e}, nil
+	case If:
+		cond, _, err := b.bindExpr(fn, st.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		thenEnv := copyEnv(env)
+		thenB, err := b.bindStmts(fn, st.Then, thenEnv)
+		if err != nil {
+			return nil, err
+		}
+		elseEnv := copyEnv(env)
+		elseB, err := b.bindStmts(fn, st.Else, elseEnv)
+		if err != nil {
+			return nil, err
+		}
+		mergeTypeEnv(env, thenEnv)
+		mergeTypeEnv(env, elseEnv)
+		return If{Cond: cond, Then: thenB, Else: elseB}, nil
+	case ForEach:
+		coll, ct, err := b.bindExpr(fn, st.Coll, env)
+		if err != nil {
+			return nil, err
+		}
+		elemType := ""
+		if ct != "" {
+			et, ok := b.Types.ElemType(ct)
+			if !ok {
+				return nil, fmt.Errorf("gompl: %s: foreach over non-collection type %q", fn.Name, ct)
+			}
+			elemType = et
+		}
+		saved, had := env[st.Var]
+		env[st.Var] = elemType
+		body, err := b.bindStmts(fn, st.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		if had {
+			env[st.Var] = saved
+		} else {
+			delete(env, st.Var)
+		}
+		return ForEach{Var: st.Var, Coll: coll, Body: body}, nil
+	case ExprStmt:
+		// Elementary updates appear as call syntax at statement level.
+		if rc, ok := st.E.(rawCall); ok {
+			if upd, handled, err := b.bindUpdate(fn, rc, env); handled || err != nil {
+				return upd, err
+			}
+		}
+		e, _, err := b.bindExpr(fn, st.E, env)
+		if err != nil {
+			return nil, err
+		}
+		return ExprStmt{E: e}, nil
+	default:
+		return nil, fmt.Errorf("gompl: %s: unexpected statement %T from parser", fn.Name, s)
+	}
+}
+
+// bindUpdate recognizes recv.set_A(e), recv.insert(e), recv.remove(e).
+func (b *Binder) bindUpdate(fn *Function, rc rawCall, env map[string]string) (Stmt, bool, error) {
+	recv, rt, err := b.bindExpr(fn, rc.Recv, env)
+	if err != nil {
+		return nil, true, err
+	}
+	switch {
+	case strings.HasPrefix(rc.Name, "set_"):
+		attr := strings.TrimPrefix(rc.Name, "set_")
+		if rt != "" {
+			if _, ok := b.Types.AttrType(rt, attr); !ok {
+				return nil, true, fmt.Errorf("gompl: %s: type %q has no attribute %q", fn.Name, rt, attr)
+			}
+		}
+		if len(rc.Args) != 1 {
+			return nil, true, fmt.Errorf("gompl: %s: set_%s takes one argument", fn.Name, attr)
+		}
+		v, vt, err := b.bindExpr(fn, rc.Args[0], env)
+		if err != nil {
+			return nil, true, err
+		}
+		if rt != "" {
+			if at, _ := b.Types.AttrType(rt, attr); at != "" {
+				if err := b.checkAssignable(at, vt); err != nil {
+					return nil, true, fmt.Errorf("gompl: %s: set_%s %w", fn.Name, attr, err)
+				}
+			}
+		}
+		return SetAttr{Recv: recv, Name: attr, E: v}, true, nil
+	case rc.Name == "insert" || rc.Name == "remove":
+		if rt != "" && !b.Kinds.IsCollection(rt) {
+			// A user-defined insert/remove operation may exist; fall back
+			// to a method call.
+			if _, ok := b.Funcs.ResolveStatic(rt + "." + rc.Name); ok {
+				return nil, false, nil
+			}
+			return nil, true, fmt.Errorf("gompl: %s: %s on non-collection type %q", fn.Name, rc.Name, rt)
+		}
+		if len(rc.Args) != 1 {
+			return nil, true, fmt.Errorf("gompl: %s: %s takes one argument", fn.Name, rc.Name)
+		}
+		v, _, err := b.bindExpr(fn, rc.Args[0], env)
+		if err != nil {
+			return nil, true, err
+		}
+		if rc.Name == "insert" {
+			return Insert{Recv: recv, E: v}, true, nil
+		}
+		return Remove{Recv: recv, E: v}, true, nil
+	}
+	return nil, false, nil
+}
+
+// bindExpr resolves an expression and returns its static type ("" when
+// unknown).
+func (b *Binder) bindExpr(fn *Function, e Expr, env map[string]string) (Expr, string, error) {
+	switch ex := e.(type) {
+	case Lit:
+		switch ex.Val.Kind {
+		case object.KFloat:
+			return ex, "float", nil
+		case object.KInt:
+			return ex, "int", nil
+		case object.KString:
+			return ex, "string", nil
+		case object.KBool:
+			return ex, "bool", nil
+		}
+		return ex, "", nil
+	case Var:
+		t, ok := env[ex.Name]
+		if !ok {
+			return nil, "", fmt.Errorf("gompl: %s: unbound variable %q", fn.Name, ex.Name)
+		}
+		return ex, t, nil
+	case Attr:
+		recv, rt, err := b.bindExpr(fn, ex.Recv, env)
+		if err != nil {
+			return nil, "", err
+		}
+		at := ""
+		if rt != "" {
+			var ok bool
+			at, ok = b.Types.AttrType(rt, ex.Name)
+			if !ok {
+				// A nullary operation used in path notation: self.length.
+				if opFn, okOp := b.Funcs.ResolveStatic(rt + "." + ex.Name); okOp && len(opFn.Params) == 1 {
+					return Call{Fn: rt + "." + ex.Name, Args: []Expr{recv}}, opFn.ResultType, nil
+				}
+				return nil, "", fmt.Errorf("gompl: %s: type %q has no attribute or nullary operation %q", fn.Name, rt, ex.Name)
+			}
+		}
+		return Attr{Recv: recv, Name: ex.Name}, at, nil
+	case rawCall:
+		recv, rt, err := b.bindExpr(fn, ex.Recv, env)
+		if err != nil {
+			return nil, "", err
+		}
+		if rt == "" {
+			return nil, "", fmt.Errorf("gompl: %s: cannot resolve method %q on value of unknown type", fn.Name, ex.Name)
+		}
+		callee, ok := b.Funcs.ResolveStatic(rt + "." + ex.Name)
+		if !ok {
+			return nil, "", fmt.Errorf("gompl: %s: type %q has no operation %q", fn.Name, rt, ex.Name)
+		}
+		args := []Expr{recv}
+		for _, a := range ex.Args {
+			ba, _, err := b.bindExpr(fn, a, env)
+			if err != nil {
+				return nil, "", err
+			}
+			args = append(args, ba)
+		}
+		if len(args) != len(callee.Params) {
+			return nil, "", fmt.Errorf("gompl: %s: %s.%s expects %d arguments, got %d",
+				fn.Name, rt, ex.Name, len(callee.Params)-1, len(args)-1)
+		}
+		return Call{Fn: rt + "." + ex.Name, Args: args}, callee.ResultType, nil
+	case Call: // free function or builtin, from primary parsing
+		if res, isBuiltin := builtinResult[ex.Fn]; isBuiltin {
+			args := make([]Expr, len(ex.Args))
+			var argTypes []string
+			for i, a := range ex.Args {
+				ba, t, err := b.bindExpr(fn, a, env)
+				if err != nil {
+					return nil, "", err
+				}
+				args[i] = ba
+				argTypes = append(argTypes, t)
+			}
+			if res == "" && len(argTypes) > 0 {
+				res = argTypes[0]
+			}
+			return Builtin{Name: ex.Fn, Args: args}, res, nil
+		}
+		callee, ok := b.Funcs.ResolveStatic(ex.Fn)
+		if !ok {
+			return nil, "", fmt.Errorf("gompl: %s: unknown function %q", fn.Name, ex.Fn)
+		}
+		args := make([]Expr, len(ex.Args))
+		for i, a := range ex.Args {
+			ba, _, err := b.bindExpr(fn, a, env)
+			if err != nil {
+				return nil, "", err
+			}
+			args[i] = ba
+		}
+		if len(args) != len(callee.Params) {
+			return nil, "", fmt.Errorf("gompl: %s: %s expects %d arguments, got %d",
+				fn.Name, ex.Fn, len(callee.Params), len(args))
+		}
+		return Call{Fn: ex.Fn, Args: args}, callee.ResultType, nil
+	case Bin:
+		l, lt, err := b.bindExpr(fn, ex.L, env)
+		if err != nil {
+			return nil, "", err
+		}
+		r, rt, err := b.bindExpr(fn, ex.R, env)
+		if err != nil {
+			return nil, "", err
+		}
+		out := Bin{Op: ex.Op, L: l, R: r}
+		switch ex.Op {
+		case OpAdd, OpSub, OpMul, OpDiv:
+			if !isNumericOrUnknown(lt) || !isNumericOrUnknown(rt) {
+				return nil, "", fmt.Errorf("gompl: %s: arithmetic on %q and %q", fn.Name, lt, rt)
+			}
+			if lt == "float" || rt == "float" || lt == "decimal" || rt == "decimal" {
+				return out, "float", nil
+			}
+			if lt == "int" && rt == "int" {
+				return out, "int", nil
+			}
+			return out, "", nil
+		default:
+			return out, "bool", nil
+		}
+	case Un:
+		inner, t, err := b.bindExpr(fn, ex.E, env)
+		if err != nil {
+			return nil, "", err
+		}
+		if ex.Op == "not" {
+			t = "bool"
+		}
+		return Un{Op: ex.Op, E: inner}, t, nil
+	case MkSet:
+		elems := make([]Expr, len(ex.Elems))
+		for i, el := range ex.Elems {
+			be, _, err := b.bindExpr(fn, el, env)
+			if err != nil {
+				return nil, "", err
+			}
+			elems[i] = be
+		}
+		return MkSet{Elems: elems}, "", nil
+	case MkTuple:
+		fields := make([]Expr, len(ex.Fields))
+		for i, f := range ex.Fields {
+			bf, _, err := b.bindExpr(fn, f, env)
+			if err != nil {
+				return nil, "", err
+			}
+			fields[i] = bf
+		}
+		return MkTuple{TypeName: ex.TypeName, Fields: fields}, ex.TypeName, nil
+	case Elems:
+		coll, ct, err := b.bindExpr(fn, ex.Coll, env)
+		if err != nil {
+			return nil, "", err
+		}
+		_ = ct
+		return Elems{Coll: coll}, "", nil
+	}
+	return nil, "", fmt.Errorf("gompl: %s: unexpected expression %T", fn.Name, e)
+}
+
+func isNumericOrUnknown(t string) bool {
+	return t == "" || t == "int" || t == "float" || t == "decimal"
+}
+
+// checkAssignable verifies t is usable where want is declared; unknown
+// types on either side pass (dynamic checking applies at evaluation).
+func (b *Binder) checkAssignable(want, t string) error {
+	if want == "" || t == "" || want == t {
+		return nil
+	}
+	if isNumericOrUnknown(want) && isNumericOrUnknown(t) {
+		return nil
+	}
+	if object.IsAtomicName(want) != object.IsAtomicName(t) {
+		return fmt.Errorf("type %q is not assignable to %q", t, want)
+	}
+	if object.IsAtomicName(want) {
+		return fmt.Errorf("type %q is not assignable to %q", t, want)
+	}
+	// Complex types: subtype substitutability is checked dynamically (the
+	// binder has no registry view of the supertype chain).
+	return nil
+}
+
+func copyEnv(env map[string]string) map[string]string {
+	out := make(map[string]string, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeTypeEnv merges variable types from a branch env: conflicting types
+// degrade to unknown.
+func mergeTypeEnv(dst, src map[string]string) {
+	for k, v := range src {
+		if cur, ok := dst[k]; ok && cur != v {
+			dst[k] = ""
+			continue
+		}
+		dst[k] = v
+	}
+}

@@ -1,0 +1,226 @@
+package lang_test
+
+// Evaluator tests run GOMpl bodies through a real schema engine over an
+// in-memory object base.
+
+import (
+	"strings"
+	"testing"
+
+	"gomdb/internal/lang"
+	"gomdb/internal/object"
+	"gomdb/internal/schema"
+	"gomdb/internal/storage"
+)
+
+func newEngine(t *testing.T) *schema.Engine {
+	t.Helper()
+	clock := storage.NewClock()
+	disk := storage.NewDisk(clock)
+	pool := storage.NewPool(disk, 50)
+	sch := schema.New()
+	objs := object.NewManager(sch.Reg, pool, clock)
+	return schema.NewEngine(sch, objs, clock)
+}
+
+// evalExpr evaluates a single expression as the body of a parameterless
+// function.
+func evalExpr(t *testing.T, en *schema.Engine, e lang.Expr) (object.Value, error) {
+	t.Helper()
+	fn := &lang.Function{Name: "test", Body: []lang.Stmt{lang.Ret(e)}}
+	return lang.Eval(en, fn, nil)
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	en := newEngine(t)
+	cases := []struct {
+		e    lang.Expr
+		want object.Value
+	}{
+		{lang.Add(lang.I(2), lang.I(3)), object.Int(5)},
+		{lang.Sub(lang.I(2), lang.I(3)), object.Int(-1)},
+		{lang.Mul(lang.I(4), lang.I(3)), object.Int(12)},
+		{lang.Div(lang.I(7), lang.I(2)), object.Int(3)},
+		{lang.Add(lang.F(2.5), lang.I(1)), object.Float(3.5)},
+		{lang.Div(lang.F(7), lang.F(2)), object.Float(3.5)},
+		{lang.Lt(lang.I(1), lang.F(1.5)), object.Bool(true)},
+		{lang.Ge(lang.F(2), lang.F(2)), object.Bool(true)},
+		{lang.Eq(lang.S("a"), lang.S("a")), object.Bool(true)},
+		{lang.Ne(lang.S("a"), lang.S("b")), object.Bool(true)},
+		{lang.Lt(lang.S("a"), lang.S("b")), object.Bool(true)},
+		{lang.And(lang.B(true), lang.B(false)), object.Bool(false)},
+		{lang.Or(lang.B(false), lang.B(true)), object.Bool(true)},
+		{lang.Un{Op: "-", E: lang.F(3)}, object.Float(-3)},
+		{lang.Un{Op: "not", E: lang.B(false)}, object.Bool(true)},
+		{lang.Sqrt(lang.F(16)), object.Float(4)},
+		{lang.Cos(lang.F(0)), object.Float(1)},
+		{lang.Sin(lang.F(0)), object.Float(0)},
+		{lang.Builtin{Name: "abs", Args: []lang.Expr{lang.F(-2)}}, object.Float(2)},
+		{lang.Builtin{Name: "abs", Args: []lang.Expr{lang.I(-2)}}, object.Int(2)},
+		{lang.Builtin{Name: "min", Args: []lang.Expr{lang.I(2), lang.I(5)}}, object.Int(2)},
+		{lang.Builtin{Name: "max", Args: []lang.Expr{lang.I(2), lang.I(5)}}, object.Int(5)},
+		{lang.Count(lang.MkSet{Elems: []lang.Expr{lang.I(1), lang.I(2)}}), object.Int(2)},
+		{lang.In(lang.I(2), lang.MkSet{Elems: []lang.Expr{lang.I(1), lang.I(2)}}), object.Bool(true)},
+		{lang.In(lang.I(9), lang.MkSet{Elems: []lang.Expr{lang.I(1)}}), object.Bool(false)},
+	}
+	for i, c := range cases {
+		got, err := evalExpr(t, en, c.e)
+		if err != nil {
+			t.Errorf("case %d (%v): %v", i, c.e, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("case %d: %v = %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	en := newEngine(t)
+	// The right side would fail (unbound variable); short-circuit must skip it.
+	if v, err := evalExpr(t, en, lang.And(lang.B(false), lang.V("boom"))); err != nil || v.Truth() {
+		t.Fatalf("and: %v, %v", v, err)
+	}
+	if v, err := evalExpr(t, en, lang.Or(lang.B(true), lang.V("boom"))); err != nil || !v.Truth() {
+		t.Fatalf("or: %v, %v", v, err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	en := newEngine(t)
+	bad := []lang.Expr{
+		lang.Div(lang.I(1), lang.I(0)),
+		lang.Div(lang.F(1), lang.F(0)),
+		lang.V("nope"),
+		lang.Sqrt(lang.F(-1)),
+		lang.Sqrt(lang.S("x")),
+		lang.Add(lang.S("a"), lang.I(1)),
+		lang.Lt(lang.S("a"), lang.I(1)),
+		lang.Builtin{Name: "wat", Args: nil},
+		lang.In(lang.I(1), lang.I(2)),
+		lang.A(lang.Lit{Val: object.Null()}, "X"),
+	}
+	for i, e := range bad {
+		if _, err := evalExpr(t, en, e); err == nil {
+			t.Errorf("case %d (%v): expected error", i, e)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	en := newEngine(t)
+	// sum of 1..n via foreach over a literal set; early return inside if.
+	fn := &lang.Function{
+		Name:   "sum",
+		Params: []lang.Param{lang.Prm("limit", "int")},
+		Body: []lang.Stmt{
+			lang.Let("s", lang.I(0)),
+			lang.Each("x", lang.MkSet{Elems: []lang.Expr{lang.I(1), lang.I(2), lang.I(3), lang.I(4)}},
+				lang.When(lang.Gt(lang.V("x"), lang.V("limit")),
+					[]lang.Stmt{lang.Ret(lang.S("over"))}),
+				lang.Let("s", lang.Add(lang.V("s"), lang.V("x")))),
+			lang.Ret(lang.V("s")),
+		},
+	}
+	v, err := lang.Eval(en, fn, []object.Value{object.Int(10)})
+	if err != nil || !v.Equal(object.Int(10)) {
+		t.Fatalf("sum(10) = %v, %v", v, err)
+	}
+	v, err = lang.Eval(en, fn, []object.Value{object.Int(2)})
+	if err != nil || !v.Equal(object.String_("over")) {
+		t.Fatalf("sum(2) = %v, %v", v, err)
+	}
+	// Missing return yields null; wrong arity errors.
+	noRet := &lang.Function{Name: "n", Body: []lang.Stmt{lang.Let("x", lang.I(1))}}
+	if v, err := lang.Eval(en, noRet, nil); err != nil || !v.IsNull() {
+		t.Fatalf("no-return = %v, %v", v, err)
+	}
+	if _, err := lang.Eval(en, fn, nil); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestUnionAccumulator(t *testing.T) {
+	en := newEngine(t)
+	fn := &lang.Function{
+		Name: "acc",
+		Body: []lang.Stmt{
+			lang.Let("s", lang.EmptySet()),
+			lang.Each("x", lang.MkSet{Elems: []lang.Expr{lang.I(1), lang.I(2), lang.I(2), lang.I(3)}},
+				lang.Let("s", lang.Union(lang.V("s"), lang.V("x")))),
+			lang.Ret(lang.V("s")),
+		},
+	}
+	v, err := lang.Eval(en, fn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != object.KSet || len(v.Elems) != 3 {
+		t.Fatalf("union result = %v", v)
+	}
+}
+
+func TestAttrAccessAndElementaryUpdates(t *testing.T) {
+	en := newEngine(t)
+	if err := en.Sch.DefineType(object.NewTupleType("P",
+		object.AttrDef{Name: "X", Type: "float", Public: true})); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Sch.DefineType(object.NewSetType("Ps", "P"), "insert", "remove"); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := en.Create("P", []object.Value{object.Float(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := en.CreateCollection("Ps", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := &lang.Function{
+		Name:   "bump",
+		Params: []lang.Param{lang.Prm("p", "P"), lang.Prm("s", "Ps")},
+		Body: []lang.Stmt{
+			lang.SetA(lang.V("p"), "X", lang.Add(lang.A(lang.V("p"), "X"), lang.F(1))),
+			lang.InsertInto(lang.V("s"), lang.V("p")),
+			lang.InsertInto(lang.V("s"), lang.V("p")), // set semantics: no dup
+			lang.Ret(lang.Count(lang.ElemsOf(lang.V("s")))),
+		},
+	}
+	v, err := lang.Eval(en, fn, []object.Value{object.Ref(oid), object.Ref(set)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(object.Int(1)) {
+		t.Fatalf("set size = %v, want 1 (duplicate insert must be a no-op)", v)
+	}
+	x, err := en.ReadAttr(object.Ref(oid), "X")
+	if err != nil || !x.Equal(object.Float(2)) {
+		t.Fatalf("X = %v, %v", x, err)
+	}
+	// remove
+	rm := &lang.Function{
+		Name:   "rm",
+		Params: []lang.Param{lang.Prm("p", "P"), lang.Prm("s", "Ps")},
+		Body: []lang.Stmt{
+			lang.RemoveFrom(lang.V("s"), lang.V("p")),
+			lang.RemoveFrom(lang.V("s"), lang.V("p")), // absent: no-op
+			lang.Ret(lang.Count(lang.ElemsOf(lang.V("s")))),
+		},
+	}
+	v, err = lang.Eval(en, rm, []object.Value{object.Ref(oid), object.Ref(set)})
+	if err != nil || !v.Equal(object.Int(0)) {
+		t.Fatalf("after remove: %v, %v", v, err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := lang.Mul(lang.A(lang.Self(), "Width"), lang.A(lang.Self(), "Height"))
+	if got := e.String(); got != "(self.Width * self.Height)" {
+		t.Fatalf("String = %q", got)
+	}
+	s := lang.Each("c", lang.Self(), lang.Let("s", lang.Add(lang.V("s"), lang.V("c"))))
+	if !strings.Contains(s.String(), "foreach c in self") {
+		t.Fatalf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,619 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the paper's Appendix: "Extracting the Relevant Path
+// Expressions". A path expression t.A1.....Ak is relevant to a function f if
+// f uses the value of v.A1.....Ak for some variable v of type t. The
+// extraction assigns to every syntactic structure S a path extraction
+// structure E(S) = (P, R) where P is a set of path expressions and R a term
+// rewriting system of rules v -> p; sequences combine with the operator ⊗ of
+// Definition 8.1.
+//
+// Operationally we thread the rewriting system through the statement list as
+// an environment mapping each variable to the set of paths it may denote —
+// exactly the fixpoint the repeated ⊗ application computes — and collect the
+// accessed paths P on the side. Conditionals merge branch environments by
+// union (a sound over-approximation of ⊗, which models straight-line code);
+// loops iterate the body analysis to a bounded fixpoint.
+//
+// The resulting relevant paths are finally cut into length-two segments and
+// typed against the schema, yielding RelAttr(f) of Definition 5.1.
+
+// ElemSeg is the pseudo-attribute denoting element access on a set- or
+// list-structured type; a relevant pair (t, ElemSeg) means the function
+// depends on the membership of t instances, so t.insert and t.remove
+// invalidate it.
+const ElemSeg = "∈"
+
+// Path is a path expression: a root variable (or, after typing, a type name)
+// followed by attribute segments.
+type Path struct {
+	Root string
+	Segs []string
+}
+
+func (p Path) String() string {
+	if len(p.Segs) == 0 {
+		return p.Root
+	}
+	return p.Root + "." + strings.Join(p.Segs, ".")
+}
+
+func (p Path) extend(seg string) Path {
+	segs := make([]string, len(p.Segs)+1)
+	copy(segs, p.Segs)
+	segs[len(p.Segs)] = seg
+	return Path{Root: p.Root, Segs: segs}
+}
+
+func (p Path) key() string { return p.String() }
+
+// maxPathLen bounds extracted path lengths; exceeding it (e.g. a recursive
+// structure walked in a loop) makes the function unanalyzable and the caller
+// must fall back to conservative invalidation.
+const maxPathLen = 12
+
+// ErrUnanalyzable is returned when the static analysis cannot bound the set
+// of relevant paths (recursion, dynamic dispatch it cannot resolve, or
+// unbounded path growth). The GMR manager then treats every update operation
+// as potentially invalidating (the Section 4 baseline behaviour).
+var ErrUnanalyzable = errors.New("lang: function is not statically analyzable")
+
+// TypeAttr is one element of RelAttr(f): attribute Attr of type Type
+// (Definition 5.1), or element membership when Attr == ElemSeg.
+type TypeAttr struct {
+	Type string
+	Attr string
+}
+
+func (ta TypeAttr) String() string { return ta.Type + "." + ta.Attr }
+
+// TypeInfo resolves attribute and element types; the schema implements it.
+type TypeInfo interface {
+	// AttrType returns the declared type of attr on (tuple) type name.
+	AttrType(typeName, attr string) (string, bool)
+	// ElemType returns the element type of a set/list type name.
+	ElemType(typeName string) (string, bool)
+}
+
+// FuncResolver resolves statically known callees; the schema implements it.
+type FuncResolver interface {
+	// ResolveStatic returns the declared function for a (qualified or free)
+	// name as written in a Call node.
+	ResolveStatic(fn string) (*Function, bool)
+}
+
+// pathSet is a deduplicated set of paths.
+type pathSet struct {
+	m    map[string]Path
+	keys []string // insertion order for determinism
+}
+
+func newPathSet() *pathSet { return &pathSet{m: make(map[string]Path)} }
+
+func (s *pathSet) add(p Path) {
+	k := p.key()
+	if _, ok := s.m[k]; ok {
+		return
+	}
+	s.m[k] = p
+	s.keys = append(s.keys, k)
+}
+
+func (s *pathSet) addAll(ps []Path) {
+	for _, p := range ps {
+		s.add(p)
+	}
+}
+
+func (s *pathSet) list() []Path {
+	out := make([]Path, 0, len(s.keys))
+	for _, k := range s.keys {
+		out = append(out, s.m[k])
+	}
+	return out
+}
+
+// env is the rewriting state at a program point: variable -> value paths.
+type env map[string][]Path
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// equalPathSlices compares two rule sets for the loop fixpoint test.
+func equalEnv(a, b env) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		am := make(map[string]bool, len(av))
+		for _, p := range av {
+			am[p.key()] = true
+		}
+		for _, p := range bv {
+			if !am[p.key()] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// funcSummary is the memoized analysis of one function: accessed and value
+// paths expressed over the function's own parameter names.
+type funcSummary struct {
+	accessed []Path
+	value    []Path
+}
+
+// Extractor runs the Appendix analysis. It memoizes per-function summaries.
+type Extractor struct {
+	Types TypeInfo
+	Funcs FuncResolver
+
+	summaries  map[string]*funcSummary
+	inProgress map[string]bool
+}
+
+// NewExtractor returns an extractor over the given schema views.
+func NewExtractor(types TypeInfo, funcs FuncResolver) *Extractor {
+	return &Extractor{
+		Types:      types,
+		Funcs:      funcs,
+		summaries:  make(map[string]*funcSummary),
+		inProgress: make(map[string]bool),
+	}
+}
+
+// RelevantPaths returns P(f): the relevant path expressions of fn, rooted at
+// its parameter names.
+func (x *Extractor) RelevantPaths(fn *Function) ([]Path, error) {
+	sum, err := x.analyze(fn)
+	if err != nil {
+		return nil, err
+	}
+	return sum.accessed, nil
+}
+
+// TypedPath is a relevant path expression typed against the schema: the
+// static type of its root parameter and the (type, attribute) pair of every
+// step along the path.
+type TypedPath struct {
+	RootType string
+	Pairs    []TypeAttr
+}
+
+func (tp TypedPath) String() string {
+	parts := make([]string, 0, len(tp.Pairs)+1)
+	parts = append(parts, tp.RootType)
+	for _, p := range tp.Pairs {
+		parts = append(parts, p.Attr)
+	}
+	return strings.Join(parts, ".")
+}
+
+// TypedPaths types every relevant path of fn against the schema. The GMR
+// manager uses the per-path grouping to decide where invalidation hooks go:
+// a path whose root type is strictly encapsulated is covered by that type's
+// public operations, any other path needs hooks on each of its steps.
+func (x *Extractor) TypedPaths(fn *Function) ([]TypedPath, error) {
+	paths, err := x.RelevantPaths(fn)
+	if err != nil {
+		return nil, err
+	}
+	paramType := make(map[string]string, len(fn.Params))
+	for _, p := range fn.Params {
+		paramType[p.Name] = p.Type
+	}
+	var out []TypedPath
+	for _, p := range paths {
+		cur, ok := paramType[p.Root]
+		if !ok {
+			return nil, fmt.Errorf("%w: path %v rooted at unknown parameter", ErrUnanalyzable, p)
+		}
+		tp := TypedPath{RootType: cur}
+		for _, seg := range p.Segs {
+			if seg == ElemSeg {
+				next, ok := x.Types.ElemType(cur)
+				if !ok {
+					// An element step on a non-collection type arises from
+					// the union-accumulator idiom, where a variable's value
+					// paths already denote elements; element-of-element is
+					// the identity, and the underlying collection
+					// memberships were recorded when the elements were
+					// drawn. Skip the step.
+					continue
+				}
+				tp.Pairs = append(tp.Pairs, TypeAttr{Type: cur, Attr: ElemSeg})
+				cur = next
+				continue
+			}
+			tp.Pairs = append(tp.Pairs, TypeAttr{Type: cur, Attr: seg})
+			next, ok := x.Types.AttrType(cur, seg)
+			if !ok {
+				return nil, fmt.Errorf("%w: no attribute %q on %q in path %v", ErrUnanalyzable, seg, cur, p)
+			}
+			cur = next
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+// RelAttrs computes RelAttr(fn) (Definition 5.1): the typed (type, attribute)
+// pairs whose modification may invalidate a materialized result of fn. Paths
+// are typed against the schema and cut into length-two pieces as the
+// Appendix prescribes.
+func (x *Extractor) RelAttrs(fn *Function) ([]TypeAttr, error) {
+	typed, err := x.TypedPaths(fn)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[TypeAttr]bool)
+	var out []TypeAttr
+	for _, tp := range typed {
+		for _, pair := range tp.Pairs {
+			if !seen[pair] {
+				seen[pair] = true
+				out = append(out, pair)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out, nil
+}
+
+func (x *Extractor) analyze(fn *Function) (*funcSummary, error) {
+	if sum, ok := x.summaries[fn.Name]; ok {
+		return sum, nil
+	}
+	if x.inProgress[fn.Name] {
+		return nil, fmt.Errorf("%w: recursive function %s", ErrUnanalyzable, fn.Name)
+	}
+	x.inProgress[fn.Name] = true
+	defer delete(x.inProgress, fn.Name)
+
+	e := make(env, len(fn.Params))
+	for _, p := range fn.Params {
+		e[p.Name] = []Path{{Root: p.Name}}
+	}
+	acc := newPathSet()
+	val := newPathSet()
+	if err := x.stmts(fn.Body, e, acc, val); err != nil {
+		return nil, err
+	}
+	sum := &funcSummary{accessed: acc.list(), value: val.list()}
+	x.summaries[fn.Name] = sum
+	return sum, nil
+}
+
+// stmts analyzes a statement list, mutating e and accumulating accessed
+// paths in acc and returned value paths in val.
+func (x *Extractor) stmts(body []Stmt, e env, acc, val *pathSet) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Assign:
+			v, err := x.expr(st.E, e, acc)
+			if err != nil {
+				return err
+			}
+			// Definition 8.1: re-assignment replaces the rules for the
+			// variable; previous rules with this left-hand side are dropped.
+			e[st.Var] = v
+		case SetAttr:
+			if _, err := x.expr(st.Recv, e, acc); err != nil {
+				return err
+			}
+			if _, err := x.expr(st.E, e, acc); err != nil {
+				return err
+			}
+		case Insert:
+			if _, err := x.expr(st.Recv, e, acc); err != nil {
+				return err
+			}
+			if _, err := x.expr(st.E, e, acc); err != nil {
+				return err
+			}
+		case Remove:
+			if _, err := x.expr(st.Recv, e, acc); err != nil {
+				return err
+			}
+			if _, err := x.expr(st.E, e, acc); err != nil {
+				return err
+			}
+		case If:
+			if _, err := x.expr(st.Cond, e, acc); err != nil {
+				return err
+			}
+			thenEnv := e.clone()
+			elseEnv := e.clone()
+			if err := x.stmts(st.Then, thenEnv, acc, val); err != nil {
+				return err
+			}
+			if err := x.stmts(st.Else, elseEnv, acc, val); err != nil {
+				return err
+			}
+			mergeEnv(e, thenEnv)
+			mergeEnv(e, elseEnv)
+		case ForEach:
+			collVal, err := x.expr(st.Coll, e, acc)
+			if err != nil {
+				return err
+			}
+			var elemPaths []Path
+			for _, p := range collVal {
+				if len(p.Segs)+1 > maxPathLen {
+					return fmt.Errorf("%w: path %v too long", ErrUnanalyzable, p)
+				}
+				ep := p.extend(ElemSeg)
+				elemPaths = append(elemPaths, ep)
+				acc.add(ep)
+			}
+			// Iterate the body to a fixpoint: rules established in one
+			// iteration flow into the next.
+			saved, had := e[st.Var]
+			e[st.Var] = elemPaths
+			for iter := 0; iter < 6; iter++ {
+				before := e.clone()
+				loopEnv := e.clone()
+				if err := x.stmts(st.Body, loopEnv, acc, val); err != nil {
+					return err
+				}
+				mergeEnv(e, loopEnv)
+				mergePaths(e, st.Var, elemPaths)
+				if equalEnv(before, e) {
+					break
+				}
+				if iter == 5 {
+					return fmt.Errorf("%w: loop analysis did not converge", ErrUnanalyzable)
+				}
+			}
+			if had {
+				e[st.Var] = saved
+			} else {
+				delete(e, st.Var)
+			}
+		case Return:
+			if st.E != nil {
+				v, err := x.expr(st.E, e, acc)
+				if err != nil {
+					return err
+				}
+				val.addAll(v)
+			}
+		case ExprStmt:
+			if _, err := x.expr(st.E, e, acc); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown statement %T", ErrUnanalyzable, s)
+		}
+	}
+	return nil
+}
+
+func mergeEnv(dst, src env) {
+	for k, v := range src {
+		mergePaths(dst, k, v)
+	}
+}
+
+func mergePaths(e env, key string, paths []Path) {
+	have := make(map[string]bool, len(e[key]))
+	for _, p := range e[key] {
+		have[p.key()] = true
+	}
+	for _, p := range paths {
+		if !have[p.key()] {
+			e[key] = append(e[key], p)
+			have[p.key()] = true
+		}
+	}
+}
+
+// expr analyzes an expression, returning its value paths (the paths the
+// expression's result may denote) and accumulating every accessed path.
+func (x *Extractor) expr(ex Expr, e env, acc *pathSet) ([]Path, error) {
+	switch n := ex.(type) {
+	case Lit:
+		return nil, nil
+	case Var:
+		paths, ok := e[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: unbound variable %q", ErrUnanalyzable, n.Name)
+		}
+		return paths, nil
+	case Attr:
+		recvPaths, err := x.expr(n.Recv, e, acc)
+		if err != nil {
+			return nil, err
+		}
+		if len(recvPaths) == 0 {
+			return nil, fmt.Errorf("%w: attribute %q read on untracked value %v", ErrUnanalyzable, n.Name, n.Recv)
+		}
+		var out []Path
+		for _, p := range recvPaths {
+			if len(p.Segs)+1 > maxPathLen {
+				return nil, fmt.Errorf("%w: path %v too long", ErrUnanalyzable, p)
+			}
+			np := p.extend(n.Name)
+			acc.add(np)
+			out = append(out, np)
+		}
+		return out, nil
+	case Call:
+		return x.call(n, e, acc)
+	case Builtin:
+		var argPaths [][]Path
+		for _, a := range n.Args {
+			v, err := x.expr(a, e, acc)
+			if err != nil {
+				return nil, err
+			}
+			argPaths = append(argPaths, v)
+		}
+		switch n.Name {
+		case "count", "len":
+			// The cardinality depends on the collection's membership.
+			for _, v := range argPaths {
+				for _, p := range v {
+					if len(p.Segs)+1 <= maxPathLen {
+						acc.add(p.extend(ElemSeg))
+					}
+				}
+			}
+		case "union":
+			// The result may denote the set's elements or the new element:
+			// element provenance flows through the accumulator idiom.
+			var out []Path
+			for _, v := range argPaths {
+				out = append(out, v...)
+			}
+			return out, nil
+		}
+		return nil, nil
+	case Bin:
+		lv, err := x.expr(n.L, e, acc)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := x.expr(n.R, e, acc)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == OpIn {
+			// Membership reads the collection's element set.
+			for _, p := range rv {
+				if len(p.Segs)+1 <= maxPathLen {
+					acc.add(p.extend(ElemSeg))
+				}
+			}
+		}
+		_ = lv
+		return nil, nil
+	case Un:
+		if _, err := x.expr(n.E, e, acc); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case MkTuple:
+		for _, f := range n.Fields {
+			if _, err := x.expr(f, e, acc); err != nil {
+				return nil, err
+			}
+		}
+		// A freshly built tuple carries no further object state of its own;
+		// its field sources are already in acc.
+		return nil, nil
+	case MkSet:
+		for _, el := range n.Elems {
+			if _, err := x.expr(el, e, acc); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	case Elems:
+		collPaths, err := x.expr(n.Coll, e, acc)
+		if err != nil {
+			return nil, err
+		}
+		var out []Path
+		for _, p := range collPaths {
+			if len(p.Segs)+1 > maxPathLen {
+				return nil, fmt.Errorf("%w: path %v too long", ErrUnanalyzable, p)
+			}
+			np := p.extend(ElemSeg)
+			acc.add(np)
+			out = append(out, np)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%w: unknown expression %T", ErrUnanalyzable, ex)
+}
+
+// call inlines the summary of a statically resolved callee, substituting the
+// callee's parameter roots with the argument value paths.
+func (x *Extractor) call(n Call, e env, acc *pathSet) ([]Path, error) {
+	callee, ok := x.Funcs.ResolveStatic(n.Fn)
+	if !ok {
+		return nil, fmt.Errorf("%w: cannot statically resolve call %q", ErrUnanalyzable, n.Fn)
+	}
+	if len(n.Args) != len(callee.Params) {
+		return nil, fmt.Errorf("%w: call %q with %d args, %d declared", ErrUnanalyzable, n.Fn, len(n.Args), len(callee.Params))
+	}
+	argPaths := make([][]Path, len(n.Args))
+	for i, a := range n.Args {
+		v, err := x.expr(a, e, acc)
+		if err != nil {
+			return nil, err
+		}
+		argPaths[i] = v
+	}
+	sum, err := x.analyze(callee)
+	if err != nil {
+		return nil, err
+	}
+	subst := func(paths []Path, requireRoot bool) ([]Path, error) {
+		var out []Path
+		for _, p := range paths {
+			idx := -1
+			for i, param := range callee.Params {
+				if param.Name == p.Root {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("%w: summary path %v of %s has non-parameter root", ErrUnanalyzable, p, callee.Name)
+			}
+			roots := argPaths[idx]
+			if len(roots) == 0 {
+				// The argument is a computed atomic value: it carries no
+				// object state, so paths through it vanish — unless the
+				// callee dereferences it, which cannot happen for atomics.
+				if len(p.Segs) > 0 && requireRoot {
+					return nil, fmt.Errorf("%w: call %q dereferences untracked argument %d", ErrUnanalyzable, n.Fn, idx)
+				}
+				continue
+			}
+			for _, r := range roots {
+				if len(r.Segs)+len(p.Segs) > maxPathLen {
+					return nil, fmt.Errorf("%w: path %v.%v too long", ErrUnanalyzable, r, p)
+				}
+				np := Path{Root: r.Root, Segs: append(append([]string{}, r.Segs...), p.Segs...)}
+				out = append(out, np)
+			}
+		}
+		return out, nil
+	}
+	accessed, err := subst(sum.accessed, true)
+	if err != nil {
+		return nil, err
+	}
+	acc.addAll(accessed)
+	value, err := subst(sum.value, false)
+	if err != nil {
+		return nil, err
+	}
+	return value, nil
+}

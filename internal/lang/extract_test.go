@@ -1,0 +1,329 @@
+package lang_test
+
+// Tests of the Appendix path-extraction analysis against hand-computed
+// RelAttr sets, including the rewriting semantics of Definition 8.1.
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"gomdb/internal/lang"
+)
+
+// mockWorld is a standalone TypeInfo + FuncResolver for extraction tests.
+type mockWorld struct {
+	attrs map[string]map[string]string // type -> attr -> type
+	elems map[string]string            // set type -> elem type
+	funcs map[string]*lang.Function
+}
+
+func (w *mockWorld) AttrType(tn, a string) (string, bool) {
+	t, ok := w.attrs[tn][a]
+	return t, ok
+}
+func (w *mockWorld) ElemType(tn string) (string, bool) {
+	t, ok := w.elems[tn]
+	return t, ok
+}
+func (w *mockWorld) ResolveStatic(fn string) (*lang.Function, bool) {
+	f, ok := w.funcs[fn]
+	return f, ok
+}
+
+// geometryWorld mirrors the paper's Cuboid schema.
+func geometryWorld() *mockWorld {
+	w := &mockWorld{
+		attrs: map[string]map[string]string{
+			"Vertex":   {"X": "float", "Y": "float", "Z": "float"},
+			"Material": {"Name": "string", "SpecWeight": "float"},
+			"Cuboid": {
+				"V1": "Vertex", "V2": "Vertex", "V3": "Vertex", "V4": "Vertex",
+				"V5": "Vertex", "V6": "Vertex", "V7": "Vertex", "V8": "Vertex",
+				"Mat": "Material", "Value": "decimal",
+			},
+		},
+		elems: map[string]string{"Workpieces": "Cuboid"},
+		funcs: map[string]*lang.Function{},
+	}
+	self := lang.Self()
+	w.funcs["Vertex.dist"] = &lang.Function{
+		Name:   "Vertex.dist",
+		Params: []lang.Param{lang.Prm("self", "Vertex"), lang.Prm("v", "Vertex")},
+		Body: []lang.Stmt{
+			lang.Let("dx", lang.Sub(lang.A(self, "X"), lang.A(lang.V("v"), "X"))),
+			lang.Let("dy", lang.Sub(lang.A(self, "Y"), lang.A(lang.V("v"), "Y"))),
+			lang.Let("dz", lang.Sub(lang.A(self, "Z"), lang.A(lang.V("v"), "Z"))),
+			lang.Ret(lang.Sqrt(lang.Add(lang.Add(
+				lang.Mul(lang.V("dx"), lang.V("dx")),
+				lang.Mul(lang.V("dy"), lang.V("dy"))),
+				lang.Mul(lang.V("dz"), lang.V("dz"))))),
+		},
+	}
+	edge := func(name, to string) *lang.Function {
+		return &lang.Function{
+			Name:   "Cuboid." + name,
+			Params: []lang.Param{lang.Prm("self", "Cuboid")},
+			Body: []lang.Stmt{
+				lang.Ret(lang.CallFn("Vertex.dist", lang.A(self, "V1"), lang.A(self, to))),
+			},
+		}
+	}
+	w.funcs["Cuboid.length"] = edge("length", "V2")
+	w.funcs["Cuboid.width"] = edge("width", "V4")
+	w.funcs["Cuboid.height"] = edge("height", "V5")
+	w.funcs["Cuboid.volume"] = &lang.Function{
+		Name:   "Cuboid.volume",
+		Params: []lang.Param{lang.Prm("self", "Cuboid")},
+		Body: []lang.Stmt{
+			lang.Ret(lang.Mul(lang.Mul(
+				lang.CallFn("Cuboid.length", self),
+				lang.CallFn("Cuboid.width", self)),
+				lang.CallFn("Cuboid.height", self))),
+		},
+	}
+	w.funcs["Cuboid.weight"] = &lang.Function{
+		Name:   "Cuboid.weight",
+		Params: []lang.Param{lang.Prm("self", "Cuboid")},
+		Body: []lang.Stmt{
+			lang.Ret(lang.Mul(lang.CallFn("Cuboid.volume", self), lang.A(self, "Mat", "SpecWeight"))),
+		},
+	}
+	w.funcs["Workpieces.total_volume"] = &lang.Function{
+		Name:   "Workpieces.total_volume",
+		Params: []lang.Param{lang.Prm("self", "Workpieces")},
+		Body: []lang.Stmt{
+			lang.Let("s", lang.F(0)),
+			lang.Each("c", self,
+				lang.Let("s", lang.Add(lang.V("s"), lang.CallFn("Cuboid.volume", lang.V("c"))))),
+			lang.Ret(lang.V("s")),
+		},
+	}
+	return w
+}
+
+func relAttrStrings(t *testing.T, w *mockWorld, fn *lang.Function) []string {
+	t.Helper()
+	x := lang.NewExtractor(w, w)
+	attrs, err := x.RelAttrs(fn)
+	if err != nil {
+		t.Fatalf("RelAttrs(%s): %v", fn.Name, err)
+	}
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = a.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRelAttrVolume checks the paper's Section 5.1 example:
+// RelAttr(volume) = {Cuboid.V1, Cuboid.V2, Cuboid.V4, Cuboid.V5,
+// Vertex.X, Vertex.Y, Vertex.Z}.
+func TestRelAttrVolume(t *testing.T) {
+	w := geometryWorld()
+	got := relAttrStrings(t, w, w.funcs["Cuboid.volume"])
+	want := []string{
+		"Cuboid.V1", "Cuboid.V2", "Cuboid.V4", "Cuboid.V5",
+		"Vertex.X", "Vertex.Y", "Vertex.Z",
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("RelAttr(volume) = %v, want %v", got, want)
+	}
+}
+
+func TestRelAttrWeightAddsMaterial(t *testing.T) {
+	w := geometryWorld()
+	got := relAttrStrings(t, w, w.funcs["Cuboid.weight"])
+	want := []string{
+		"Cuboid.Mat", "Cuboid.V1", "Cuboid.V2", "Cuboid.V4", "Cuboid.V5",
+		"Material.SpecWeight", "Vertex.X", "Vertex.Y", "Vertex.Z",
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("RelAttr(weight) = %v, want %v", got, want)
+	}
+}
+
+// TestRelAttrTotalVolume checks element dependencies: total_volume depends
+// on the membership of the Workpieces set plus everything volume needs.
+func TestRelAttrTotalVolume(t *testing.T) {
+	w := geometryWorld()
+	got := relAttrStrings(t, w, w.funcs["Workpieces.total_volume"])
+	want := []string{
+		"Cuboid.V1", "Cuboid.V2", "Cuboid.V4", "Cuboid.V5",
+		"Vertex.X", "Vertex.Y", "Vertex.Z",
+		"Workpieces." + lang.ElemSeg,
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("RelAttr(total_volume) = %v, want %v", got, want)
+	}
+}
+
+// TestAssignmentReplacesRules verifies the ⊗ semantics of Definition 8.1:
+// re-assignment replaces a variable's rewriting rules, so paths read through
+// the variable's *old* value do not leak into later reads.
+func TestAssignmentReplacesRules(t *testing.T) {
+	w := geometryWorld()
+	fn := &lang.Function{
+		Name:   "f",
+		Params: []lang.Param{lang.Prm("self", "Cuboid")},
+		Body: []lang.Stmt{
+			lang.Let("v", lang.A(lang.Self(), "V1")),
+			lang.Let("v", lang.A(lang.Self(), "V2")), // replaces the rule v -> self.V1
+			lang.Ret(lang.A(lang.V("v"), "X")),
+		},
+	}
+	got := relAttrStrings(t, w, fn)
+	// self.V1 is still accessed (the first assignment evaluated it) but
+	// v.X after the second assignment must resolve to V2.X only: the set
+	// contains Cuboid.V1 and Cuboid.V2 but Vertex.X must come via V2.
+	x := lang.NewExtractor(w, w)
+	paths, err := x.RelevantPaths(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pathStrs []string
+	for _, p := range paths {
+		pathStrs = append(pathStrs, p.String())
+	}
+	joined := strings.Join(pathStrs, ",")
+	if strings.Contains(joined, "self.V1.X") {
+		t.Fatalf("stale rule survived re-assignment: %v", pathStrs)
+	}
+	if !strings.Contains(joined, "self.V2.X") {
+		t.Fatalf("missing path through new rule: %v", pathStrs)
+	}
+	_ = got
+}
+
+// TestIfMergesBranchRules verifies that conditionals keep the rules of both
+// branches (the sound over-approximation).
+func TestIfMergesBranchRules(t *testing.T) {
+	w := geometryWorld()
+	fn := &lang.Function{
+		Name:   "g",
+		Params: []lang.Param{lang.Prm("self", "Cuboid")},
+		Body: []lang.Stmt{
+			lang.Let("v", lang.A(lang.Self(), "V1")),
+			lang.When(lang.Gt(lang.A(lang.Self(), "Value"), lang.F(10)),
+				[]lang.Stmt{lang.Let("v", lang.A(lang.Self(), "V2"))}),
+			lang.Ret(lang.A(lang.V("v"), "X")),
+		},
+	}
+	x := lang.NewExtractor(w, w)
+	paths, err := x.RelevantPaths(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined []string
+	for _, p := range paths {
+		joined = append(joined, p.String())
+	}
+	all := strings.Join(joined, ",")
+	for _, want := range []string{"self.V1.X", "self.V2.X", "self.Value"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("missing %s in %v", want, joined)
+		}
+	}
+}
+
+// TestRecursionUnanalyzable: recursive functions fall back to conservative
+// invalidation.
+func TestRecursionUnanalyzable(t *testing.T) {
+	w := geometryWorld()
+	w.funcs["rec"] = &lang.Function{
+		Name:   "rec",
+		Params: []lang.Param{lang.Prm("self", "Cuboid")},
+		Body:   []lang.Stmt{lang.Ret(lang.CallFn("rec", lang.Self()))},
+	}
+	x := lang.NewExtractor(w, w)
+	_, err := x.RelAttrs(w.funcs["rec"])
+	if !errors.Is(err, lang.ErrUnanalyzable) {
+		t.Fatalf("err = %v, want ErrUnanalyzable", err)
+	}
+}
+
+// TestUnresolvableCallUnanalyzable: a call that cannot be statically
+// resolved is unanalyzable.
+func TestUnresolvableCallUnanalyzable(t *testing.T) {
+	w := geometryWorld()
+	fn := &lang.Function{
+		Name:   "h",
+		Params: []lang.Param{lang.Prm("self", "Cuboid")},
+		Body:   []lang.Stmt{lang.Ret(lang.CallFn("no.such", lang.Self()))},
+	}
+	x := lang.NewExtractor(w, w)
+	if _, err := x.RelAttrs(fn); !errors.Is(err, lang.ErrUnanalyzable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestLoopChasePathsBounded: a loop that chases an unbounded path must be
+// rejected rather than diverge.
+func TestLoopChasePathsBounded(t *testing.T) {
+	w := geometryWorld()
+	w.attrs["Node"] = map[string]string{"Next": "Node", "Val": "float"}
+	w.elems["Nodes"] = "Node"
+	fn := &lang.Function{
+		Name:   "chase",
+		Params: []lang.Param{lang.Prm("self", "Nodes"), lang.Prm("start", "Node")},
+		Body: []lang.Stmt{
+			lang.Let("n", lang.V("start")),
+			lang.Each("x", lang.Self(),
+				lang.Let("n", lang.A(lang.V("n"), "Next"))),
+			lang.Ret(lang.A(lang.V("n"), "Val")),
+		},
+	}
+	x := lang.NewExtractor(w, w)
+	if _, err := x.RelAttrs(fn); !errors.Is(err, lang.ErrUnanalyzable) {
+		t.Fatalf("err = %v, want ErrUnanalyzable", err)
+	}
+}
+
+// TestTypedPathsRoots verifies the per-path root typing the hook planner
+// relies on.
+func TestTypedPathsRoots(t *testing.T) {
+	w := geometryWorld()
+	x := lang.NewExtractor(w, w)
+	typed, err := x.TypedPaths(w.funcs["Workpieces.total_volume"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range typed {
+		if tp.RootType != "Workpieces" {
+			t.Fatalf("path %v rooted at %s, want Workpieces", tp, tp.RootType)
+		}
+	}
+	if len(typed) == 0 {
+		t.Fatal("no typed paths")
+	}
+}
+
+// TestMultiArgumentPaths: paths through every parameter are extracted.
+func TestMultiArgumentPaths(t *testing.T) {
+	w := geometryWorld()
+	got := relAttrStrings(t, w, w.funcs["Vertex.dist"])
+	want := []string{"Vertex.X", "Vertex.Y", "Vertex.Z"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("RelAttr(dist) = %v", got)
+	}
+}
+
+// TestInMembershipDependency: the 'in' operator adds an element dependency
+// on the collection.
+func TestInMembershipDependency(t *testing.T) {
+	w := geometryWorld()
+	fn := &lang.Function{
+		Name:   "member",
+		Params: []lang.Param{lang.Prm("self", "Workpieces"), lang.Prm("c", "Cuboid")},
+		Body: []lang.Stmt{
+			lang.Ret(lang.In(lang.V("c"), lang.Self())),
+		},
+	}
+	got := relAttrStrings(t, w, fn)
+	want := "Workpieces." + lang.ElemSeg
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("RelAttr(member) = %v, want [%s]", got, want)
+	}
+}

@@ -1,0 +1,284 @@
+package lang_test
+
+// Tests of the textual GOMpl parser and the schema binder, including an
+// end-to-end equivalence check: the paper's Cuboid functions defined
+// textually behave identically to the programmatically built fixture
+// bodies and yield the same RelAttr sets.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"gomdb/internal/lang"
+	"gomdb/internal/object"
+	"gomdb/internal/schema"
+	"gomdb/internal/storage"
+)
+
+func newBoundEngine(t *testing.T) *schema.Engine {
+	t.Helper()
+	clock := storage.NewClock()
+	pool := storage.NewPool(storage.NewDisk(clock), 64)
+	sch := schema.New()
+	objs := object.NewManager(sch.Reg, pool, clock)
+	en := schema.NewEngine(sch, objs, clock)
+	mustDef := func(tp *object.Type, pub ...string) {
+		if err := sch.DefineType(tp, pub...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustDef(object.NewTupleType("Vertex",
+		object.AttrDef{Name: "X", Type: "float", Public: true},
+		object.AttrDef{Name: "Y", Type: "float", Public: true},
+		object.AttrDef{Name: "Z", Type: "float", Public: true}), "dist", "translate")
+	mustDef(object.NewTupleType("Material",
+		object.AttrDef{Name: "Name", Type: "string", Public: true},
+		object.AttrDef{Name: "SpecWeight", Type: "float", Public: true}))
+	mustDef(object.NewTupleType("Cuboid",
+		object.AttrDef{Name: "V1", Type: "Vertex", Public: true},
+		object.AttrDef{Name: "V2", Type: "Vertex", Public: true},
+		object.AttrDef{Name: "V4", Type: "Vertex", Public: true},
+		object.AttrDef{Name: "V5", Type: "Vertex", Public: true},
+		object.AttrDef{Name: "Mat", Type: "Material", Public: true}),
+		"length", "width", "height", "volume", "weight")
+	mustDef(object.NewSetType("Workpieces", "Cuboid"), "total_volume", "insert", "remove")
+	return en
+}
+
+// defineTextualGeometry installs the paper's functions from their textual
+// form (Figure 1's definitions, with "!!" comments).
+func defineTextualGeometry(t *testing.T, en *schema.Engine) {
+	t.Helper()
+	sch := en.Sch
+	defs := []struct {
+		typeName string
+		src      string
+	}{
+		{"Vertex", `define dist(v: Vertex): float is
+			dx := self.X - v.X
+			dy := self.Y - v.Y
+			dz := self.Z - v.Z
+			return sqrt(dx*dx + dy*dy + dz*dz)
+		end`},
+		{"Vertex", `define translate(tr: Vertex) is
+			self.set_X(self.X + tr.X)   !! elementary updates in call syntax
+			self.set_Y(self.Y + tr.Y)
+			self.set_Z(self.Z + tr.Z)
+		end`},
+		{"Cuboid", `define length: float is
+			return self.V1.dist(self.V2)  !! delegate the computation to Vertex V1
+		end`},
+		{"Cuboid", `define width: float is
+			return self.V1.dist(self.V4)
+		end`},
+		{"Cuboid", `define height: float is
+			return self.V1.dist(self.V5)
+		end`},
+		{"Cuboid", `define volume: float is
+			return self.length * self.width * self.height
+		end`},
+		{"Cuboid", `define weight: float is
+			return self.volume * self.Mat.SpecWeight
+		end`},
+		{"Workpieces", `define total_volume: float is
+			s := 0.0
+			foreach c in self do
+				s := s + c.volume
+			end
+			return s
+		end`},
+	}
+	for _, d := range defs {
+		if _, err := sch.DefineOpSrc(d.typeName, d.src, d.typeName != "Vertex" || !strings.Contains(d.src, "translate")); err != nil {
+			t.Fatalf("DefineOpSrc %s: %v\n%s", d.typeName, err, d.src)
+		}
+	}
+}
+
+func TestTextualDefinitionsEvaluate(t *testing.T) {
+	en := newBoundEngine(t)
+	defineTextualGeometry(t, en)
+
+	v := func(x, y, z float64) object.Value {
+		oid, err := en.Create("Vertex", []object.Value{object.Float(x), object.Float(y), object.Float(z)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return object.Ref(oid)
+	}
+	iron, err := en.Create("Material", []object.Value{object.String_("Iron"), object.Float(7.86)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 x 6 x 5 cuboid: volume 300, weight 2358 (the paper's id1).
+	cub, err := en.Create("Cuboid", []object.Value{
+		v(0, 0, 0), v(10, 0, 0), v(0, 6, 0), v(0, 0, 5), object.Ref(iron),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := en.Invoke("Cuboid.volume", object.Ref(cub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := vol.AsFloat(); f != 300 {
+		t.Fatalf("textual volume = %v, want 300", vol)
+	}
+	w, err := en.Invoke("Cuboid.weight", object.Ref(cub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := w.AsFloat(); f != 2358 {
+		t.Fatalf("textual weight = %v, want 2358", w)
+	}
+	// Mutating op from call syntax.
+	if _, err := en.Invoke("Vertex.translate", v(1, 1, 1), v(2, 0, 0)); err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	// total_volume over a set object.
+	set, err := en.CreateCollection("Workpieces", []object.Value{object.Ref(cub)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := en.Invoke("Workpieces.total_volume", object.Ref(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := tv.AsFloat(); f != 300 {
+		t.Fatalf("total_volume = %v", tv)
+	}
+}
+
+// TestTextualRelAttrMatchesPaper: the extractor computes the Section 5.1
+// RelAttr set from the textually defined volume.
+func TestTextualRelAttrMatchesPaper(t *testing.T) {
+	en := newBoundEngine(t)
+	defineTextualGeometry(t, en)
+	fn, ok := en.Sch.ResolveOp("Cuboid", "volume")
+	if !ok {
+		t.Fatal("volume not defined")
+	}
+	x := lang.NewExtractor(en.Sch, en.Sch)
+	attrs, err := x.RelAttrs(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, a := range attrs {
+		got = append(got, a.String())
+	}
+	sort.Strings(got)
+	want := "Cuboid.V1,Cuboid.V2,Cuboid.V4,Cuboid.V5,Vertex.X,Vertex.Y,Vertex.Z"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("RelAttr(textual volume) = %v", got)
+	}
+}
+
+func TestParseErrorsGompl(t *testing.T) {
+	bad := []string{
+		``,
+		`define is end`,
+		`define f( is end`,
+		`define f(x) is end`,               // missing param type
+		`define f is return`,               // missing end
+		`define f is if true then end`,     // fine actually? if without end... has end for if but not define
+		`define f is x := end`,             // missing expr
+		`define f is return 1 end extra`,   // trailing
+		`define f is return "unclosed end`, // unterminated string
+		`define f is foreach x in s end`,   // missing do
+		`define f is return (1 + 2 end`,    // unbalanced paren
+	}
+	for _, src := range bad {
+		if _, err := lang.ParseDefine(src); err == nil {
+			t.Errorf("ParseDefine(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParsePrecedenceAndComments(t *testing.T) {
+	pf, err := lang.ParseDefine(`define f(a: float, b: float, c: float): float is
+		!! precedence: * binds tighter than +, comparisons loosest
+		return a + b * c
+	end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := pf.Body[0].(lang.Return)
+	bin, ok := ret.E.(lang.Bin)
+	if !ok || bin.Op != lang.OpAdd {
+		t.Fatalf("top operator = %v", ret.E)
+	}
+	if inner, ok := bin.R.(lang.Bin); !ok || inner.Op != lang.OpMul {
+		t.Fatalf("right operand = %v", bin.R)
+	}
+}
+
+func TestBinderRejections(t *testing.T) {
+	en := newBoundEngine(t)
+	defineTextualGeometry(t, en)
+	bad := []struct {
+		typeName, src string
+	}{
+		{"Cuboid", `define f1: float is return self.Nope end`},
+		{"Cuboid", `define f2: float is return self.V1.dist() end`},         // arity
+		{"Cuboid", `define f3: float is return nosuchfn(self) end`},         // unknown fn
+		{"Cuboid", `define f4: float is return x end`},                      // unbound var
+		{"Cuboid", `define f5: string is return self.volume end`},           // return type
+		{"Cuboid", `define f6(v: Nope): float is return 0.0 end`},           // unknown param type
+		{"Cuboid", `define f7 is self.V1.set_W(1.0) end`},                   // unknown attr in set_
+		{"Cuboid", `define f8 is self.insert(self) end`},                    // insert on tuple type
+		{"Cuboid", `define f9: float is return self.Mat + 1.0 end`},         // arithmetic on object
+		{"Cuboid", `define f10: float is foreach x in self.Mat do end end`}, // foreach over tuple
+	}
+	for _, c := range bad {
+		if _, err := en.Sch.DefineOpSrc(c.typeName, c.src, true); err == nil {
+			t.Errorf("binder accepted %s", c.src)
+		}
+	}
+}
+
+// TestBinderInheritedAttributes: a textual body on a subtype may read
+// attributes inherited from the supertype.
+func TestBinderInheritedAttributes(t *testing.T) {
+	en := newBoundEngine(t)
+	base := object.NewTupleType("Named", object.AttrDef{Name: "Tag", Type: "string", Public: true})
+	if err := en.Sch.DefineType(base); err != nil {
+		t.Fatal(err)
+	}
+	sub := object.NewTupleType("Scored", object.AttrDef{Name: "Score", Type: "float", Public: true})
+	sub.Super = "Named"
+	if err := en.Sch.DefineType(sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.Sch.DefineOpSrc("Scored", `define describe: string is
+		return self.Tag
+	end`, true); err != nil {
+		t.Fatalf("inherited attribute not resolved: %v", err)
+	}
+	oid, err := en.Create("Scored", []object.Value{object.String_("hello"), object.Float(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := en.Invoke("Scored.describe", object.Ref(oid))
+	if err != nil || v.S != "hello" {
+		t.Fatalf("describe = %v, %v", v, err)
+	}
+}
+
+func TestQualifiedDefineForm(t *testing.T) {
+	en := newBoundEngine(t)
+	defineTextualGeometry(t, en)
+	if _, err := en.Sch.DefineFuncSrc(`define Cuboid.halfvol: float is
+		return self.volume / 2.0
+	end`, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := en.Sch.ResolveOp("Cuboid", "halfvol"); !ok {
+		t.Fatal("qualified define did not attach the op")
+	}
+	// Mismatched type in DefineOpSrc.
+	if _, err := en.Sch.DefineOpSrc("Vertex", `define Cuboid.wrong: float is return 0.0 end`, true); err == nil {
+		t.Fatal("mismatched receiver accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary record encoding for objects and values. Records must be compact:
+// the cost model depends on realistic object sizes (a Vertex is a few dozen
+// bytes, so ~40 of them share a 4 KB page, matching the paper's setup).
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+func (e *encoder) varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+func (e *encoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) value(v Value) {
+	e.u8(uint8(v.Kind))
+	switch v.Kind {
+	case KNull:
+	case KBool:
+		if v.B {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case KInt:
+		e.varint(v.I)
+	case KFloat:
+		e.f64(v.F)
+	case KString:
+		e.str(v.S)
+	case KRef:
+		e.uvarint(uint64(v.R))
+	case KTuple:
+		e.str(v.TupleType)
+		e.uvarint(uint64(len(v.Elems)))
+		for _, el := range v.Elems {
+			e.value(el)
+		}
+	case KSet, KList:
+		e.uvarint(uint64(len(v.Elems)))
+		for _, el := range v.Elems {
+			e.value(el)
+		}
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("object: truncated record (u8 at %d)", d.off)
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("object: truncated record (uvarint at %d)", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("object: truncated record (varint at %d)", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("object: truncated record (f64 at %d)", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if d.off+int(n) > len(d.buf) {
+		d.fail("object: truncated record (string of %d at %d)", n, d.off)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) value() Value {
+	k := Kind(d.u8())
+	switch k {
+	case KNull:
+		return Null()
+	case KBool:
+		return Bool(d.u8() != 0)
+	case KInt:
+		return Int(d.varint())
+	case KFloat:
+		return Float(d.f64())
+	case KString:
+		return String_(d.str())
+	case KRef:
+		return Ref(OID(d.uvarint()))
+	case KTuple:
+		tn := d.str()
+		n := int(d.uvarint())
+		if d.err != nil || n > len(d.buf) {
+			d.fail("object: bad tuple arity %d", n)
+			return Null()
+		}
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = d.value()
+		}
+		return Value{Kind: KTuple, TupleType: tn, Elems: elems}
+	case KSet, KList:
+		n := int(d.uvarint())
+		if d.err != nil || n > len(d.buf) {
+			d.fail("object: bad collection arity %d", n)
+			return Null()
+		}
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = d.value()
+		}
+		return Value{Kind: k, Elems: elems}
+	default:
+		d.fail("object: unknown value kind %d", k)
+		return Null()
+	}
+}
+
+// EncodeValue serializes a single value (used for GMR records).
+func EncodeValue(v Value) []byte {
+	var e encoder
+	e.value(v)
+	return e.buf
+}
+
+// DecodeValue deserializes a value produced by EncodeValue and returns the
+// number of bytes consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	d := decoder{buf: buf}
+	v := d.value()
+	return v, d.off, d.err
+}
+
+// encodeObj serializes an object record: type name, attributes, elements,
+// and the ObjDepFct marking set.
+func encodeObj(o *Obj) []byte {
+	var e encoder
+	e.str(o.Type)
+	e.uvarint(uint64(len(o.Attrs)))
+	for _, v := range o.Attrs {
+		e.value(v)
+	}
+	e.uvarint(uint64(len(o.Elems)))
+	for _, v := range o.Elems {
+		e.value(v)
+	}
+	e.uvarint(uint64(len(o.DepFcts)))
+	for _, f := range o.DepFcts {
+		e.str(f)
+	}
+	return e.buf
+}
+
+func decodeObj(oid OID, buf []byte) (*Obj, error) {
+	d := decoder{buf: buf}
+	o := &Obj{OID: oid}
+	o.Type = d.str()
+	nAttrs := int(d.uvarint())
+	if d.err == nil && nAttrs <= len(buf) {
+		o.Attrs = make([]Value, nAttrs)
+		for i := range o.Attrs {
+			o.Attrs[i] = d.value()
+		}
+	}
+	nElems := int(d.uvarint())
+	if d.err == nil && nElems <= len(buf) {
+		o.Elems = make([]Value, nElems)
+		for i := range o.Elems {
+			o.Elems[i] = d.value()
+		}
+	}
+	nDep := int(d.uvarint())
+	if d.err == nil && nDep <= len(buf) {
+		if nDep > 0 {
+			o.DepFcts = make([]string, nDep)
+			for i := range o.DepFcts {
+				o.DepFcts[i] = d.str()
+			}
+		}
+	}
+	return o, d.err
+}

@@ -1,0 +1,357 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"gomdb/internal/storage"
+)
+
+// Obj is the in-memory form of a stored object. Callers obtain it from
+// Manager.Get, mutate it, and write it back with Manager.Put.
+type Obj struct {
+	OID  OID
+	Type string
+	// Attrs are the attribute values of a tuple-structured object, in the
+	// flattened inherited layout (Manager.Layout).
+	Attrs []Value
+	// Elems are the elements of a set- or list-structured object.
+	Elems []Value
+	// DepFcts is the ObjDepFct set of Section 5.2: the identifiers of all
+	// materialized functions that used this object during materialization.
+	// Sorted; maintained in lockstep with the RRR by the GMR manager.
+	DepFcts []string
+}
+
+// HasDepFct reports whether fid is in the object's ObjDepFct set.
+func (o *Obj) HasDepFct(fid string) bool {
+	i := sort.SearchStrings(o.DepFcts, fid)
+	return i < len(o.DepFcts) && o.DepFcts[i] == fid
+}
+
+// AddDepFct inserts fid into ObjDepFct; reports whether it was new.
+func (o *Obj) AddDepFct(fid string) bool {
+	i := sort.SearchStrings(o.DepFcts, fid)
+	if i < len(o.DepFcts) && o.DepFcts[i] == fid {
+		return false
+	}
+	o.DepFcts = append(o.DepFcts, "")
+	copy(o.DepFcts[i+1:], o.DepFcts[i:])
+	o.DepFcts[i] = fid
+	return true
+}
+
+// RemoveDepFct removes fid from ObjDepFct; reports whether it was present.
+func (o *Obj) RemoveDepFct(fid string) bool {
+	i := sort.SearchStrings(o.DepFcts, fid)
+	if i >= len(o.DepFcts) || o.DepFcts[i] != fid {
+		return false
+	}
+	o.DepFcts = append(o.DepFcts[:i], o.DepFcts[i+1:]...)
+	return true
+}
+
+// extent tracks the instances of one exact type with O(1) membership and
+// swap-removal while preserving deterministic iteration for seeded
+// benchmarks.
+type extent struct {
+	order []OID
+	pos   map[OID]int
+}
+
+func (e *extent) add(oid OID) {
+	e.pos[oid] = len(e.order)
+	e.order = append(e.order, oid)
+}
+
+func (e *extent) remove(oid OID) {
+	i, ok := e.pos[oid]
+	if !ok {
+		return
+	}
+	last := len(e.order) - 1
+	e.order[i] = e.order[last]
+	e.pos[e.order[i]] = i
+	e.order = e.order[:last]
+	delete(e.pos, oid)
+}
+
+// Manager stores objects in a paged heap file, maintains the OID directory
+// and per-type extensions, and charges all access to the simulated clock.
+type Manager struct {
+	Reg   *Registry
+	Clock *storage.Clock
+
+	heap    *storage.HeapFile
+	rids    map[OID]storage.RID
+	extents map[string]*extent
+	nextOID OID
+
+	layouts map[string][]AttrDef
+	attrIdx map[string]map[string]int
+
+	// Reads counts Get calls; used by tests and diagnostics.
+	Reads int64
+	// Writes counts Put calls.
+	Writes int64
+}
+
+// NewManager returns an object manager storing objects via pool.
+func NewManager(reg *Registry, pool *storage.BufferPool, clock *storage.Clock) *Manager {
+	return &Manager{
+		Reg:     reg,
+		Clock:   clock,
+		heap:    storage.NewHeapFile(pool, "objects"),
+		rids:    make(map[OID]storage.RID),
+		extents: make(map[string]*extent),
+		nextOID: 1,
+		layouts: make(map[string][]AttrDef),
+		attrIdx: make(map[string]map[string]int),
+	}
+}
+
+// Layout returns the flattened (inheritance-resolved) attribute layout of a
+// tuple type.
+func (m *Manager) Layout(typeName string) []AttrDef {
+	if l, ok := m.layouts[typeName]; ok {
+		return l
+	}
+	l := m.Reg.InheritedAttrs(typeName)
+	m.layouts[typeName] = l
+	idx := make(map[string]int, len(l))
+	for i, a := range l {
+		idx[a.Name] = i
+	}
+	m.attrIdx[typeName] = idx
+	return l
+}
+
+// AttrIndex returns the position of attr in the flattened layout of
+// typeName, or -1.
+func (m *Manager) AttrIndex(typeName, attr string) int {
+	if _, ok := m.attrIdx[typeName]; !ok {
+		m.Layout(typeName)
+	}
+	if i, ok := m.attrIdx[typeName][attr]; ok {
+		return i
+	}
+	return -1
+}
+
+// Create stores a new tuple-structured instance of typeName with the given
+// attribute values (in flattened layout order) and returns its OID.
+func (m *Manager) Create(typeName string, attrs []Value) (OID, error) {
+	t := m.Reg.Lookup(typeName)
+	if t == nil {
+		return NilOID, fmt.Errorf("object: create of unknown type %q", typeName)
+	}
+	if t.Kind != TupleType {
+		return NilOID, fmt.Errorf("object: Create on non-tuple type %q; use CreateCollection", typeName)
+	}
+	layout := m.Layout(typeName)
+	if attrs == nil {
+		attrs = make([]Value, len(layout))
+		for i := range attrs {
+			attrs[i] = Null()
+		}
+	}
+	if len(attrs) != len(layout) {
+		return NilOID, fmt.Errorf("object: type %q expects %d attributes, got %d", typeName, len(layout), len(attrs))
+	}
+	return m.store(&Obj{Type: typeName, Attrs: attrs})
+}
+
+// CreateCollection stores a new set- or list-structured instance.
+func (m *Manager) CreateCollection(typeName string, elems []Value) (OID, error) {
+	t := m.Reg.Lookup(typeName)
+	if t == nil {
+		return NilOID, fmt.Errorf("object: create of unknown type %q", typeName)
+	}
+	if t.Kind != SetType && t.Kind != ListType {
+		return NilOID, fmt.Errorf("object: CreateCollection on non-collection type %q", typeName)
+	}
+	return m.store(&Obj{Type: typeName, Elems: elems})
+}
+
+func (m *Manager) store(o *Obj) (OID, error) {
+	o.OID = m.nextOID
+	m.nextOID++
+	rec := encodeObj(o)
+	m.Clock.AddCPU(1 + int64(len(rec))/64)
+	rid, err := m.heap.Insert(rec)
+	if err != nil {
+		return NilOID, err
+	}
+	m.rids[o.OID] = rid
+	ext := m.extents[o.Type]
+	if ext == nil {
+		ext = &extent{pos: make(map[OID]int)}
+		m.extents[o.Type] = ext
+	}
+	ext.add(o.OID)
+	m.Writes++
+	return o.OID, nil
+}
+
+// Exists reports whether oid denotes a live object.
+func (m *Manager) Exists(oid OID) bool {
+	_, ok := m.rids[oid]
+	return ok
+}
+
+// TypeOf returns the type name of oid without charging a full record decode.
+// It still reads the record (and thus charges I/O) because the type tag is
+// stored with the object.
+func (m *Manager) TypeOf(oid OID) (string, error) {
+	o, err := m.Get(oid)
+	if err != nil {
+		return "", err
+	}
+	return o.Type, nil
+}
+
+// Get reads and decodes the object with the given OID.
+func (m *Manager) Get(oid OID) (*Obj, error) {
+	rid, ok := m.rids[oid]
+	if !ok {
+		return nil, fmt.Errorf("object: dangling reference %v", oid)
+	}
+	rec, err := m.heap.Read(rid)
+	if err != nil {
+		return nil, err
+	}
+	m.Clock.AddCPU(1 + int64(len(rec))/64)
+	m.Reads++
+	return decodeObj(oid, rec)
+}
+
+// Put writes back a (possibly mutated) object.
+func (m *Manager) Put(o *Obj) error {
+	rid, ok := m.rids[o.OID]
+	if !ok {
+		return fmt.Errorf("object: put of deleted object %v", o.OID)
+	}
+	rec := encodeObj(o)
+	m.Clock.AddCPU(1 + int64(len(rec))/64)
+	newRID, err := m.heap.Update(rid, rec)
+	if err != nil {
+		return err
+	}
+	if newRID != rid {
+		m.rids[o.OID] = newRID
+	}
+	m.Writes++
+	return nil
+}
+
+// Delete removes the object from the store and its type extension.
+func (m *Manager) Delete(oid OID) error {
+	rid, ok := m.rids[oid]
+	if !ok {
+		return fmt.Errorf("object: delete of unknown object %v", oid)
+	}
+	o, err := m.Get(oid)
+	if err != nil {
+		return err
+	}
+	if err := m.heap.Delete(rid); err != nil {
+		return err
+	}
+	delete(m.rids, oid)
+	if ext := m.extents[o.Type]; ext != nil {
+		ext.remove(oid)
+	}
+	return nil
+}
+
+// Extension returns the OIDs of all instances of typeName and its subtypes
+// (Section 3: "the extension of type Cuboid, i.e., the set of instances of
+// type Cuboid"). The slice is a copy.
+func (m *Manager) Extension(typeName string) []OID {
+	var out []OID
+	for _, tn := range m.Reg.WithSubtypes(typeName) {
+		if ext := m.extents[tn]; ext != nil {
+			out = append(out, ext.order...)
+		}
+	}
+	return out
+}
+
+// ExtensionSize returns the number of instances of typeName incl. subtypes.
+func (m *Manager) ExtensionSize(typeName string) int {
+	n := 0
+	for _, tn := range m.Reg.WithSubtypes(typeName) {
+		if ext := m.extents[tn]; ext != nil {
+			n += len(ext.order)
+		}
+	}
+	return n
+}
+
+// NumObjects returns the number of live objects.
+func (m *Manager) NumObjects() int { return len(m.rids) }
+
+// NextOID returns the OID the next created object will receive; the GMR
+// manager uses the watermark to identify result objects for garbage
+// collection.
+func (m *Manager) NextOID() OID { return m.nextOID }
+
+// HeapPages returns the number of pages occupied by the object heap.
+func (m *Manager) HeapPages() int { return m.heap.NumPages() }
+
+// MaterializeValue persists a transient complex value (tuple/set/list) as
+// one or more objects and returns a Ref to the root. Atomic values are
+// returned unchanged. The GMR manager uses this to store complex function
+// results as objects, per Section 3.1 ("references to the result objects").
+func (m *Manager) MaterializeValue(v Value, typeName string) (Value, error) {
+	switch v.Kind {
+	case KTuple:
+		tn := v.TupleType
+		if tn == "" {
+			tn = typeName
+		}
+		layout := m.Layout(tn)
+		attrs := make([]Value, len(layout))
+		for i := range layout {
+			if i < len(v.Elems) {
+				av, err := m.MaterializeValue(v.Elems[i], layout[i].Type)
+				if err != nil {
+					return Null(), err
+				}
+				attrs[i] = av
+			} else {
+				attrs[i] = Null()
+			}
+		}
+		oid, err := m.Create(tn, attrs)
+		if err != nil {
+			return Null(), err
+		}
+		return Ref(oid), nil
+	case KSet, KList:
+		t := m.Reg.Lookup(typeName)
+		elemType := ""
+		if t != nil {
+			elemType = t.Elem
+		}
+		elems := make([]Value, len(v.Elems))
+		for i, e := range v.Elems {
+			ev, err := m.MaterializeValue(e, elemType)
+			if err != nil {
+				return Null(), err
+			}
+			elems[i] = ev
+		}
+		if t == nil || (t.Kind != SetType && t.Kind != ListType) {
+			// No declared collection type: keep it transient.
+			return Value{Kind: v.Kind, Elems: elems}, nil
+		}
+		oid, err := m.CreateCollection(typeName, elems)
+		if err != nil {
+			return Null(), err
+		}
+		return Ref(oid), nil
+	default:
+		return v, nil
+	}
+}

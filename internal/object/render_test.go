@@ -1,0 +1,103 @@
+package object
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "null"},
+		{Bool(true), "true"},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{String_("a\"b"), `"a\"b"`},
+		{Ref(42), "id42"},
+		{TupleVal("T", Int(1), String_("x")), `T[1, "x"]`},
+		{ListVal(Int(2), Int(1)), "<2, 1>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+	// Set rendering is canonical (order-insensitive).
+	a := SetVal(Int(2), Int(1)).String()
+	b := SetVal(Int(1), Int(2)).String()
+	if a != b {
+		t.Errorf("set rendering not canonical: %q vs %q", a, b)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KNull: "null", KBool: "bool", KInt: "int", KFloat: "float",
+		KString: "string", KRef: "ref", KTuple: "tuple", KSet: "set", KList: "list",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	typeKinds := map[TypeKind]string{
+		Atomic: "atomic", TupleType: "tuple", SetType: "set", ListType: "list",
+	}
+	for k, want := range typeKinds {
+		if k.String() != want {
+			t.Errorf("TypeKind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestRegistryMiscellany(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(NewTupleType("A", AttrDef{Name: "X", Type: "float"})); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Lookup("A").AttrType("X"); got != "float" {
+		t.Fatalf("AttrType = %q", got)
+	}
+	if got := reg.Lookup("A").AttrType("Y"); got != "" {
+		t.Fatalf("missing AttrType = %q", got)
+	}
+	if len(reg.Types()) != 1 {
+		t.Fatalf("Types = %v", reg.Types())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of missing type did not panic")
+		}
+	}()
+	reg.MustLookup("missing")
+}
+
+func TestTypeOfAndHeapPages(t *testing.T) {
+	m, reg := testManager(t)
+	if err := reg.Register(NewTupleType("T", AttrDef{Name: "X", Type: "float"})); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := m.Create("T", []Value{Float(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := m.TypeOf(oid)
+	if err != nil || tn != "T" {
+		t.Fatalf("TypeOf = %q, %v", tn, err)
+	}
+	if m.HeapPages() < 1 {
+		t.Fatal("no heap pages")
+	}
+	if m.NextOID() <= oid {
+		t.Fatal("NextOID not advancing")
+	}
+	// AsFloat/Truth edge cases.
+	if _, ok := String_("x").AsFloat(); ok {
+		t.Fatal("string AsFloat succeeded")
+	}
+	if !strings.Contains(ListVal().String(), "<") {
+		t.Fatal("empty list rendering")
+	}
+}

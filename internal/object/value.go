@@ -1,0 +1,237 @@
+// Package object implements the GOM object model: typed values, object
+// identifiers, tuple/set/list-structured objects, type descriptors with
+// single inheritance, and the object manager that stores objects in paged
+// heap files with stable OIDs and per-type extensions.
+package object
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OID is an object identifier. OIDs are immutable for the lifetime of an
+// object (Section 2 of the paper: "the OID of an object is guaranteed to
+// remain invariant throughout its lifetime"). NilOID references no object.
+type OID uint64
+
+// NilOID is the null reference.
+const NilOID OID = 0
+
+func (o OID) String() string { return "id" + strconv.FormatUint(uint64(o), 10) }
+
+// Kind enumerates the kinds of runtime values.
+type Kind uint8
+
+// Value kinds. Tuple/Set/List values are transient (not yet objects);
+// complex results of materialized functions are turned into objects by the
+// object manager before being stored in a GMR.
+const (
+	KNull Kind = iota
+	KBool
+	KInt
+	KFloat
+	KString
+	KRef
+	KTuple
+	KSet
+	KList
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KNull:
+		return "null"
+	case KBool:
+		return "bool"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KString:
+		return "string"
+	case KRef:
+		return "ref"
+	case KTuple:
+		return "tuple"
+	case KSet:
+		return "set"
+	case KList:
+		return "list"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is a runtime value of the GOM data model.
+type Value struct {
+	Kind Kind
+	B    bool
+	I    int64
+	F    float64
+	S    string
+	R    OID
+	// Elems holds the components of transient tuple, set, and list values.
+	Elems []Value
+	// TupleType names the tuple type of a transient tuple value, so the
+	// object manager can persist it as an instance of that type.
+	TupleType string
+}
+
+// Null returns the null value.
+func Null() Value { return Value{Kind: KNull} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{Kind: KBool, B: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{Kind: KFloat, F: f} }
+
+// String_ returns a string value.
+func String_(s string) Value { return Value{Kind: KString, S: s} }
+
+// Ref returns an object reference value.
+func Ref(oid OID) Value { return Value{Kind: KRef, R: oid} }
+
+// TupleVal returns a transient tuple value of the named tuple type.
+func TupleVal(typeName string, fields ...Value) Value {
+	return Value{Kind: KTuple, TupleType: typeName, Elems: fields}
+}
+
+// SetVal returns a transient set value.
+func SetVal(elems ...Value) Value { return Value{Kind: KSet, Elems: elems} }
+
+// ListVal returns a transient list value.
+func ListVal(elems ...Value) Value { return Value{Kind: KList, Elems: elems} }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.Kind == KNull }
+
+// AsFloat converts numeric values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KFloat:
+		return v.F, true
+	case KInt:
+		return float64(v.I), true
+	}
+	return 0, false
+}
+
+// Truth reports the boolean interpretation of v (null is false).
+func (v Value) Truth() bool { return v.Kind == KBool && v.B }
+
+// Equal reports deep value equality. Sets compare as multisets would under
+// sorted canonical order; for GMR keys and predicate evaluation this is the
+// identity the paper needs (object identity for refs, value equality for
+// atomic values).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		// Allow int/float cross-kind numeric equality.
+		a, okA := v.AsFloat()
+		b, okB := o.AsFloat()
+		return okA && okB && a == b
+	}
+	switch v.Kind {
+	case KNull:
+		return true
+	case KBool:
+		return v.B == o.B
+	case KInt:
+		return v.I == o.I
+	case KFloat:
+		return v.F == o.F || (math.IsNaN(v.F) && math.IsNaN(o.F))
+	case KString:
+		return v.S == o.S
+	case KRef:
+		return v.R == o.R
+	case KTuple, KList:
+		if len(v.Elems) != len(o.Elems) || v.TupleType != o.TupleType {
+			return false
+		}
+		for i := range v.Elems {
+			if !v.Elems[i].Equal(o.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case KSet:
+		if len(v.Elems) != len(o.Elems) {
+			return false
+		}
+		a := canonicalOrder(v.Elems)
+		b := canonicalOrder(o.Elems)
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// canonicalOrder returns the elements sorted by their String form, giving
+// sets a deterministic comparison order.
+func canonicalOrder(elems []Value) []Value {
+	out := make([]Value, len(elems))
+	copy(out, elems)
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Contains reports whether a set or list value contains elem.
+func (v Value) Contains(elem Value) bool {
+	for _, e := range v.Elems {
+		if e.Equal(elem) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KNull:
+		return "null"
+	case KBool:
+		return strconv.FormatBool(v.B)
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KString:
+		return strconv.Quote(v.S)
+	case KRef:
+		return v.R.String()
+	case KTuple:
+		var b strings.Builder
+		b.WriteString(v.TupleType)
+		b.WriteByte('[')
+		for i, e := range v.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(']')
+		return b.String()
+	case KSet:
+		parts := make([]string, len(v.Elems))
+		for i, e := range canonicalOrder(v.Elems) {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case KList:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = e.String()
+		}
+		return "<" + strings.Join(parts, ", ") + ">"
+	}
+	return "?"
+}

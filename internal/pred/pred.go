@@ -1,0 +1,273 @@
+// Package pred implements the predicate calculus Section 6 of the paper
+// needs for restricted GMRs: Boolean combinations of the three comparison
+// types of Rosenkrantz and Hunt ("Processing Conjunctive Predicates and
+// Queries", VLDB 1980) —
+//
+//	Type 1: x ⊙ c        (comparison with a constant)
+//	Type 2: x ⊙ y        (comparison between variables)
+//	Type 3: x ⊙ y + c    (comparison with an offset)
+//
+// with ⊙ ∈ {=, ≠, <, ≤, >, ≥} — plus disjunctive normal form conversion,
+// the polynomial (O(k³), Floyd–Warshall based) satisfiability test for
+// conjunctions in the decidable class, and the GMR applicability test: a
+// p-restricted GMR can evaluate a backward query with relevant selection
+// part σ′ iff ¬p ∧ σ′ is unsatisfiable.
+//
+// Variables are identified by canonical strings (the query layer uses path
+// expressions such as "c.volume"); string constants are interned to distinct
+// numeric codes so equality predicates over strings participate in the same
+// machinery.
+package pred
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Negate returns the complement operator.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	}
+	return op
+}
+
+// Atom is one comparison. If Y is empty the atom is Type 1 (x ⊙ C);
+// otherwise it is Type 3 (x ⊙ y + C), with C == 0 giving Type 2.
+type Atom struct {
+	X  string
+	Op CmpOp
+	Y  string
+	C  float64
+}
+
+// IsConst reports whether the atom compares against a constant (Type 1).
+func (a Atom) IsConst() bool { return a.Y == "" }
+
+func (a Atom) String() string {
+	if a.IsConst() {
+		return fmt.Sprintf("%s %s %g", a.X, a.Op, a.C)
+	}
+	if a.C == 0 {
+		return fmt.Sprintf("%s %s %s", a.X, a.Op, a.Y)
+	}
+	return fmt.Sprintf("%s %s %s + %g", a.X, a.Op, a.Y, a.C)
+}
+
+// negated returns the complemented atom.
+func (a Atom) negated() Atom {
+	a.Op = a.Op.Negate()
+	return a
+}
+
+// P is a predicate formula.
+type P interface {
+	fmt.Stringer
+	isPred()
+}
+
+// TrueP is the always-true predicate.
+type TrueP struct{}
+
+// FalseP is the always-false predicate.
+type FalseP struct{}
+
+// AtomP wraps a comparison atom.
+type AtomP struct{ A Atom }
+
+// AndP is conjunction.
+type AndP struct{ L, R P }
+
+// OrP is disjunction.
+type OrP struct{ L, R P }
+
+// NotP is negation.
+type NotP struct{ E P }
+
+func (TrueP) isPred()  {}
+func (FalseP) isPred() {}
+func (AtomP) isPred()  {}
+func (AndP) isPred()   {}
+func (OrP) isPred()    {}
+func (NotP) isPred()   {}
+
+func (TrueP) String() string   { return "true" }
+func (FalseP) String() string  { return "false" }
+func (p AtomP) String() string { return p.A.String() }
+func (p AndP) String() string  { return "(" + p.L.String() + " and " + p.R.String() + ")" }
+func (p OrP) String() string   { return "(" + p.L.String() + " or " + p.R.String() + ")" }
+func (p NotP) String() string  { return "not(" + p.E.String() + ")" }
+
+// Constructors.
+
+// CmpConst builds the Type 1 atom x ⊙ c.
+func CmpConst(x string, op CmpOp, c float64) P { return AtomP{Atom{X: x, Op: op, C: c}} }
+
+// CmpVars builds the Type 2 atom x ⊙ y.
+func CmpVars(x string, op CmpOp, y string) P { return AtomP{Atom{X: x, Op: op, Y: y}} }
+
+// CmpOffset builds the Type 3 atom x ⊙ y + c.
+func CmpOffset(x string, op CmpOp, y string, c float64) P {
+	return AtomP{Atom{X: x, Op: op, Y: y, C: c}}
+}
+
+// Between builds lb ≤ x ≤ ub.
+func Between(x string, lb, ub float64) P {
+	return And(CmpConst(x, Ge, lb), CmpConst(x, Le, ub))
+}
+
+// And conjoins predicates (variadic; empty is true).
+func And(ps ...P) P {
+	return fold(ps, TrueP{}, func(l, r P) P { return AndP{l, r} })
+}
+
+// Or disjoins predicates (variadic; empty is false).
+func Or(ps ...P) P {
+	return fold(ps, FalseP{}, func(l, r P) P { return OrP{l, r} })
+}
+
+// Not negates a predicate.
+func Not(p P) P { return NotP{p} }
+
+func fold(ps []P, zero P, f func(l, r P) P) P {
+	if len(ps) == 0 {
+		return zero
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = f(out, p)
+	}
+	return out
+}
+
+// Vars returns the sorted variable names referenced by p.
+func Vars(p P) []string {
+	set := make(map[string]bool)
+	var walk func(P)
+	walk = func(q P) {
+		switch n := q.(type) {
+		case AtomP:
+			set[n.A.X] = true
+			if n.A.Y != "" {
+				set[n.A.Y] = true
+			}
+		case AndP:
+			walk(n.L)
+			walk(n.R)
+		case OrP:
+			walk(n.L)
+			walk(n.R)
+		case NotP:
+			walk(n.E)
+		}
+	}
+	walk(p)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates p under a variable assignment; used by brute-force
+// property tests and by the query fallback path.
+func Eval(p P, env map[string]float64) bool {
+	switch n := p.(type) {
+	case TrueP:
+		return true
+	case FalseP:
+		return false
+	case AtomP:
+		x := env[n.A.X]
+		rhs := n.A.C
+		if n.A.Y != "" {
+			rhs += env[n.A.Y]
+		}
+		switch n.A.Op {
+		case Eq:
+			return x == rhs
+		case Ne:
+			return x != rhs
+		case Lt:
+			return x < rhs
+		case Le:
+			return x <= rhs
+		case Gt:
+			return x > rhs
+		case Ge:
+			return x >= rhs
+		}
+	case AndP:
+		return Eval(n.L, env) && Eval(n.R, env)
+	case OrP:
+		return Eval(n.L, env) || Eval(n.R, env)
+	case NotP:
+		return !Eval(n.E, env)
+	}
+	return false
+}
+
+// Interner maps string constants to distinct numeric codes so string
+// equality predicates fit the numeric solver: distinct strings get distinct
+// codes, making x = "Iron" ∧ x = "Gold" correctly unsatisfiable.
+type Interner struct {
+	codes map[string]float64
+	next  float64
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner { return &Interner{codes: make(map[string]float64), next: 1} }
+
+// Code returns the stable numeric code for s.
+func (in *Interner) Code(s string) float64 {
+	if c, ok := in.codes[s]; ok {
+		return c
+	}
+	c := in.next
+	in.next++
+	in.codes[s] = c
+	return c
+}

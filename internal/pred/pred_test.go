@@ -1,0 +1,293 @@
+package pred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNegation(t *testing.T) {
+	pairs := map[CmpOp]CmpOp{Eq: Ne, Lt: Ge, Le: Gt, Gt: Le, Ge: Lt, Ne: Eq}
+	for op, want := range pairs {
+		if op.Negate() != want {
+			t.Errorf("negate(%v) = %v, want %v", op, op.Negate(), want)
+		}
+		if op.Negate().Negate() != op {
+			t.Errorf("double negation of %v", op)
+		}
+	}
+}
+
+func TestDNFShapes(t *testing.T) {
+	a := CmpConst("x", Lt, 1)
+	b := CmpConst("y", Gt, 2)
+	c := CmpConst("z", Eq, 3)
+	// (a or b) and c  ->  (a and c) or (b and c)
+	conjs := DNF(And(Or(a, b), c))
+	if len(conjs) != 2 || len(conjs[0]) != 2 || len(conjs[1]) != 2 {
+		t.Fatalf("DNF = %v", conjs)
+	}
+	// not (a and b) -> not a or not b
+	conjs = DNF(Not(And(a, b)))
+	if len(conjs) != 2 || len(conjs[0]) != 1 {
+		t.Fatalf("DNF(¬∧) = %v", conjs)
+	}
+	if conjs[0][0].Op != Ge {
+		t.Fatalf("negation not pushed: %v", conjs[0][0])
+	}
+	if len(DNF(FalseP{})) != 0 {
+		t.Fatal("DNF(false) not empty")
+	}
+	if conjs := DNF(TrueP{}); len(conjs) != 1 || len(conjs[0]) != 0 {
+		t.Fatalf("DNF(true) = %v", conjs)
+	}
+	// Double negation.
+	conjs = DNF(Not(Not(a)))
+	if len(conjs) != 1 || conjs[0][0].Op != Lt {
+		t.Fatalf("DNF(¬¬a) = %v", conjs)
+	}
+}
+
+func TestInClass(t *testing.T) {
+	if !InClass(And(CmpConst("x", Ne, 3), CmpVars("x", Le, "y"))) {
+		t.Fatal("x != const should be in class")
+	}
+	if InClass(CmpVars("x", Ne, "y")) {
+		t.Fatal("x != y should be outside the class")
+	}
+	// Negation can push ≠ into a variable comparison.
+	if InClass(Not(CmpVars("x", Eq, "y"))) {
+		t.Fatal("not(x = y) should be outside the class")
+	}
+	if !InClass(Not(CmpVars("x", Le, "y"))) {
+		t.Fatal("not(x <= y) is x > y, in class")
+	}
+}
+
+func TestSatisfiableConjCases(t *testing.T) {
+	cases := []struct {
+		name string
+		conj []Atom
+		want bool
+	}{
+		{"empty", nil, true},
+		{"x<1 and x>0", []Atom{{X: "x", Op: Lt, C: 1}, {X: "x", Op: Gt, C: 0}}, true},
+		{"x<1 and x>1", []Atom{{X: "x", Op: Lt, C: 1}, {X: "x", Op: Gt, C: 1}}, false},
+		{"x<=1 and x>=1", []Atom{{X: "x", Op: Le, C: 1}, {X: "x", Op: Ge, C: 1}}, true},
+		{"x<1 and x>=1", []Atom{{X: "x", Op: Lt, C: 1}, {X: "x", Op: Ge, C: 1}}, false},
+		{"x=1 and x=2", []Atom{{X: "x", Op: Eq, C: 1}, {X: "x", Op: Eq, C: 2}}, false},
+		{"x=1 and x!=1", []Atom{{X: "x", Op: Eq, C: 1}, {X: "x", Op: Ne, C: 1}}, false},
+		{"x<=1 and x>=1 and x!=1", []Atom{{X: "x", Op: Le, C: 1}, {X: "x", Op: Ge, C: 1}, {X: "x", Op: Ne, C: 1}}, false},
+		{"x<=2 and x>=1 and x!=1", []Atom{{X: "x", Op: Le, C: 2}, {X: "x", Op: Ge, C: 1}, {X: "x", Op: Ne, C: 1}}, true},
+		// Variable chains: x <= y, y <= z, z <= x - 1 is a negative cycle.
+		{"neg cycle", []Atom{{X: "x", Op: Le, Y: "y"}, {X: "y", Op: Le, Y: "z"}, {X: "z", Op: Le, Y: "x", C: -1}}, false},
+		{"zero cycle ok", []Atom{{X: "x", Op: Le, Y: "y"}, {X: "y", Op: Le, Y: "x"}}, true},
+		{"zero cycle strict", []Atom{{X: "x", Op: Lt, Y: "y"}, {X: "y", Op: Le, Y: "x"}}, false},
+		// Offsets (Type 3): x = y + 5, x <= 3, y >= 0.
+		{"offset unsat", []Atom{{X: "x", Op: Eq, Y: "y", C: 5}, {X: "x", Op: Le, C: 3}, {X: "y", Op: Ge, C: 0}}, false},
+		{"offset sat", []Atom{{X: "x", Op: Eq, Y: "y", C: 5}, {X: "x", Op: Le, C: 8}, {X: "y", Op: Ge, C: 0}}, true},
+		// Forced variable equality with disequality.
+		{"x=y forced, x!=y", []Atom{{X: "x", Op: Le, Y: "y"}, {X: "y", Op: Le, Y: "x"}, {X: "x", Op: Ne, Y: "y"}}, false},
+		{"x<=y, x!=y", []Atom{{X: "x", Op: Le, Y: "y"}, {X: "x", Op: Ne, Y: "y"}}, true},
+	}
+	for _, c := range cases {
+		if got := SatisfiableConj(c.conj); got != c.want {
+			t.Errorf("%s: SatisfiableConj = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSatisfiableFormula(t *testing.T) {
+	// (x < 0 and x > 1) or x = 5 — second disjunct satisfiable.
+	p := Or(And(CmpConst("x", Lt, 0), CmpConst("x", Gt, 1)), CmpConst("x", Eq, 5))
+	sat, err := Satisfiable(p)
+	if err != nil || !sat {
+		t.Fatalf("sat = %v, %v", sat, err)
+	}
+	sat, err = Satisfiable(And(CmpConst("x", Lt, 0), CmpConst("x", Gt, 1)))
+	if err != nil || sat {
+		t.Fatalf("unsat formula reported sat")
+	}
+	if _, err := Satisfiable(CmpVars("x", Ne, "y")); err == nil {
+		t.Fatal("out-of-class formula accepted")
+	}
+}
+
+// TestCoversPaperExample reproduces the Section 6 scenario: the restriction
+// p = (Mat.Name = "Iron") covers σ' = (volume > 100 ∧ Mat.Name = "Iron")
+// but not σ' = (volume > 100).
+func TestCoversPaperExample(t *testing.T) {
+	in := NewInterner()
+	iron := in.Code("Iron")
+	gold := in.Code("Gold")
+	p := CmpConst("O1.Mat.Name", Eq, iron)
+
+	covered, err := Covers(p, And(CmpConst("O1.volume", Gt, 100), CmpConst("O1.Mat.Name", Eq, iron)))
+	if err != nil || !covered {
+		t.Fatalf("covered = %v, %v", covered, err)
+	}
+	covered, err = Covers(p, CmpConst("O1.volume", Gt, 100))
+	if err != nil || covered {
+		t.Fatalf("uncovered query reported covered")
+	}
+	covered, err = Covers(p, CmpConst("O1.Mat.Name", Eq, gold))
+	if err != nil || covered {
+		t.Fatalf("gold query covered by iron restriction")
+	}
+	// Interner stability.
+	if in.Code("Iron") != iron {
+		t.Fatal("interner not stable")
+	}
+}
+
+// TestCoversRange: a range restriction covers contained query ranges.
+func TestCoversRange(t *testing.T) {
+	p := Between("O1.f", 0, 100)
+	if ok, err := Covers(p, Between("O1.f", 10, 20)); err != nil || !ok {
+		t.Fatalf("contained range not covered: %v, %v", ok, err)
+	}
+	if ok, err := Covers(p, Between("O1.f", 50, 150)); err != nil || ok {
+		t.Fatalf("overflowing range covered")
+	}
+}
+
+// TestCoversRejectsOutOfClass: ¬p must be in the decidable class — a
+// restriction with x = y would negate to x ≠ y.
+func TestCoversRejectsOutOfClass(t *testing.T) {
+	p := CmpVars("O1.a", Eq, "O1.b")
+	if _, err := Covers(p, CmpConst("O1.a", Gt, 0)); err == nil {
+		t.Fatal("restriction with variable equality accepted")
+	}
+}
+
+// randomAtom generates atoms over a small variable/constant domain so that
+// brute force over integer assignments is exact (all constants integral, so
+// real satisfiability over the convex closure matches integer satisfiability
+// for difference constraints).
+func randomAtom(rng *rand.Rand, vars []string) Atom {
+	ops := []CmpOp{Eq, Lt, Le, Gt, Ge, Ne}
+	a := Atom{
+		X:  vars[rng.Intn(len(vars))],
+		Op: ops[rng.Intn(len(ops))],
+		C:  float64(rng.Intn(7) - 3),
+	}
+	if rng.Intn(2) == 0 {
+		a.Y = vars[rng.Intn(len(vars))]
+		if a.Op == Ne {
+			a.Op = Le // keep in class
+		}
+	}
+	return a
+}
+
+func evalAtom(a Atom, env map[string]float64) bool {
+	return Eval(AtomP{a}, env)
+}
+
+// TestQuickSatisfiabilityAgainstBruteForce compares SatisfiableConj with
+// exhaustive search over integer assignments in [-6, 6]. Difference
+// constraints with integer constants are integrally solvable whenever they
+// are real-solvable, and all our bounds fit the search box.
+func TestQuickSatisfiabilityAgainstBruteForce(t *testing.T) {
+	vars := []string{"x", "y", "z"}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		conj := make([]Atom, n)
+		for i := range conj {
+			conj[i] = randomAtom(rng, vars)
+		}
+		got := SatisfiableConj(conj)
+		want := false
+		env := map[string]float64{}
+	search:
+		for x := -6; x <= 6; x++ {
+			for y := -6; y <= 6; y++ {
+				for z := -6; z <= 6; z++ {
+					env["x"], env["y"], env["z"] = float64(x), float64(y), float64(z)
+					all := true
+					for _, a := range conj {
+						if !evalAtom(a, env) {
+							all = false
+							break
+						}
+					}
+					if all {
+						want = true
+						break search
+					}
+				}
+			}
+		}
+		// Strict inequalities can make the only solutions non-integral
+		// (e.g. 0 < x < 1): the solver may say sat where integer brute
+		// force finds nothing. That direction is fine; the solver must
+		// never say UNSAT when an integer solution exists.
+		if want && !got {
+			return false
+		}
+		// When the solver says unsat, brute force must agree.
+		if !got && want {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCoversSoundness: if Covers says the restriction covers σ, then no
+// integer assignment may satisfy σ while violating p.
+func TestQuickCoversSoundness(t *testing.T) {
+	vars := []string{"x", "y"}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) P {
+			var ps []P
+			for i := 0; i < n; i++ {
+				a := randomAtom(rng, vars)
+				if a.Op == Ne { // keep ¬p in class too
+					a.Op = Le
+				}
+				ps = append(ps, AtomP{a})
+			}
+			return And(ps...)
+		}
+		p := mk(1 + rng.Intn(2))
+		sigma := mk(1 + rng.Intn(3))
+		covered, err := Covers(p, sigma)
+		if err != nil || !covered {
+			return true // nothing to verify
+		}
+		env := map[string]float64{}
+		for x := -6; x <= 6; x++ {
+			for y := -6; y <= 6; y++ {
+				env["x"], env["y"] = float64(x), float64(y)
+				if Eval(sigma, env) && !Eval(p, env) {
+					return false // counterexample to coverage
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarsAndEval(t *testing.T) {
+	p := And(CmpConst("b", Gt, 0), Or(CmpVars("a", Le, "c"), Not(CmpConst("a", Eq, 1))))
+	vs := Vars(p)
+	if len(vs) != 3 || vs[0] != "a" || vs[1] != "b" || vs[2] != "c" {
+		t.Fatalf("Vars = %v", vs)
+	}
+	env := map[string]float64{"a": 1, "b": 1, "c": 0}
+	if Eval(p, env) {
+		t.Fatal("Eval wrong: a>c and a=1")
+	}
+	env["c"] = 5
+	if !Eval(p, env) {
+		t.Fatal("Eval wrong: a<=c")
+	}
+}

@@ -1,0 +1,236 @@
+package pred
+
+import (
+	"fmt"
+	"math"
+)
+
+// DNF conversion and the Rosenkrantz–Hunt satisfiability test.
+
+// DNF returns the disjunctive normal form of p as a list of conjunctions of
+// atoms, with all negations pushed into the comparison operators. An empty
+// result means p is unsatisfiable by construction (false); a conjunct of
+// length zero means true.
+func DNF(p P) [][]Atom {
+	switch n := p.(type) {
+	case TrueP:
+		return [][]Atom{{}}
+	case FalseP:
+		return nil
+	case AtomP:
+		return [][]Atom{{n.A}}
+	case NotP:
+		return dnfNeg(n.E)
+	case AndP:
+		return crossProduct(DNF(n.L), DNF(n.R))
+	case OrP:
+		return append(DNF(n.L), DNF(n.R)...)
+	}
+	return nil
+}
+
+// dnfNeg returns DNF(¬p).
+func dnfNeg(p P) [][]Atom {
+	switch n := p.(type) {
+	case TrueP:
+		return nil
+	case FalseP:
+		return [][]Atom{{}}
+	case AtomP:
+		return [][]Atom{{n.A.negated()}}
+	case NotP:
+		return DNF(n.E)
+	case AndP: // ¬(L ∧ R) = ¬L ∨ ¬R
+		return append(dnfNeg(n.L), dnfNeg(n.R)...)
+	case OrP: // ¬(L ∨ R) = ¬L ∧ ¬R
+		return crossProduct(dnfNeg(n.L), dnfNeg(n.R))
+	}
+	return nil
+}
+
+func crossProduct(a, b [][]Atom) [][]Atom {
+	out := make([][]Atom, 0, len(a)*len(b))
+	for _, ca := range a {
+		for _, cb := range b {
+			conj := make([]Atom, 0, len(ca)+len(cb))
+			conj = append(conj, ca...)
+			conj = append(conj, cb...)
+			out = append(out, conj)
+		}
+	}
+	return out
+}
+
+// InClass reports whether p belongs to the decidable subclass of
+// Rosenkrantz and Hunt as the paper states it: p is a Boolean combination of
+// Type 1/2/3 comparisons and the DNF of p after eliminating negations does
+// not contain ≠ in any Type 2 or Type 3 comparison. (≠ against constants is
+// allowed; with it included on variables the problem becomes NP-hard.)
+func InClass(p P) bool {
+	for _, conj := range DNF(p) {
+		for _, a := range conj {
+			if a.Op == Ne && !a.IsConst() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bound is a difference bound x - y ≤ C (strict if S).
+type bound struct {
+	c      float64
+	strict bool
+}
+
+func (b bound) tighter(o bound) bool {
+	if b.c != o.c {
+		return b.c < o.c
+	}
+	return b.strict && !o.strict
+}
+
+func addBounds(a, b bound) bound {
+	return bound{c: a.c + b.c, strict: a.strict || b.strict}
+}
+
+// SatisfiableConj decides whether a conjunction of atoms in the decidable
+// class has a solution over the reals. The test builds the difference-bound
+// graph over the variables plus a constant anchor node and runs
+// Floyd–Warshall shortest paths — O(k³) in the number of variables, matching
+// the complexity the paper cites. Atoms of the form x ≠ c (and, as an
+// extension, x ≠ y + c) are verified after closure: they only fail when the
+// closure pins the difference to exactly the excluded value.
+func SatisfiableConj(conj []Atom) bool {
+	// Collect variables; index 0 is the anchor ("zero") node.
+	idx := map[string]int{"": 0}
+	var names []string
+	nodeOf := func(v string) int {
+		if i, ok := idx[v]; ok {
+			return i
+		}
+		i := len(idx)
+		idx[v] = i
+		names = append(names, v)
+		return i
+	}
+	for _, a := range conj {
+		nodeOf(a.X)
+		if a.Y != "" {
+			nodeOf(a.Y)
+		}
+	}
+	_ = names
+	n := len(idx)
+	inf := bound{c: math.Inf(1)}
+	dist := make([][]bound, n)
+	for i := range dist {
+		dist[i] = make([]bound, n)
+		for j := range dist[i] {
+			if i == j {
+				dist[i][j] = bound{c: 0}
+			} else {
+				dist[i][j] = inf
+			}
+		}
+	}
+	addEdge := func(from, to int, b bound) {
+		if b.tighter(dist[from][to]) {
+			dist[from][to] = b
+		}
+	}
+	var disequalities []Atom
+	for _, a := range conj {
+		x := idx[a.X]
+		y := idx[a.Y] // anchor when a.Y == ""
+		switch a.Op {
+		case Le: // x - y <= c
+			addEdge(x, y, bound{c: a.C})
+		case Lt:
+			addEdge(x, y, bound{c: a.C, strict: true})
+		case Ge: // y - x <= -c
+			addEdge(y, x, bound{c: -a.C})
+		case Gt:
+			addEdge(y, x, bound{c: -a.C, strict: true})
+		case Eq:
+			addEdge(x, y, bound{c: a.C})
+			addEdge(y, x, bound{c: -a.C})
+		case Ne:
+			disequalities = append(disequalities, a)
+		}
+	}
+	// Floyd–Warshall closure with strictness propagation.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if math.IsInf(dist[i][k].c, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if math.IsInf(dist[k][j].c, 1) {
+					continue
+				}
+				cand := addBounds(dist[i][k], dist[k][j])
+				if cand.tighter(dist[i][j]) {
+					dist[i][j] = cand
+				}
+			}
+		}
+	}
+	// A negative cycle — or a zero-weight cycle containing a strict edge —
+	// is a contradiction.
+	for i := 0; i < n; i++ {
+		d := dist[i][i]
+		if d.c < 0 || (d.c == 0 && d.strict) {
+			return false
+		}
+	}
+	// Disequality post-check: x ≠ y + c fails only if the closure forces
+	// x - y = c exactly (upper bound c non-strict and lower bound c
+	// non-strict).
+	for _, a := range disequalities {
+		x := idx[a.X]
+		y := idx[a.Y]
+		up := dist[x][y]   // x - y <= up
+		down := dist[y][x] // y - x <= down, i.e. x - y >= -down
+		if !up.strict && !down.strict && up.c == a.C && -down.c == a.C {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable decides satisfiability of an arbitrary predicate in the
+// decidable class by testing each DNF conjunct. It returns an error if p
+// falls outside the class.
+func Satisfiable(p P) (bool, error) {
+	if !InClass(p) {
+		return false, fmt.Errorf("pred: %v is outside the decidable class (≠ between variables)", p)
+	}
+	for _, conj := range DNF(p) {
+		if SatisfiableConj(conj) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Covers decides the GMR applicability condition of Section 6: the
+// p-restricted GMR can evaluate a backward query whose relevant selection
+// part is sigma iff σ′ ⇒ p, i.e. ¬p ∧ σ′ is unsatisfiable. Following the
+// paper it additionally requires (1) ¬p in the decidable class and (2) σ′ in
+// the decidable class, and returns an error naming the violated condition
+// otherwise.
+func Covers(p, sigma P) (bool, error) {
+	notP := Not(p)
+	if !InClass(notP) {
+		return false, fmt.Errorf("pred: ¬p = %v is outside the decidable class", notP)
+	}
+	if !InClass(sigma) {
+		return false, fmt.Errorf("pred: σ′ = %v is outside the decidable class", sigma)
+	}
+	sat, err := Satisfiable(And(notP, sigma))
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
+}

@@ -1,0 +1,410 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gomdb/internal/core"
+	"gomdb/internal/object"
+	"gomdb/internal/schema"
+)
+
+// Executor runs GOMql statements against an engine and its GMR manager.
+type Executor struct {
+	En  *schema.Engine
+	Mgr *core.Manager
+
+	// Defaults for the materialize statement.
+	DefaultStrategy core.Strategy
+	DefaultMode     core.HookMode
+
+	// Explain, when set, receives one line per query describing the chosen
+	// plan (backward GMR index vs. extension scan).
+	Explain func(string)
+
+	// rangeTypes maps range variables of the currently executing query to
+	// their declared types, enabling static dispatch in path steps. The
+	// executor is single-threaded, like the GOM runtime it models.
+	rangeTypes map[string]string
+}
+
+// NewExecutor returns an executor with the paper's default maintenance
+// configuration (immediate rematerialization, ObjDepFct marking).
+func NewExecutor(en *schema.Engine, mgr *core.Manager) *Executor {
+	return &Executor{En: en, Mgr: mgr, DefaultStrategy: core.Immediate, DefaultMode: core.ModeObjDep}
+}
+
+// Result is a query result: column labels and rows of values.
+type Result struct {
+	Columns []string
+	Rows    [][]object.Value
+}
+
+// Run parses and executes a GOMql statement. Parameters referenced as $name
+// in the query are taken from params.
+func (ex *Executor) Run(src string, params map[string]object.Value) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ex.RunQuery(q, params)
+}
+
+// RunQuery executes a parsed statement.
+func (ex *Executor) RunQuery(q *Query, params map[string]object.Value) (*Result, error) {
+	ex.rangeTypes = make(map[string]string, len(q.Ranges))
+	for _, r := range q.Ranges {
+		if ex.En.Sch.Reg.Lookup(r.Type) == nil {
+			return nil, fmt.Errorf("gomql: unknown range type %q", r.Type)
+		}
+		ex.rangeTypes[r.Var] = r.Type
+	}
+	if q.Kind == MaterializeStmt {
+		return ex.runMaterialize(q, params)
+	}
+	return ex.runRetrieve(q, params)
+}
+
+func (ex *Executor) explain(format string, args ...any) {
+	if ex.Explain != nil {
+		ex.Explain(fmt.Sprintf(format, args...))
+	}
+}
+
+// binding maps range variables to their current object.
+type binding map[string]object.Value
+
+func (ex *Executor) runRetrieve(q *Query, params map[string]object.Value) (*Result, error) {
+	res := &Result{}
+	for _, t := range q.Targets {
+		label := t.Path.String()
+		if t.Agg != "" {
+			label = t.Agg + "(" + label + ")"
+		}
+		res.Columns = append(res.Columns, label)
+	}
+
+	emitRow := func(b binding) error {
+		row := make([]object.Value, len(q.Targets))
+		for i, t := range q.Targets {
+			v, err := ex.evalOperand(t.Path, b, params)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+
+	// Try the backward-query plan for single-variable queries.
+	if len(q.Ranges) == 1 && q.Where != nil {
+		done, err := ex.tryBackward(q, params, emitRow)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return ex.finish(q, res)
+		}
+	}
+
+	// Fallback: nested-loop scan over the range extensions.
+	ex.explain("plan: extension scan over %v", q.Ranges)
+	var rec func(i int, b binding) error
+	rec = func(i int, b binding) error {
+		if i == len(q.Ranges) {
+			if q.Where != nil {
+				ok, err := ex.evalPred(q.Where, b, params)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			return emitRow(b)
+		}
+		r := q.Ranges[i]
+		for _, oid := range ex.En.Objs.Extension(r.Type) {
+			b[r.Var] = object.Ref(oid)
+			if err := rec(i+1, b); err != nil {
+				return err
+			}
+		}
+		delete(b, r.Var)
+		return nil
+	}
+	if err := rec(0, binding{}); err != nil {
+		return nil, err
+	}
+	return ex.finish(q, res)
+}
+
+// finish applies aggregates if all targets are aggregates.
+func (ex *Executor) finish(q *Query, res *Result) (*Result, error) {
+	hasAgg := false
+	for _, t := range q.Targets {
+		if t.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		return res, nil
+	}
+	for _, t := range q.Targets {
+		if t.Agg == "" {
+			return nil, fmt.Errorf("gomql: cannot mix aggregate and plain targets")
+		}
+	}
+	row := make([]object.Value, len(q.Targets))
+	for i, t := range q.Targets {
+		var sum float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, r := range res.Rows {
+			f, ok := r[i].AsFloat()
+			if !ok && t.Agg != "count" {
+				return nil, fmt.Errorf("gomql: %s over non-numeric value %v", t.Agg, r[i])
+			}
+			sum += f
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+			n++
+		}
+		switch t.Agg {
+		case "sum":
+			row[i] = object.Float(sum)
+		case "avg":
+			if n == 0 {
+				row[i] = object.Null()
+			} else {
+				row[i] = object.Float(sum / float64(n))
+			}
+		case "count":
+			row[i] = object.Int(int64(n))
+		case "min":
+			if n == 0 {
+				row[i] = object.Null()
+			} else {
+				row[i] = object.Float(lo)
+			}
+		case "max":
+			if n == 0 {
+				row[i] = object.Null()
+			} else {
+				row[i] = object.Float(hi)
+			}
+		}
+	}
+	res.Rows = [][]object.Value{row}
+	return res, nil
+}
+
+// evalOperand evaluates an operand under a binding.
+func (ex *Executor) evalOperand(op OperandE, b binding, params map[string]object.Value) (object.Value, error) {
+	switch o := op.(type) {
+	case LitE:
+		switch {
+		case o.IsNum:
+			return object.Float(o.Num), nil
+		case o.IsB:
+			return object.Bool(o.Bool), nil
+		default:
+			return object.String_(o.Str), nil
+		}
+	case ParamE:
+		v, ok := params[o.Name]
+		if !ok {
+			return object.Null(), fmt.Errorf("gomql: unbound parameter $%s", o.Name)
+		}
+		return v, nil
+	case *PathE:
+		return ex.evalPath(o, b, params)
+	}
+	return object.Null(), fmt.Errorf("gomql: unknown operand %T", op)
+}
+
+func (ex *Executor) evalPath(p *PathE, b binding, params map[string]object.Value) (object.Value, error) {
+	if p.Call != nil {
+		args := make([]object.Value, len(p.Call.Args))
+		for i, a := range p.Call.Args {
+			v, err := ex.evalOperand(a, b, params)
+			if err != nil {
+				return object.Null(), err
+			}
+			args[i] = v
+		}
+		return ex.invoke(p.Call.Fn, args)
+	}
+	var cur object.Value
+	curType := ""
+	if v, ok := b[p.Root]; ok {
+		cur = v
+		if rt, ok := ex.rangeTypes[p.Root]; ok {
+			curType = rt
+		}
+	} else if v, ok := params[p.Root]; ok {
+		cur = v
+	} else {
+		return object.Null(), fmt.Errorf("gomql: unbound variable %q", p.Root)
+	}
+	for _, seg := range p.Segs {
+		v, nt, err := ex.step(cur, curType, seg)
+		if err != nil {
+			return object.Null(), err
+		}
+		cur = v
+		curType = nt
+	}
+	return cur, nil
+}
+
+// step resolves one path segment: an attribute read, or a (nullary)
+// operation invocation — the paper's uniform treatment of stored and
+// computed properties. curType is the static type when known; if it has no
+// subtypes an operation step dispatches statically without reading the
+// receiver object, so a materialized-function step goes straight to the GMR.
+// It returns the value and the static type of the result (if derivable).
+func (ex *Executor) step(cur object.Value, curType, seg string) (object.Value, string, error) {
+	switch cur.Kind {
+	case object.KRef:
+		dispatch := curType
+		if dispatch == "" || ex.En.Sch.Reg.HasSubtypes(dispatch) {
+			o, err := ex.En.Objs.Get(cur.R)
+			if err != nil {
+				return object.Null(), "", err
+			}
+			dispatch = o.Type
+		}
+		if at, ok := ex.En.Sch.AttrType(dispatch, seg); ok {
+			v, err := ex.En.ReadAttr(cur, seg)
+			return v, at, err
+		}
+		if fn, ok := ex.En.Sch.ResolveOp(dispatch, seg); ok {
+			v, err := ex.En.CallFunction(dispatch+"."+seg, []object.Value{cur})
+			return v, fn.ResultType, err
+		}
+		return object.Null(), "", fmt.Errorf("gomql: type %q has neither attribute nor operation %q", dispatch, seg)
+	case object.KTuple:
+		v, err := ex.En.ReadAttr(cur, seg)
+		at, _ := ex.En.Sch.AttrType(cur.TupleType, seg)
+		return v, at, err
+	default:
+		return object.Null(), "", fmt.Errorf("gomql: path step %q on %v value", seg, cur.Kind)
+	}
+}
+
+// invoke calls fn, qualifying an unqualified name by the dynamic type of the
+// first argument when no free function matches.
+func (ex *Executor) invoke(fn string, args []object.Value) (object.Value, error) {
+	if !strings.Contains(fn, ".") {
+		if _, ok := ex.En.Sch.ResolveStatic(fn); !ok && len(args) > 0 && args[0].Kind == object.KRef {
+			o, err := ex.En.Objs.Get(args[0].R)
+			if err != nil {
+				return object.Null(), err
+			}
+			fn = o.Type + "." + fn
+		}
+	}
+	return ex.En.CallFunction(fn, args)
+}
+
+// evalPred evaluates a predicate under a binding.
+func (ex *Executor) evalPred(p PredE, b binding, params map[string]object.Value) (bool, error) {
+	switch n := p.(type) {
+	case AndE:
+		l, err := ex.evalPred(n.L, b, params)
+		if err != nil || !l {
+			return false, err
+		}
+		return ex.evalPred(n.R, b, params)
+	case OrE:
+		l, err := ex.evalPred(n.L, b, params)
+		if err != nil || l {
+			return l, err
+		}
+		return ex.evalPred(n.R, b, params)
+	case NotE:
+		v, err := ex.evalPred(n.E, b, params)
+		return !v, err
+	case CmpE:
+		l, err := ex.evalOperand(n.L, b, params)
+		if err != nil {
+			return false, err
+		}
+		r, err := ex.evalOperand(n.R, b, params)
+		if err != nil {
+			return false, err
+		}
+		return compareValues(n.Op, l, r)
+	case TruthE:
+		v, err := ex.evalOperand(n.Op, b, params)
+		if err != nil {
+			return false, err
+		}
+		return v.Truth(), nil
+	case InE:
+		el, err := ex.evalOperand(n.Elem, b, params)
+		if err != nil {
+			return false, err
+		}
+		coll, err := ex.evalOperand(n.Coll, b, params)
+		if err != nil {
+			return false, err
+		}
+		if coll.Kind == object.KRef {
+			elems, err := ex.En.ReadElems(coll)
+			if err != nil {
+				return false, err
+			}
+			coll = object.SetVal(elems...)
+		}
+		if coll.Kind != object.KSet && coll.Kind != object.KList {
+			return false, fmt.Errorf("gomql: 'in' on %v value", coll.Kind)
+		}
+		return coll.Contains(el), nil
+	}
+	return false, fmt.Errorf("gomql: unknown predicate %T", p)
+}
+
+func compareValues(op string, l, r object.Value) (bool, error) {
+	switch op {
+	case "=":
+		return l.Equal(r), nil
+	case "!=":
+		return !l.Equal(r), nil
+	}
+	if l.Kind == object.KString && r.Kind == object.KString {
+		switch op {
+		case "<":
+			return l.S < r.S, nil
+		case "<=":
+			return l.S <= r.S, nil
+		case ">":
+			return l.S > r.S, nil
+		case ">=":
+			return l.S >= r.S, nil
+		}
+	}
+	lf, okL := l.AsFloat()
+	rf, okR := r.AsFloat()
+	if !okL || !okR {
+		return false, fmt.Errorf("gomql: cannot compare %v and %v", l.Kind, r.Kind)
+	}
+	switch op {
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	}
+	return false, fmt.Errorf("gomql: unknown comparison %q", op)
+}

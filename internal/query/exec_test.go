@@ -1,0 +1,145 @@
+package query_test
+
+// Executor edge cases: empty aggregates, string comparisons, boolean
+// literals, membership over set objects, and lexer details.
+
+import (
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/query"
+)
+
+func TestEmptyAggregates(t *testing.T) {
+	db, _ := geomDB(t, 5)
+	res, err := db.Query(`range c: Cuboid retrieve count(c.volume), avg(c.volume), min(c.volume), max(c.volume) where c.CuboidID > 1000.0`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].I != 0 {
+		t.Fatalf("count over empty = %v", row[0])
+	}
+	for i := 1; i <= 3; i++ {
+		if !row[i].IsNull() {
+			t.Fatalf("aggregate %d over empty = %v, want null", i, row[i])
+		}
+	}
+}
+
+func TestStringAndBoolPredicates(t *testing.T) {
+	db, _ := geomDB(t, 12)
+	res, err := db.Query(`range c: Cuboid retrieve c where c.Mat.Name = "Iron"`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iron := len(res.Rows)
+	res2, err := db.Query(`range c: Cuboid retrieve c where not c.Mat.Name = "Iron"`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iron+len(res2.Rows) != 12 {
+		t.Fatalf("iron %d + non-iron %d != 12", iron, len(res2.Rows))
+	}
+	// String ordering comparison.
+	res3, err := db.Query(`range c: Cuboid retrieve c where c.Mat.Name < "J"`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res3.Rows {
+		name, _ := db.Engine.ReadAttr(r[0], "Mat")
+		n, _ := db.Engine.ReadAttr(name, "Name")
+		if n.S >= "J" {
+			t.Fatalf("string comparison admitted %q", n.S)
+		}
+	}
+	// Boolean literal predicates.
+	all, err := db.Query(`range c: Cuboid retrieve c where true`, nil)
+	if err != nil || len(all.Rows) != 12 {
+		t.Fatalf("where true: %d rows, %v", len(all.Rows), err)
+	}
+	none, err := db.Query(`range c: Cuboid retrieve c where false`, nil)
+	if err != nil || len(none.Rows) != 0 {
+		t.Fatalf("where false: %d rows, %v", len(none.Rows), err)
+	}
+}
+
+func TestMembershipOverSetObject(t *testing.T) {
+	db, g := geomDB(t, 6)
+	// Build a Workpieces set holding half the cuboids.
+	var elems []gomdb.Value
+	for i := 0; i < 3; i++ {
+		elems = append(elems, gomdb.Ref(g.Cuboids[i]))
+	}
+	set, err := db.NewSet("Workpieces", elems...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`range c: Cuboid retrieve c where c in $wp`,
+		map[string]gomdb.Value{"wp": gomdb.Ref(set)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("membership query returned %d rows", len(res.Rows))
+	}
+	// not-in via negation.
+	res, err = db.Query(`range c: Cuboid retrieve c where not (c in $wp)`,
+		map[string]gomdb.Value{"wp": gomdb.Ref(set)})
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("negated membership: %d rows, %v", len(res.Rows), err)
+	}
+}
+
+func TestLexerDetails(t *testing.T) {
+	// Escapes in string literals; single quotes; negative numbers.
+	q, err := query.Parse(`range c: Cuboid retrieve c where c.Mat.Name = 'Iro\'n' and c.Value > -2.5`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Where == nil {
+		t.Fatal("where missing")
+	}
+	// Keyword case-insensitivity.
+	if _, err := query.Parse(`RANGE c: Cuboid RETRIEVE c WHERE c.Value > 1.0 AND c.Value < 5.0`); err != nil {
+		t.Fatalf("case-insensitive keywords: %v", err)
+	}
+	// Unknown characters rejected.
+	if _, err := query.Parse(`range c: Cuboid retrieve c where c.Value @ 3`); err == nil {
+		t.Fatal("stray '@' accepted")
+	}
+	if _, err := query.Parse(`range c: Cuboid retrieve c where $ = 1`); err == nil {
+		t.Fatal("empty parameter accepted")
+	}
+}
+
+// TestAggregateOverMaterializedSubset: the paper's "retrieve sum(c.weight)"
+// with a where clause exploits forward lookups per qualifying object.
+func TestAggregateOverMaterializedSubset(t *testing.T) {
+	db, _ := geomDB(t, 20)
+	if _, err := db.Query(`range c: Cuboid materialize c.weight`, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`range c: Cuboid retrieve sum(c.weight) where c.CuboidID <= 10.0`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.Rows[0][0].AsFloat()
+	// Brute force.
+	want := 0.0
+	fn, _ := db.Schema.LookupFunction("Cuboid.weight")
+	for _, oid := range db.Extension("Cuboid") {
+		id, _ := db.GetAttr(oid, "CuboidID")
+		if id.I <= 10 {
+			v, err := db.Engine.EvalRaw(fn, []gomdb.Value{gomdb.Ref(oid)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, _ := v.AsFloat()
+			want += f
+		}
+	}
+	if d := got - want; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}

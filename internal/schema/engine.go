@@ -1,0 +1,477 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"gomdb/internal/lang"
+	"gomdb/internal/object"
+	"gomdb/internal/storage"
+)
+
+// CallInterceptor lets the GMR manager short-circuit invocations of
+// materialized functions into forward GMR lookups (Section 3.2: "every
+// invocation of a materialized function is mapped to a forward query").
+// It returns handled=false to fall through to normal evaluation.
+type CallInterceptor func(fn *lang.Function, args []object.Value) (v object.Value, handled bool, err error)
+
+// Engine executes GOMpl operations against an object manager. It implements
+// lang.Runtime and carries the update-hook table the GMR manager installs
+// (the schema rewrite) plus the access-tracking used to build the RRR.
+type Engine struct {
+	Sch   *Schema
+	Objs  *object.Manager
+	Clock *storage.Clock
+	Hooks *HookTable
+
+	interceptor CallInterceptor
+
+	// trackers is a stack of access recorders; (re)materialization pushes
+	// one to collect the objects a computation visits.
+	trackers []map[object.OID]struct{}
+	// suspend > 0 disables tracking: inside a public operation of a
+	// strictly encapsulated type only the receiver is recorded, its
+	// subobjects are not (Section 5.3).
+	suspend int
+	// noIntercept > 0 disables the GMR interceptor: rematerialization must
+	// recompute from base objects, not from (possibly stale) GMR entries.
+	noIntercept int
+}
+
+// NewEngine wires an engine over a schema and object manager.
+func NewEngine(sch *Schema, objs *object.Manager, clock *storage.Clock) *Engine {
+	return &Engine{Sch: sch, Objs: objs, Clock: clock, Hooks: NewHookTable()}
+}
+
+// SetInterceptor installs (or clears, with nil) the materialized-call
+// interceptor.
+func (en *Engine) SetInterceptor(ic CallInterceptor) { en.interceptor = ic }
+
+// Charge implements lang.Runtime.
+func (en *Engine) Charge(n int64) { en.Clock.AddCPU(n) }
+
+// PushTracker starts recording accessed objects; the returned set fills as
+// evaluation proceeds until PopTracker.
+func (en *Engine) PushTracker() map[object.OID]struct{} {
+	t := make(map[object.OID]struct{})
+	en.trackers = append(en.trackers, t)
+	return t
+}
+
+// PopTracker stops the most recent tracker.
+func (en *Engine) PopTracker() {
+	en.trackers = en.trackers[:len(en.trackers)-1]
+}
+
+func (en *Engine) track(oid object.OID) {
+	if en.suspend > 0 || len(en.trackers) == 0 {
+		return
+	}
+	for _, t := range en.trackers {
+		t[oid] = struct{}{}
+	}
+}
+
+// Tracking reports whether any access tracker is active (and not suspended).
+func (en *Engine) Tracking() bool { return len(en.trackers) > 0 && en.suspend == 0 }
+
+// ReadAttr implements lang.Runtime.
+func (en *Engine) ReadAttr(recv object.Value, attr string) (object.Value, error) {
+	switch recv.Kind {
+	case object.KRef:
+		o, err := en.Objs.Get(recv.R)
+		if err != nil {
+			return object.Null(), err
+		}
+		en.track(o.OID)
+		i := en.Objs.AttrIndex(o.Type, attr)
+		if i < 0 {
+			return object.Null(), fmt.Errorf("schema: type %q has no attribute %q", o.Type, attr)
+		}
+		return o.Attrs[i], nil
+	case object.KTuple:
+		layout := en.Objs.Layout(recv.TupleType)
+		for i, a := range layout {
+			if a.Name == attr && i < len(recv.Elems) {
+				return recv.Elems[i], nil
+			}
+		}
+		return object.Null(), fmt.Errorf("schema: tuple type %q has no attribute %q", recv.TupleType, attr)
+	case object.KNull:
+		return object.Null(), fmt.Errorf("schema: attribute %q read on null", attr)
+	default:
+		return object.Null(), fmt.Errorf("schema: attribute %q read on %v value", attr, recv.Kind)
+	}
+}
+
+// ReadElems implements lang.Runtime.
+func (en *Engine) ReadElems(coll object.Value) ([]object.Value, error) {
+	switch coll.Kind {
+	case object.KRef:
+		o, err := en.Objs.Get(coll.R)
+		if err != nil {
+			return nil, err
+		}
+		en.track(o.OID)
+		out := make([]object.Value, len(o.Elems))
+		copy(out, o.Elems)
+		return out, nil
+	case object.KSet, object.KList:
+		return coll.Elems, nil
+	case object.KNull:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("schema: element read on %v value", coll.Kind)
+	}
+}
+
+// resolveCall determines the function and dispatch type for a Call name.
+func (en *Engine) resolveCall(name string, args []object.Value) (*lang.Function, string, error) {
+	dot := strings.IndexByte(name, '.')
+	if dot < 0 {
+		fn, ok := en.Sch.ResolveStatic(name)
+		if !ok {
+			return nil, "", fmt.Errorf("schema: unknown function %q", name)
+		}
+		return fn, "", nil
+	}
+	declType, opName := name[:dot], name[dot+1:]
+	dispatchType := declType
+	// Dynamic dispatch needs the receiver's type tag, which costs an object
+	// read. When the declared type has no subtypes the dispatch is static —
+	// in particular, invoking a materialized function then reaches the GMR
+	// without touching the argument object, as the paper's rewrite into a
+	// forward query implies.
+	if len(args) > 0 && args[0].Kind == object.KRef && en.Sch.Reg.HasSubtypes(declType) {
+		o, err := en.Objs.Get(args[0].R)
+		if err != nil {
+			return nil, "", err
+		}
+		dispatchType = o.Type
+	}
+	fn, ok := en.Sch.ResolveOp(dispatchType, opName)
+	if !ok {
+		return nil, "", fmt.Errorf("schema: no operation %q on type %q", opName, dispatchType)
+	}
+	return fn, dispatchType, nil
+}
+
+// CallFunction implements lang.Runtime: dynamic dispatch, GMR interception,
+// information-hiding atomicity, and public-operation update hooks.
+func (en *Engine) CallFunction(name string, args []object.Value) (object.Value, error) {
+	fn, dispatchType, err := en.resolveCall(name, args)
+	if err != nil {
+		return object.Null(), err
+	}
+	if en.interceptor != nil && en.noIntercept == 0 {
+		v, handled, err := en.interceptor(fn, args)
+		if handled || err != nil {
+			return v, err
+		}
+	}
+	opName := name
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		opName = name[i+1:]
+	}
+
+	// Section 5.3: a public operation of a strictly encapsulated type is
+	// atomic with respect to materialization tracking — record the receiver
+	// and suspend tracking for the subobjects it touches.
+	restoreTracking := false
+	if dispatchType != "" {
+		t := en.Sch.Reg.Lookup(dispatchType)
+		if t != nil && t.StrictEncapsulated && en.Sch.HasInvalidatedFctDecl(dispatchType) &&
+			en.Sch.IsPublic(dispatchType, opName) && en.Tracking() {
+			if args[0].Kind == object.KRef {
+				en.track(args[0].R)
+			}
+			en.suspend++
+			restoreTracking = true
+		}
+	}
+	if restoreTracking {
+		defer func() { en.suspend-- }()
+	}
+
+	// Public-operation update hooks (installed only for ops with a
+	// non-empty InvalidatedFct or CompensatedFct under information hiding).
+	var recvObj *object.Obj
+	var hooks []*UpdateHook
+	if dispatchType != "" && len(args) > 0 && args[0].Kind == object.KRef {
+		hooks = en.Hooks.lookup(dispatchType, opName)
+		if len(hooks) > 0 {
+			recvObj, err = en.Objs.Get(args[0].R)
+			if err != nil {
+				return object.Null(), err
+			}
+			for _, h := range hooks {
+				if h.Before != nil {
+					if err := h.Before(en, recvObj, args[1:]); err != nil {
+						return object.Null(), err
+					}
+				}
+			}
+		}
+	}
+
+	v, err := lang.Eval(en, fn, args)
+	if err != nil {
+		return object.Null(), err
+	}
+
+	if len(hooks) > 0 {
+		// Re-read: the body may have changed the receiver.
+		recvObj, err = en.Objs.Get(args[0].R)
+		if err != nil {
+			return object.Null(), err
+		}
+		for _, h := range hooks {
+			if h.After != nil {
+				if err := h.After(en, recvObj, args[1:]); err != nil {
+					return object.Null(), err
+				}
+			}
+		}
+	}
+	return v, nil
+}
+
+// EvalTracked evaluates fn(args) with access tracking and without GMR
+// interception — the (re)materialization entry point. It returns the result
+// and the set of accessed objects for RRR maintenance.
+func (en *Engine) EvalTracked(fn *lang.Function, args []object.Value) (object.Value, map[object.OID]struct{}, error) {
+	tracker := en.PushTracker()
+	en.noIntercept++
+	// Track argument objects themselves: the paper's RRR examples include
+	// the argument objects (e.g. [id1, volume, <id1>]).
+	for _, a := range args {
+		if a.Kind == object.KRef {
+			en.track(a.R)
+		}
+	}
+	// The Section 5.3 atomicity rule applies to the materialized function
+	// itself: if it is a public operation of a strictly encapsulated type,
+	// only the argument objects are marked, none of their subobjects.
+	if dot := strings.IndexByte(fn.Name, '.'); dot >= 0 && len(args) > 0 && args[0].Kind == object.KRef {
+		if o, err := en.Objs.Get(args[0].R); err == nil {
+			t := en.Sch.Reg.Lookup(o.Type)
+			if t != nil && t.StrictEncapsulated && en.Sch.HasInvalidatedFctDecl(o.Type) &&
+				en.Sch.IsPublic(o.Type, fn.Name[dot+1:]) {
+				en.suspend++
+				defer func() { en.suspend-- }()
+			}
+		}
+	}
+	v, err := lang.Eval(en, fn, args)
+	en.noIntercept--
+	en.PopTracker()
+	if err != nil {
+		return object.Null(), nil, err
+	}
+	return v, tracker, nil
+}
+
+// EvalRaw evaluates fn(args) without access tracking and without GMR
+// interception — the "normal" function of Section 6, used when a result is
+// not (or may not be) materialized.
+func (en *Engine) EvalRaw(fn *lang.Function, args []object.Value) (object.Value, error) {
+	en.noIntercept++
+	defer func() { en.noIntercept-- }()
+	return lang.Eval(en, fn, args)
+}
+
+// SetAttr implements lang.Runtime: the elementary update t.set_A with its
+// rewritten hook pipeline (Figure 4 / Figure 5 of the paper). Compensation
+// hooks run before the store, invalidation hooks after.
+func (en *Engine) SetAttr(recv object.Value, attr string, v object.Value) error {
+	if recv.Kind != object.KRef {
+		return fmt.Errorf("schema: set_%s on %v value", attr, recv.Kind)
+	}
+	o, err := en.Objs.Get(recv.R)
+	if err != nil {
+		return err
+	}
+	i := en.Objs.AttrIndex(o.Type, attr)
+	if i < 0 {
+		return fmt.Errorf("schema: type %q has no attribute %q", o.Type, attr)
+	}
+	hooks := en.Hooks.lookup(o.Type, "set_"+attr)
+	for _, h := range hooks {
+		if h.Before != nil {
+			if err := h.Before(en, o, []object.Value{v}); err != nil {
+				return err
+			}
+		}
+	}
+	o.Attrs[i] = v
+	if err := en.Objs.Put(o); err != nil {
+		return err
+	}
+	for _, h := range hooks {
+		if h.After != nil {
+			if err := h.After(en, o, []object.Value{v}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// InsertElem implements lang.Runtime: the elementary update t.insert.
+// Inserting an element already present in a set-structured object is a
+// no-op and triggers no hooks.
+func (en *Engine) InsertElem(coll, elem object.Value) error {
+	if coll.Kind != object.KRef {
+		return fmt.Errorf("schema: insert on %v value", coll.Kind)
+	}
+	o, err := en.Objs.Get(coll.R)
+	if err != nil {
+		return err
+	}
+	t := en.Sch.Reg.Lookup(o.Type)
+	if t == nil || (t.Kind != object.SetType && t.Kind != object.ListType) {
+		return fmt.Errorf("schema: insert on non-collection type %q", o.Type)
+	}
+	if t.Kind == object.SetType {
+		for _, e := range o.Elems {
+			if e.Equal(elem) {
+				return nil
+			}
+		}
+	}
+	hooks := en.Hooks.lookup(o.Type, "insert")
+	for _, h := range hooks {
+		if h.Before != nil {
+			if err := h.Before(en, o, []object.Value{elem}); err != nil {
+				return err
+			}
+		}
+	}
+	o.Elems = append(o.Elems, elem)
+	if err := en.Objs.Put(o); err != nil {
+		return err
+	}
+	for _, h := range hooks {
+		if h.After != nil {
+			if err := h.After(en, o, []object.Value{elem}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveElem implements lang.Runtime: the elementary update t.remove.
+// Removing an absent element is a no-op and triggers no hooks.
+func (en *Engine) RemoveElem(coll, elem object.Value) error {
+	if coll.Kind != object.KRef {
+		return fmt.Errorf("schema: remove on %v value", coll.Kind)
+	}
+	o, err := en.Objs.Get(coll.R)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, e := range o.Elems {
+		if e.Equal(elem) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	hooks := en.Hooks.lookup(o.Type, "remove")
+	for _, h := range hooks {
+		if h.Before != nil {
+			if err := h.Before(en, o, []object.Value{elem}); err != nil {
+				return err
+			}
+		}
+	}
+	o.Elems = append(o.Elems[:idx], o.Elems[idx+1:]...)
+	if err := en.Objs.Put(o); err != nil {
+		return err
+	}
+	for _, h := range hooks {
+		if h.After != nil {
+			if err := h.After(en, o, []object.Value{elem}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Create stores a new tuple instance and fires the t.create hooks
+// (GMR_Manager.new_object, Section 4.2).
+func (en *Engine) Create(typeName string, attrs []object.Value) (object.OID, error) {
+	oid, err := en.Objs.Create(typeName, attrs)
+	if err != nil {
+		return object.NilOID, err
+	}
+	if hooks := en.Hooks.lookup(typeName, "create"); len(hooks) > 0 {
+		o, err := en.Objs.Get(oid)
+		if err != nil {
+			return object.NilOID, err
+		}
+		for _, h := range hooks {
+			if h.After != nil {
+				if err := h.After(en, o, nil); err != nil {
+					return object.NilOID, err
+				}
+			}
+		}
+	}
+	return oid, nil
+}
+
+// CreateCollection stores a new set/list instance and fires create hooks.
+func (en *Engine) CreateCollection(typeName string, elems []object.Value) (object.OID, error) {
+	oid, err := en.Objs.CreateCollection(typeName, elems)
+	if err != nil {
+		return object.NilOID, err
+	}
+	if hooks := en.Hooks.lookup(typeName, "create"); len(hooks) > 0 {
+		o, err := en.Objs.Get(oid)
+		if err != nil {
+			return object.NilOID, err
+		}
+		for _, h := range hooks {
+			if h.After != nil {
+				if err := h.After(en, o, nil); err != nil {
+					return object.NilOID, err
+				}
+			}
+		}
+	}
+	return oid, nil
+}
+
+// Delete removes an object after firing the t.delete hooks
+// (GMR_Manager.forget_object runs before the object disappears, Figure 4).
+func (en *Engine) Delete(oid object.OID) error {
+	o, err := en.Objs.Get(oid)
+	if err != nil {
+		return err
+	}
+	for _, h := range en.Hooks.lookup(o.Type, "delete") {
+		if h.Before != nil {
+			if err := h.Before(en, o, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return en.Objs.Delete(oid)
+}
+
+// SetAttrByName is a convenience wrapper for host code (benchmark drivers,
+// examples): oid.set_attr(v).
+func (en *Engine) SetAttrByName(oid object.OID, attr string, v object.Value) error {
+	return en.SetAttr(object.Ref(oid), attr, v)
+}
+
+// Invoke calls a declared function by name with the given arguments.
+func (en *Engine) Invoke(name string, args ...object.Value) (object.Value, error) {
+	return en.CallFunction(name, args)
+}

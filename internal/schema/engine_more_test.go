@@ -1,0 +1,151 @@
+package schema_test
+
+// Additional engine coverage: list semantics, free functions, textual
+// definitions at the schema level, and the public-clause helpers.
+
+import (
+	"testing"
+
+	"gomdb/internal/lang"
+	"gomdb/internal/object"
+)
+
+func TestListSemanticsAllowDuplicates(t *testing.T) {
+	en := newEngine(t)
+	if err := en.Sch.DefineType(object.NewTupleType("Item",
+		object.AttrDef{Name: "N", Type: "int", Public: true})); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Sch.DefineType(object.NewListType("Items", "Item"), "insert", "remove"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := en.Create("Item", []object.Value{object.Int(1)})
+	list, err := en.CreateCollection("Items", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lists preserve order and allow duplicates (Section 2), unlike sets.
+	for i := 0; i < 3; i++ {
+		if err := en.InsertElem(object.Ref(list), object.Ref(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elems, err := en.ReadElems(object.Ref(list))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 3 {
+		t.Fatalf("list has %d elements, want 3 (duplicates allowed)", len(elems))
+	}
+	// Remove takes out one occurrence.
+	if err := en.RemoveElem(object.Ref(list), object.Ref(a)); err != nil {
+		t.Fatal(err)
+	}
+	elems, _ = en.ReadElems(object.Ref(list))
+	if len(elems) != 2 {
+		t.Fatalf("after remove: %d elements", len(elems))
+	}
+}
+
+func TestFreeFunctionInvocation(t *testing.T) {
+	en := newEngine(t)
+	defineShape(t, en, false)
+	twice := &lang.Function{
+		Name:           "twice",
+		Params:         []lang.Param{lang.Prm("x", "float")},
+		ResultType:     "float",
+		SideEffectFree: true,
+		Body:           []lang.Stmt{lang.Ret(lang.Mul(lang.F(2), lang.V("x")))},
+	}
+	if err := en.Sch.DefineFunc(twice); err != nil {
+		t.Fatal(err)
+	}
+	v, err := en.Invoke("twice", object.Float(21))
+	if err != nil || !v.Equal(object.Float(42)) {
+		t.Fatalf("twice(21) = %v, %v", v, err)
+	}
+	if fn, err := en.Sch.LookupFunction("twice"); err != nil || fn.Name != "twice" {
+		t.Fatalf("LookupFunction: %v, %v", fn, err)
+	}
+	if _, err := en.Sch.LookupFunction("missing"); err == nil {
+		t.Fatal("missing function resolved")
+	}
+}
+
+func TestSchemaLevelTextualDefinition(t *testing.T) {
+	en := newEngine(t)
+	defineShape(t, en, false)
+	fn, err := en.Sch.DefineOpSrc("Point", `define norm: float is
+		return sqrt(self.norm2)
+	end`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Name != "Point.norm" || !fn.SideEffectFree {
+		t.Fatalf("bound function: %+v", fn)
+	}
+	p, _ := en.Create("Point", []object.Value{object.Float(3), object.Float(4)})
+	v, err := en.Invoke("Point.norm", object.Ref(p))
+	if err != nil || !v.Equal(object.Float(5)) {
+		t.Fatalf("norm = %v, %v", v, err)
+	}
+	// DefineFuncSrc with a free function.
+	if _, err := en.Sch.DefineFuncSrc(`define half(x: float): float is
+		return x / 2.0
+	end`, true); err != nil {
+		t.Fatal(err)
+	}
+	v, err = en.Invoke("half", object.Float(10))
+	if err != nil || !v.Equal(object.Float(5)) {
+		t.Fatalf("half = %v, %v", v, err)
+	}
+	// Parse errors surface.
+	if _, err := en.Sch.DefineOpSrc("Point", `define broken is return`, true); err == nil {
+		t.Fatal("broken definition accepted")
+	}
+}
+
+func TestMakePublicAndOpNames(t *testing.T) {
+	en := newEngine(t)
+	defineShape(t, en, true) // encapsulated: Point attrs private
+	if en.Sch.IsPublic("Point", "X") {
+		t.Fatal("private attribute public")
+	}
+	en.Sch.MakePublic("Point", "X")
+	if !en.Sch.IsPublic("Point", "X") {
+		t.Fatal("MakePublic had no effect")
+	}
+	names := en.Sch.OpNames("Point")
+	if len(names) != 2 { // norm2, move
+		t.Fatalf("OpNames = %v", names)
+	}
+	// Inherited public clause: a subtype sees the supertype's public ops.
+	sq := object.NewTupleType("Square2", object.AttrDef{Name: "Side", Type: "float"})
+	sq.Super = "Shape"
+	if err := en.Sch.DefineType(sq); err != nil {
+		t.Fatal(err)
+	}
+	if !en.Sch.IsPublic("Square2", "size") {
+		t.Fatal("inherited public operation not visible on subtype")
+	}
+}
+
+func TestKindQueries(t *testing.T) {
+	en := newEngine(t)
+	defineShape(t, en, false)
+	if err := en.Sch.DefineType(object.NewSetType("Shapes", "Shape")); err != nil {
+		t.Fatal(err)
+	}
+	if !en.Sch.IsCollection("Shapes") || en.Sch.IsCollection("Shape") || en.Sch.IsCollection("float") {
+		t.Fatal("IsCollection wrong")
+	}
+	if !en.Sch.IsKnownType("float") || !en.Sch.IsKnownType("Shape") || en.Sch.IsKnownType("Nope") {
+		t.Fatal("IsKnownType wrong")
+	}
+	if et, ok := en.Sch.ElemType("Shapes"); !ok || et != "Shape" {
+		t.Fatalf("ElemType = %v, %v", et, ok)
+	}
+	if _, ok := en.Sch.ElemType("Shape"); ok {
+		t.Fatal("ElemType on tuple type succeeded")
+	}
+}

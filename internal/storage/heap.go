@@ -1,0 +1,217 @@
+package storage
+
+import "fmt"
+
+// HeapFile is an unordered file of variable-length records stored in slotted
+// pages. Records are addressed by stable RIDs. Object extensions, GMR
+// extensions, and the RRR are all heap files, so every access to them flows
+// through the buffer pool and is charged to the simulated clock.
+type HeapFile struct {
+	pool  *BufferPool
+	pages []PageID
+	name  string
+
+	// writeThrough applies the FORCE policy: every mutation is written to
+	// disk immediately (NewForcedHeapFile). Used for the GMR manager's
+	// auxiliary structures, whose update cost the paper measures.
+	writeThrough bool
+
+	// freeHint caches the index into pages of the last page an insert
+	// succeeded on, so sequential loads cluster records — the paper relies
+	// on a Cuboid and its Vertex instances being created together landing
+	// on the same page.
+	freeHint int
+	count    int
+}
+
+// NewHeapFile creates an empty heap file named name (for diagnostics) backed
+// by pool.
+func NewHeapFile(pool *BufferPool, name string) *HeapFile {
+	return &HeapFile{pool: pool, name: name, freeHint: -1}
+}
+
+// NewForcedHeapFile creates a heap file with the FORCE write policy: every
+// mutating operation flushes the touched page to disk.
+func NewForcedHeapFile(pool *BufferPool, name string) *HeapFile {
+	return &HeapFile{pool: pool, name: name, freeHint: -1, writeThrough: true}
+}
+
+// unpinDirty releases a dirtied page, forcing it to disk under the FORCE
+// policy.
+func (h *HeapFile) unpinDirty(id PageID) error {
+	h.pool.Unpin(id, true)
+	if h.writeThrough {
+		return h.pool.FlushPage(id)
+	}
+	return nil
+}
+
+// Name returns the diagnostic name of the file.
+func (h *HeapFile) Name() string { return h.name }
+
+// Count returns the number of live records.
+func (h *HeapFile) Count() int { return h.count }
+
+// NumPages returns the number of pages owned by the file.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// maxRecordSize is the largest record a heap file accepts: one page minus
+// header and one slot entry.
+const maxRecordSize = PageSize - pageHeaderSize - slotSize
+
+// Insert stores rec and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if len(rec) > maxRecordSize {
+		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds page capacity in %s", len(rec), h.name)
+	}
+	// Try the hinted page first, then fall back to a fresh page. Trying
+	// every existing page would both thrash the buffer pool and destroy the
+	// creation-order clustering the cost model depends on. insertSlack
+	// bytes are left free on each page so records that later grow (e.g. by
+	// an ObjDepFct mark) can be updated in place instead of relocating —
+	// relocation would decluster objects from their subobjects.
+	const insertSlack = PageSize / 8
+	if h.freeHint >= 0 && h.freeHint < len(h.pages) {
+		id := h.pages[h.freeHint]
+		f, err := h.pool.Pin(id)
+		if err != nil {
+			return RID{}, err
+		}
+		p := slotted{&f.Data}
+		p.initIfNeeded()
+		if p.freeSpace() >= len(rec)+insertSlack {
+			p.compact()
+			if slot, ok := p.insert(rec); ok {
+				if err := h.unpinDirty(id); err != nil {
+					return RID{}, err
+				}
+				h.count++
+				return RID{Page: id, Slot: slot}, nil
+			}
+		}
+		h.pool.Unpin(id, false)
+	}
+	f, err := h.pool.PinNew()
+	if err != nil {
+		return RID{}, err
+	}
+	p := slotted{&f.Data}
+	p.initIfNeeded()
+	slot, ok := p.insert(rec)
+	if !ok {
+		h.pool.Unpin(f.ID(), false)
+		return RID{}, fmt.Errorf("storage: record of %d bytes does not fit fresh page in %s", len(rec), h.name)
+	}
+	if err := h.unpinDirty(f.ID()); err != nil {
+		return RID{}, err
+	}
+	h.pages = append(h.pages, f.ID())
+	h.freeHint = len(h.pages) - 1
+	h.count++
+	return RID{Page: f.ID(), Slot: slot}, nil
+}
+
+// Read returns a copy of the record stored at rid.
+func (h *HeapFile) Read(rid RID) ([]byte, error) {
+	f, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	p := slotted{&f.Data}
+	data, ok := p.read(rid.Slot)
+	if !ok {
+		return nil, fmt.Errorf("storage: no record at %v in %s", rid, h.name)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Update rewrites the record at rid. If the new record no longer fits on its
+// page the record moves and the new RID is returned; the caller must update
+// any mapping it keeps.
+func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
+	if len(rec) > maxRecordSize {
+		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds page capacity in %s", len(rec), h.name)
+	}
+	f, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return RID{}, err
+	}
+	p := slotted{&f.Data}
+	if p.update(rid.Slot, rec) {
+		if err := h.unpinDirty(rid.Page); err != nil {
+			return RID{}, err
+		}
+		return rid, nil
+	}
+	// Does not fit: delete here, insert elsewhere.
+	p.del(rid.Slot)
+	if err := h.unpinDirty(rid.Page); err != nil {
+		return RID{}, err
+	}
+	h.count--
+	return h.Insert(rec)
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	f, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	p := slotted{&f.Data}
+	ok := p.del(rid.Slot)
+	if !ok {
+		h.pool.Unpin(rid.Page, false)
+		return fmt.Errorf("storage: delete of missing record %v in %s", rid, h.name)
+	}
+	if err := h.unpinDirty(rid.Page); err != nil {
+		return err
+	}
+	h.count--
+	return nil
+}
+
+// ProbePage models a hashed-access probe: it reads the bucket page selected
+// by hash (charging the page access) without interpreting its contents. The
+// RRR uses it to charge lookups that find nothing — the paper's point in
+// Section 5.2 is precisely that such probes are not free.
+func (h *HeapFile) ProbePage(hash uint64) error {
+	if len(h.pages) == 0 {
+		return nil
+	}
+	id := h.pages[hash%uint64(len(h.pages))]
+	if _, err := h.pool.Pin(id); err != nil {
+		return err
+	}
+	h.pool.Unpin(id, false)
+	return nil
+}
+
+// Scan calls fn for every live record in page order. The record slice is
+// only valid during the callback. Iteration stops early if fn returns false.
+func (h *HeapFile) Scan(fn func(RID, []byte) bool) error {
+	for _, id := range h.pages {
+		f, err := h.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		p := slotted{&f.Data}
+		n := p.numSlots()
+		stop := false
+		for i := uint16(0); i < n && !stop; i++ {
+			if data, ok := p.read(i); ok {
+				if !fn(RID{Page: id, Slot: i}, data) {
+					stop = true
+				}
+			}
+		}
+		h.pool.Unpin(id, false)
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
