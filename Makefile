@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench repro repro-short examples clean
+.PHONY: all build vet test test-short test-race bench repro repro-short examples clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The concurrency tests (concurrency_test.go) only bite under the race
+# detector; CI runs this on every push.
+test-race:
+	$(GO) test -race ./...
 
 # One testing.B benchmark per table/figure plus micro-benchmarks, at reduced
 # scale; the full-scale reproduction is `make repro`.

@@ -20,6 +20,9 @@
 package gomdb
 
 import (
+	"strings"
+	"sync"
+
 	"gomdb/internal/core"
 	"gomdb/internal/lang"
 	"gomdb/internal/object"
@@ -50,6 +53,10 @@ type (
 	Stmt = lang.Stmt
 	// MaterializeOptions configures Materialize.
 	MaterializeOptions = core.Options
+	// Strategy selects immediate or lazy rematerialization.
+	Strategy = core.Strategy
+	// HookMode selects the invalidation mechanism (ModeBasic ... ModeInfoHiding).
+	HookMode = core.HookMode
 	// GMR is a generalized materialization relation.
 	GMR = core.GMR
 	// Restriction is a restriction predicate for a p-restricted GMR.
@@ -150,7 +157,27 @@ func DefaultConfig() Config {
 }
 
 // Database is an in-process GOM object base with function materialization.
+//
+// # Concurrency
+//
+// Database methods are safe for concurrent use. A write-preferring
+// reader/writer lock guards the engine: schema definitions, object creation
+// and deletion, elementary updates, materialization, dematerialization, and
+// any statement that may mutate GMR state run exclusively; provably
+// side-effect-free work — forward queries against complete and fully valid
+// GMRs, backward and retrieval queries, consistency audits, attribute reads
+// — runs shared. Classification is static and charge-free (schema metadata
+// only), so a single-threaded program observes bit-identical simulated cost
+// accounting with or without concurrent-safety in play. The embedded field
+// pointers (Engine, GMRs, ...) remain exported for single-threaded tooling
+// such as the benchmark driver; concurrent clients must go through Database
+// methods.
 type Database struct {
+	// mu is the engine-wide reader/writer lock. Go's sync.RWMutex is
+	// write-preferring: a blocked writer stops later readers, so update
+	// transactions cannot starve behind a stream of queries.
+	mu sync.RWMutex
+
 	Clock   *storage.Clock
 	Disk    *storage.Disk
 	Pool    *storage.BufferPool
@@ -195,13 +222,30 @@ func Open(cfg Config) *Database {
 }
 
 // Query parses and executes a GOMql statement; $name parameters are bound
-// from params (pass nil when the query has none).
+// from params (pass nil when the query has none). Retrieve statements whose
+// plan is provably read-only execute under the shared lock when every GMR is
+// quiescent; materialize statements and statements the classifier cannot
+// prove side-effect free execute exclusively.
 func (db *Database) Query(src string, params map[string]Value) (*QueryResult, error) {
-	return db.Queries.Run(src, params)
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	if db.GMRs.Quiescent() && db.Queries.ReadOnlyPlan(q) {
+		defer db.mu.RUnlock()
+		return db.Queries.RunQuery(q, params)
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.Queries.RunQuery(q, params)
 }
 
 // DefineType registers a type with its public clause.
 func (db *Database) DefineType(t *Type, publicNames ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Schema.DefineType(t, publicNames...)
 }
 
@@ -215,6 +259,8 @@ func (db *Database) MustDefineType(t *Type, publicNames ...string) {
 
 // DefineOp attaches an operation to a type.
 func (db *Database) DefineOp(typeName, opName string, fn *Function) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Schema.DefineOp(typeName, opName, fn)
 }
 
@@ -226,7 +272,11 @@ func (db *Database) MustDefineOp(typeName, opName string, fn *Function) {
 }
 
 // DefineFunc registers a free function.
-func (db *Database) DefineFunc(fn *Function) error { return db.Schema.DefineFunc(fn) }
+func (db *Database) DefineFunc(fn *Function) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.Schema.DefineFunc(fn)
+}
 
 // DefineOpSrc parses, type-checks, and attaches a textual GOMpl operation —
 // the paper's concrete syntax:
@@ -238,6 +288,8 @@ func (db *Database) DefineFunc(fn *Function) error { return db.Schema.DefineFunc
 //
 // sideEffectFree marks the function materializable.
 func (db *Database) DefineOpSrc(typeName, src string, sideEffectFree bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	_, err := db.Schema.DefineOpSrc(typeName, src, sideEffectFree)
 	return err
 }
@@ -245,6 +297,8 @@ func (db *Database) DefineOpSrc(typeName, src string, sideEffectFree bool) error
 // DefineFuncSrc parses and registers a textual free function (or, with the
 // qualified "define Type.op" form, a type-associated operation).
 func (db *Database) DefineFuncSrc(src string, sideEffectFree bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	_, err := db.Schema.DefineFuncSrc(src, sideEffectFree)
 	return err
 }
@@ -252,6 +306,8 @@ func (db *Database) DefineFuncSrc(src string, sideEffectFree bool) error {
 // New creates a tuple-structured instance; attribute order follows the
 // flattened inherited layout.
 func (db *Database) New(typeName string, attrs ...Value) (OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Engine.Create(typeName, attrs)
 }
 
@@ -266,36 +322,90 @@ func (db *Database) MustNew(typeName string, attrs ...Value) OID {
 
 // NewSet creates a set- or list-structured instance.
 func (db *Database) NewSet(typeName string, elems ...Value) (OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Engine.CreateCollection(typeName, elems)
 }
 
 // Delete removes an object (running forget_object hooks first).
-func (db *Database) Delete(oid OID) error { return db.Engine.Delete(oid) }
+func (db *Database) Delete(oid OID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.Engine.Delete(oid)
+}
 
 // Set performs the elementary update oid.set_attr(v).
 func (db *Database) Set(oid OID, attr string, v Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Engine.SetAttrByName(oid, attr, v)
 }
 
 // GetAttr reads attribute attr of oid.
 func (db *Database) GetAttr(oid OID, attr string) (Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.Engine.ReadAttr(Ref(oid), attr)
 }
 
 // Insert performs the elementary update set.insert(elem).
 func (db *Database) Insert(set OID, elem Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Engine.InsertElem(Ref(set), elem)
 }
 
 // Remove performs the elementary update set.remove(elem).
 func (db *Database) Remove(set OID, elem Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Engine.RemoveElem(Ref(set), elem)
 }
 
 // Call invokes a declared function or operation; materialized functions are
-// answered from their GMR (forward query) when possible.
+// answered from their GMR (forward query) when possible. A call to a
+// side-effect-free function runs under the shared lock when every GMR is
+// quiescent (complete and fully valid) — concurrent callers then hit the
+// materialized results in parallel; all other calls run exclusively.
 func (db *Database) Call(fn string, args ...Value) (Value, error) {
+	db.mu.RLock()
+	if db.readOnlyCall(fn) {
+		defer db.mu.RUnlock()
+		return db.Engine.Invoke(fn, args...)
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.Engine.Invoke(fn, args...)
+}
+
+// readOnlyCall reports whether invoking name cannot mutate engine or GMR
+// state: the GMR manager is quiescent (so a forward query answers from valid
+// entries or computes without storing) and every function the name can
+// dispatch to is declared side-effect free with no update hook installed.
+// Side-effect freedom is transitive by contract — a side-effect-free body
+// invokes only side-effect-free operations — so checking the entry points
+// suffices. The classification reads schema metadata only: no object loads,
+// no simulated-clock charges, so single-threaded cost accounting is
+// unchanged. Caller holds at least the read lock.
+func (db *Database) readOnlyCall(name string) bool {
+	if !db.GMRs.Quiescent() {
+		return false
+	}
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		declType, opName := name[:i], name[i+1:]
+		// Dynamic dispatch may land on any subtype's override; all of them
+		// must be side-effect free and hook-free.
+		for _, tn := range db.Schema.Reg.WithSubtypes(declType) {
+			f, ok := db.Schema.ResolveOp(tn, opName)
+			if !ok || !f.SideEffectFree || db.Engine.Hooks.Installed(tn, opName) {
+				return false
+			}
+		}
+		return true
+	}
+	f, ok := db.Schema.ResolveStatic(name)
+	return ok && f.SideEffectFree
 }
 
 // Field-spec constructors for tabular GMR retrieval (Section 3.2's
@@ -312,34 +422,64 @@ var (
 // Materialize creates a GMR per the options — the API form of the GOMql
 // statement "range ... materialize ...".
 func (db *Database) Materialize(opts MaterializeOptions) (*GMR, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.GMRs.Materialize(opts)
 }
 
 // Retrieve answers a tabular GMR query (one FieldSpec per argument and
 // result column), using the GMR's multidimensional index when present.
+// Quiescent GMRs answer under the shared lock; otherwise the retrieval may
+// rematerialize invalid entries and runs exclusively.
 func (db *Database) Retrieve(gmrName string, spec []FieldSpec) ([]Row, error) {
+	db.mu.RLock()
+	if db.GMRs.Quiescent() {
+		defer db.mu.RUnlock()
+		return db.GMRs.Retrieve(gmrName, spec)
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.GMRs.Retrieve(gmrName, spec)
 }
 
 // CheckConsistency audits a GMR against Definition 3.2 (and, with
 // checkComplete, Definition 3.4/6.1): every valid entry must match a fresh
 // recomputation within relative tolerance tol.
+// The audit only recomputes and compares (invalid entries are counted, not
+// repaired), so it always runs under the shared lock.
 func (db *Database) CheckConsistency(gmrName string, tol float64, checkComplete bool) (*ConsistencyReport, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.GMRs.CheckConsistency(gmrName, tol, checkComplete)
 }
 
 // SetTrace installs (or, with nil, removes) a callback observing every
-// GMR-manager maintenance action.
+// GMR-manager maintenance action. The hook is stored atomically and may be
+// swapped while queries run; forward hits and backward queries execute under
+// the shared lock, so the callback can fire from several goroutines at once
+// and must synchronize any state it accumulates.
 func (db *Database) SetTrace(fn func(TraceEvent)) { db.GMRs.SetTrace(fn) }
 
 // Dematerialize drops a GMR and undoes its schema rewrite.
-func (db *Database) Dematerialize(name string) error { return db.GMRs.Drop(name) }
+func (db *Database) Dematerialize(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.GMRs.Drop(name)
+}
 
 // Extension returns the OIDs of all instances of typeName (and subtypes).
-func (db *Database) Extension(typeName string) []OID { return db.Objects.Extension(typeName) }
+func (db *Database) Extension(typeName string) []OID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.Objects.Extension(typeName)
+}
 
-// SimSeconds returns the simulated seconds of work performed so far.
+// SimSeconds returns the simulated seconds of work performed so far. The
+// counters are atomic, so no lock is taken; concurrent in-flight operations
+// may or may not be included.
 func (db *Database) SimSeconds() float64 { return db.Clock.SimSeconds() }
 
-// Snapshot returns a copy of the cost counters.
+// Snapshot returns a copy of the cost counters (atomically per counter; see
+// SimSeconds).
 func (db *Database) Snapshot() Clock { return db.Clock.Snapshot() }

@@ -1,0 +1,204 @@
+package core_test
+
+// Regression tests for retrieval-path bookkeeping: the aggregate paths must
+// reject non-numeric columns instead of silently summing zeros, backward
+// queries must show up in statistics and traces no matter which entry point
+// served them, and every forward access — hit, lazy rematerialization, or
+// incremental insert — must feed the trace hook and the second-chance
+// reference bits consulted by cache eviction.
+
+import (
+	"strings"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// TestSumRejectsNonNumericExtension: Sum over a whole extension of a
+// string-valued materialized function must error, exactly like the
+// per-argument path does, rather than summing the zero values AsFloat
+// reports for non-numeric results.
+func TestSumRejectsNonNumericExtension(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if err := db.DefineOpSrc("Material", `
+		define mname: string is
+			return self.Name
+		end`, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Material.mname"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GMRs.Sum("Material.mname", nil); err == nil {
+		t.Fatal("whole-extension Sum over a string column succeeded")
+	} else if !strings.Contains(err.Error(), "non-numeric") {
+		t.Fatalf("whole-extension Sum error = %v, want non-numeric", err)
+	}
+	// The per-argument path must fail the same way.
+	if _, err := db.GMRs.Sum("Material.mname", []gomdb.OID{g.MaterialO[0]}); err == nil {
+		t.Fatal("per-argument Sum over a string column succeeded")
+	} else if !strings.Contains(err.Error(), "non-numeric") {
+		t.Fatalf("per-argument Sum error = %v, want non-numeric", err)
+	}
+}
+
+// TestBackwardAnyCountsAndEmits: the existence-only backward query must
+// increment Stats.BackwardQueries and emit a "backward" trace event just
+// like the full range query.
+func TestBackwardAnyCountsAndEmits(t *testing.T) {
+	db, _ := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	db.SetTrace(func(ev gomdb.TraceEvent) { events = append(events, ev.Op) })
+	before := db.GMRs.Stats.BackwardQueries
+	m, found, err := db.GMRs.BackwardAny("Cuboid.weight", 1500, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("no cuboid with weight in [1500, 2000]")
+	}
+	if f, _ := m.Result.AsFloat(); f < 1500 || f > 2000 {
+		t.Fatalf("BackwardAny returned weight %g outside the range", f)
+	}
+	if got := db.GMRs.Stats.BackwardQueries - before; got != 1 {
+		t.Fatalf("BackwardAny bumped BackwardQueries by %d, want 1", got)
+	}
+	if len(events) == 0 || events[0] != "backward" {
+		t.Fatalf("BackwardAny emitted %v, want a backward event", events)
+	}
+}
+
+// countOps tallies trace events by op name.
+func countOps(events []string) map[string]int {
+	n := map[string]int{}
+	for _, e := range events {
+		n[e]++
+	}
+	return n
+}
+
+// TestForwardExitsEmitUniformly: all three cached exits of Forward — valid
+// hit, lazy rematerialization, incremental insert — must report to the
+// statistics and the trace hook.
+func TestForwardExitsEmitUniformly(t *testing.T) {
+	db, g := exampleDB(t, false)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	db.SetTrace(func(ev gomdb.TraceEvent) { events = append(events, ev.Op) })
+	arg := []gomdb.Value{gomdb.Ref(g.Cuboids[0])}
+
+	// Valid hit.
+	hitsBefore := db.GMRs.Stats.ForwardHits
+	if _, err := db.GMRs.Forward("Cuboid.weight", arg); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.ForwardHits != hitsBefore+1 {
+		t.Fatal("valid hit not counted")
+	}
+	if n := countOps(events); n["forward_hit"] != 1 {
+		t.Fatalf("valid hit emitted %v", events)
+	}
+
+	// Lazy rematerialization: invalidate, then look up again.
+	if err := db.Set(g.MaterialO[0], "SpecWeight", gomdb.Float(8)); err != nil {
+		t.Fatal(err)
+	}
+	events = nil
+	missesBefore := db.GMRs.Stats.ForwardMisses
+	if _, err := db.GMRs.Forward("Cuboid.weight", arg); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.ForwardMisses != missesBefore+1 {
+		t.Fatal("lazy rematerialization not counted as a miss")
+	}
+	if n := countOps(events); n["forward_miss"] != 1 {
+		t.Fatalf("lazy rematerialization emitted %v, want one forward_miss", events)
+	}
+
+	// Incremental insert on a cache GMR.
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: false, MaxEntries: 8,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events = nil
+	missesBefore = db.GMRs.Stats.ForwardMisses
+	if _, err := db.GMRs.Forward("Cuboid.volume", arg); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.Stats.ForwardMisses != missesBefore+1 {
+		t.Fatal("incremental insert not counted as a miss")
+	}
+	if n := countOps(events); n["forward_miss"] != 1 {
+		t.Fatalf("incremental insert emitted %v, want one forward_miss", events)
+	}
+}
+
+// TestSecondChanceCacheEviction: a forward hit sets the entry's reference
+// bit, so the next eviction sweep spares the re-accessed entry and evicts an
+// untouched one — plain FIFO would evict the oldest regardless of use.
+func TestSecondChanceCacheEviction(t *testing.T) {
+	db, g := exampleDB(t, false)
+	// Two extra cuboids so five distinct argument combinations exercise the
+	// three-slot cache below.
+	mkExtra := func() gomdb.OID {
+		g.NextID++
+		return fixtures.NewCuboid(db, g.NextID, 0, 0, 0, 2, 2, 2, g.MaterialO[0], 5)
+	}
+	d, e := mkExtra(), mkExtra()
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: false, MaxEntries: 3,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := func(oid gomdb.OID) {
+		t.Helper()
+		if _, err := db.GMRs.Forward("Cuboid.volume", []gomdb.Value{gomdb.Ref(oid)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b, c := g.Cuboids[0], g.Cuboids[1], g.Cuboids[2]
+	fwd(a)
+	fwd(b)
+	fwd(c)
+	// Inserting d overflows the cache; the sweep clears every fresh bit and
+	// evicts a, leaving {b, c, d} with only the newcomer d marked.
+	fwd(d)
+	// Re-access b: its reference bit is set again.
+	fwd(b)
+	// Inserting e must evict c — the only unreferenced entry — sparing the
+	// re-accessed b. Plain FIFO would evict b, the oldest resident.
+	fwd(e)
+	cached := map[gomdb.OID]bool{}
+	gmr.Entries(func(args, _ []gomdb.Value, _ []bool) bool {
+		cached[args[0].R] = true
+		return true
+	})
+	if !cached[b] {
+		t.Fatalf("re-accessed entry evicted; cache = %v", cached)
+	}
+	if cached[c] {
+		t.Fatalf("unreferenced entry survived; cache = %v", cached)
+	}
+	if len(cached) != 3 {
+		t.Fatalf("cache holds %d entries, want 3", len(cached))
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gomdb/internal/lang"
 	"gomdb/internal/object"
@@ -201,7 +202,7 @@ func (m *Manager) Compensate(recv *object.Obj, fid string, col int, opName strin
 				return err
 			}
 		}
-		m.Stats.Compensations++
+		atomic.AddInt64(&m.Stats.Compensations, 1)
 		m.emit("compensate", g.Name, fid, recv.OID)
 	}
 	return nil

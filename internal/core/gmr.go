@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"gomdb/internal/btree"
 	"gomdb/internal/gridfile"
@@ -153,6 +154,10 @@ type entry struct {
 	// idx are the records of this entry in the paged index files.
 	idx []storage.RID
 	rid storage.RID
+	// ref is the second-chance reference bit: set on insertion and on every
+	// forward access, cleared when cache eviction rotates past the entry.
+	// Atomic because forward hits run on the concurrent read path.
+	ref atomic.Bool
 }
 
 // GMR is a generalized materialization relation (Definition 3.1). The
@@ -274,6 +279,12 @@ func (g *GMR) insertEntry(e *entry) error {
 	if _, dup := g.entries[k]; dup {
 		return fmt.Errorf("core: duplicate GMR entry for %v in %s", e.Args, g.Name)
 	}
+	// A full cache frees a slot before the newcomer goes in: the eviction
+	// sweep then only judges entries by accesses since the previous sweep,
+	// and the fresh entry keeps its reference bit until the next one.
+	if g.MaxEntries > 0 && len(g.entries) >= g.MaxEntries {
+		g.evictOldest()
+	}
 	rid, err := g.heap.Insert(encodeEntry(e))
 	if err != nil {
 		return err
@@ -281,6 +292,9 @@ func (g *GMR) insertEntry(e *entry) error {
 	e.rid = rid
 	e.aux = make([]uint64, len(g.Funcs))
 	e.idx = make([]storage.RID, len(g.Funcs))
+	// A fresh entry counts as referenced, so it survives at least one
+	// eviction sweep before becoming a candidate victim.
+	e.ref.Store(true)
 	g.entries[k] = e
 	g.order = append(g.order, k)
 	for _, a := range e.Args {
@@ -302,9 +316,6 @@ func (g *GMR) insertEntry(e *entry) error {
 	}
 	if err := g.mdsInsert(e); err != nil {
 		return err
-	}
-	if g.MaxEntries > 0 && len(g.entries) > g.MaxEntries {
-		g.evictOldest()
 	}
 	return nil
 }
@@ -468,13 +479,28 @@ func (g *GMR) entryKeysWithArg(oid object.OID) []string {
 	return out
 }
 
-// evictOldest removes the oldest entry of an over-full incremental GMR.
+// evictOldest frees one cache slot of an over-full incremental GMR using the
+// second-chance variant of FIFO:
+// entries whose reference bit is set (inserted or accessed since the last
+// sweep) get their bit cleared and rotate to the back; the first unreferenced
+// entry is evicted. Because rotation clears bits as it goes, the sweep
+// terminates within two passes even when every entry was recently accessed.
 func (g *GMR) evictOldest() {
-	if len(g.order) == 0 {
+	for pass := 0; pass < 2*len(g.order); pass++ {
+		if len(g.order) == 0 {
+			return
+		}
+		k := g.order[0]
+		e := g.entries[k]
+		if e != nil && e.ref.Load() {
+			e.ref.Store(false)
+			copy(g.order, g.order[1:])
+			g.order[len(g.order)-1] = k
+			continue
+		}
+		_ = g.removeEntry(k)
 		return
 	}
-	k := g.order[0]
-	_ = g.removeEntry(k)
 }
 
 // lookup returns the entry for an argument combination.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gomdb/internal/btree"
 	"gomdb/internal/lang"
@@ -47,13 +48,12 @@ func (m *Manager) Forward(fid string, args []object.Value) (object.Value, error)
 	if !g.admitsArgs(args) {
 		// Outside the restricted atomic domain: compute with the "normal"
 		// function, do not store.
-		m.Stats.ForwardMisses++
+		atomic.AddInt64(&m.Stats.ForwardMisses, 1)
 		return m.computeRaw(g.Funcs[i], args)
 	}
 	if e, ok := g.lookup(args); ok {
 		if e.Valid[i] {
-			m.Stats.ForwardHits++
-			m.emit("forward_hit", g.Name, fid, object.NilOID)
+			m.noteForward(g, e, fid, true)
 			if err := g.touch(e); err != nil {
 				return object.Null(), err
 			}
@@ -61,16 +61,16 @@ func (m *Manager) Forward(fid string, args []object.Value) (object.Value, error)
 		}
 		// Lazy rematerialization: "at the latest at the next time the
 		// function result is needed".
-		m.Stats.ForwardMisses++
 		if err := m.rematerialize(g, e, i); err != nil {
 			return object.Null(), err
 		}
+		m.noteForward(g, e, fid, false)
 		return e.Results[i], nil
 	}
-	m.Stats.ForwardMisses++
 	if g.Complete {
 		// A complete extension misses an argument combination only when the
 		// restriction predicate excludes it.
+		atomic.AddInt64(&m.Stats.ForwardMisses, 1)
 		return m.computeRaw(g.Funcs[i], args)
 	}
 	// Incremental GMR: cache the freshly computed result (Section 3.2,
@@ -82,6 +82,7 @@ func (m *Manager) Forward(fid string, args []object.Value) (object.Value, error)
 			return object.Null(), err
 		}
 		if !holds {
+			atomic.AddInt64(&m.Stats.ForwardMisses, 1)
 			return m.computeRaw(g.Funcs[i], args)
 		}
 	}
@@ -92,7 +93,27 @@ func (m *Manager) Forward(fid string, args []object.Value) (object.Value, error)
 	if e == nil {
 		return object.Null(), fmt.Errorf("core: entry vanished after insert in %s", g.Name)
 	}
+	m.noteForward(g, e, fid, false)
 	return e.Results[i], nil
+}
+
+// noteForward records one forward access to entry e uniformly across the
+// three exits of Forward — valid hit, lazy rematerialization, and
+// incremental insert: the hit/miss counter, the trace event, and the entry's
+// reference bit consulted by second-chance cache eviction. The physical
+// tuple access is charged elsewhere (the hit path reads the record via
+// touch; the other two exits pay the rematerialization itself), so this
+// bookkeeping is deliberately free of simulated-clock charges.
+func (m *Manager) noteForward(g *GMR, e *entry, fid string, hit bool) {
+	op := "forward_miss"
+	if hit {
+		atomic.AddInt64(&m.Stats.ForwardHits, 1)
+		op = "forward_hit"
+	} else {
+		atomic.AddInt64(&m.Stats.ForwardMisses, 1)
+	}
+	e.ref.Store(true)
+	m.emit(op, g.Name, fid, object.NilOID)
 }
 
 // computeRaw evaluates the plain function (dynamically dispatched) without
@@ -123,7 +144,7 @@ func (m *Manager) Backward(fid string, lb, ub float64) ([]Match, error) {
 	if g.resIdx[i] == nil {
 		return nil, fmt.Errorf("core: %s has a non-numeric result; no backward index", fid)
 	}
-	m.Stats.BackwardQueries++
+	atomic.AddInt64(&m.Stats.BackwardQueries, 1)
 	m.emit("backward", g.Name, fid, object.NilOID)
 	if err := m.revalidateColumn(g, i); err != nil {
 		return nil, err
@@ -188,6 +209,8 @@ func (m *Manager) BackwardAny(fid string, lb, ub float64) (Match, bool, error) {
 	if g.resIdx[i] == nil {
 		return Match{}, false, fmt.Errorf("core: %s has a non-numeric result; no backward index", fid)
 	}
+	atomic.AddInt64(&m.Stats.BackwardQueries, 1)
+	m.emit("backward", g.Name, fid, object.NilOID)
 	var found *Match
 	var scanErr error
 	g.resIdx[i].Range(lb, ub, func(_ btree.Key, v any) bool {
@@ -222,7 +245,10 @@ func (m *Manager) Sum(fid string, oids []object.OID) (float64, error) {
 		}
 		sum := 0.0
 		for _, mt := range all {
-			f, _ := mt.Result.AsFloat()
+			f, ok := mt.Result.AsFloat()
+			if !ok {
+				return 0, fmt.Errorf("core: non-numeric result %v from %s", mt.Result, fid)
+			}
 			sum += f
 		}
 		return sum, nil

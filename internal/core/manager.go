@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"gomdb/internal/btree"
 	"gomdb/internal/lang"
@@ -17,6 +18,9 @@ import (
 // Stats counts the maintenance work the manager performs; benchmarks and
 // tests read them to verify, e.g., that rotate under information hiding
 // triggers no invalidations while the basic mechanism triggers twelve.
+// Counters are incremented atomically (forward/backward counters are bumped
+// on the concurrent read path); read them when the database is idle, or via
+// atomic loads.
 type Stats struct {
 	RRRLookups         int64 // GMR_Manager.invalidate invocations that consulted the RRR
 	Invalidations      int64 // materialized results invalidated (marked or recomputed)
@@ -56,10 +60,32 @@ type Manager struct {
 	// results, the garbage-collection candidates of CollectResultGarbage.
 	resultObjs map[object.OID]bool
 
-	// trace receives maintenance events when set (SetTrace).
-	trace func(TraceEvent)
+	// trace receives maintenance events when set (SetTrace). Held through
+	// an atomic pointer because read-path lookups emit events while other
+	// goroutines may install or clear the hook.
+	trace atomic.Pointer[func(TraceEvent)]
 
 	Stats Stats
+}
+
+// Quiescent reports whether no retrieval operation can mutate GMR state:
+// every GMR is complete (so forward misses never insert entries) and no
+// result column has invalid entries (so nothing triggers lazy
+// rematerialization or column revalidation). The Database facade uses this
+// to decide whether a retrieval may run under the shared read lock; it is
+// evaluated without charging the simulated clock.
+func (m *Manager) Quiescent() bool {
+	for _, g := range m.gmrs {
+		if !g.Complete {
+			return false
+		}
+		for i := range g.invalid {
+			if len(g.invalid[i]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // NewManager creates a GMR manager over an engine and registers the
@@ -450,7 +476,7 @@ func (m *Manager) computeEntry(g *GMR, args []object.Value) error {
 		results[i] = v
 		valid[i] = true
 		accessedPer[i] = accessed
-		m.Stats.Rematerializations++
+		atomic.AddInt64(&m.Stats.Rematerializations, 1)
 	}
 	e := &entry{Args: args, Results: results, Valid: valid}
 	if err := g.insertEntry(e); err != nil {
@@ -541,7 +567,7 @@ func (m *Manager) removeRRR(oid object.OID, fid string, args []object.Value) err
 // means "check everything" (the Figure 4 version); otherwise only tuples
 // whose function is in relev are processed (Sections 5.1/5.2/5.3).
 func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
-	m.Stats.RRRLookups++
+	atomic.AddInt64(&m.Stats.RRRLookups, 1)
 	tuples, err := m.rrr.Lookup(o.OID)
 	if err != nil {
 		return err
@@ -574,7 +600,7 @@ func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
 			continue
 		}
 		i := g.funcIndex(t.F)
-		m.Stats.Invalidations++
+		atomic.AddInt64(&m.Stats.Invalidations, 1)
 		m.emit("invalidate", g.Name, t.F, o.OID)
 		switch g.Strategy {
 		case Lazy:
@@ -636,7 +662,7 @@ func (m *Manager) rematerializeTracked(g *GMR, e *entry, i int) (map[object.OID]
 	if err := g.setResult(e, i, v); err != nil {
 		return nil, err
 	}
-	m.Stats.Rematerializations++
+	atomic.AddInt64(&m.Stats.Rematerializations, 1)
 	m.emit("rematerialize", g.Name, fn.Name, object.NilOID)
 	for _, oid := range sortedOIDs(accessed) {
 		if err := m.addRRR(oid, fn.Name, e.Args); err != nil {
@@ -655,7 +681,7 @@ func (m *Manager) predicateUpdate(t Tuple) error {
 	if !ok || g.Restriction == nil {
 		return m.removeRRR(t.O, t.F, t.Args)
 	}
-	m.Stats.PredicateUpdates++
+	atomic.AddInt64(&m.Stats.PredicateUpdates, 1)
 	m.emit("predicate", g.Name, t.F, t.O)
 	// (1) remove the triple.
 	if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
@@ -685,7 +711,7 @@ func (m *Manager) predicateUpdate(t Tuple) error {
 // NewObject is GMR_Manager.new_object(o, t) (Section 4.2): extends every
 // complete GMR with entries for all argument combinations containing o.
 func (m *Manager) NewObject(o *object.Obj) error {
-	m.Stats.NewObjects++
+	atomic.AddInt64(&m.Stats.NewObjects, 1)
 	m.emit("new_object", "", "", o.OID)
 	for _, name := range m.GMRs() {
 		g := m.gmrs[name]
@@ -718,7 +744,7 @@ func (m *Manager) NewObject(o *object.Obj) error {
 // on. RRR tuples of *other* objects that still reference the removed
 // entries become blind references, cleaned lazily on their next access.
 func (m *Manager) ForgetObject(o *object.Obj) error {
-	m.Stats.ForgottenObjects++
+	atomic.AddInt64(&m.Stats.ForgottenObjects, 1)
 	m.emit("forget_object", "", "", o.OID)
 	for _, name := range m.GMRs() {
 		g := m.gmrs[name]

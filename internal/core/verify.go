@@ -42,12 +42,20 @@ func (e TraceEvent) String() string {
 
 // Trace, when set, receives one event per maintenance action — the paper's
 // GMR_Manager invocations made visible. Keep the callback cheap; it runs
-// inline with update processing.
-func (m *Manager) SetTrace(fn func(TraceEvent)) { m.trace = fn }
+// inline with update processing. Forward hits and backward queries run under
+// the Database read lock, so the callback may fire from several goroutines
+// at once and must do its own synchronization if it accumulates state.
+func (m *Manager) SetTrace(fn func(TraceEvent)) {
+	if fn == nil {
+		m.trace.Store(nil)
+		return
+	}
+	m.trace.Store(&fn)
+}
 
 func (m *Manager) emit(op, gmr, fct string, obj object.OID) {
-	if m.trace != nil {
-		m.trace(TraceEvent{Op: op, GMR: gmr, Fct: fct, Obj: obj})
+	if fn := m.trace.Load(); fn != nil {
+		(*fn)(TraceEvent{Op: op, GMR: gmr, Fct: fct, Obj: obj})
 	}
 }
 

@@ -3,6 +3,8 @@ package object
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gomdb/internal/storage"
 )
@@ -87,10 +89,15 @@ type Manager struct {
 	extents map[string]*extent
 	nextOID OID
 
-	layouts map[string][]AttrDef
-	attrIdx map[string]map[string]int
+	// layoutMu guards the lazily populated layout caches below: Layout and
+	// AttrIndex are called on the concurrent read path, so the first
+	// resolution of a type's layout must not race with other readers.
+	layoutMu sync.Mutex
+	layouts  map[string][]AttrDef
+	attrIdx  map[string]map[string]int
 
-	// Reads counts Get calls; used by tests and diagnostics.
+	// Reads counts Get calls; used by tests and diagnostics. Updated
+	// atomically: Get runs on the concurrent read path.
 	Reads int64
 	// Writes counts Put calls.
 	Writes int64
@@ -113,6 +120,12 @@ func NewManager(reg *Registry, pool *storage.BufferPool, clock *storage.Clock) *
 // Layout returns the flattened (inheritance-resolved) attribute layout of a
 // tuple type.
 func (m *Manager) Layout(typeName string) []AttrDef {
+	m.layoutMu.Lock()
+	defer m.layoutMu.Unlock()
+	return m.layoutLocked(typeName)
+}
+
+func (m *Manager) layoutLocked(typeName string) []AttrDef {
 	if l, ok := m.layouts[typeName]; ok {
 		return l
 	}
@@ -129,8 +142,10 @@ func (m *Manager) Layout(typeName string) []AttrDef {
 // AttrIndex returns the position of attr in the flattened layout of
 // typeName, or -1.
 func (m *Manager) AttrIndex(typeName, attr string) int {
+	m.layoutMu.Lock()
+	defer m.layoutMu.Unlock()
 	if _, ok := m.attrIdx[typeName]; !ok {
-		m.Layout(typeName)
+		m.layoutLocked(typeName)
 	}
 	if i, ok := m.attrIdx[typeName][attr]; ok {
 		return i
@@ -221,7 +236,7 @@ func (m *Manager) Get(oid OID) (*Obj, error) {
 		return nil, err
 	}
 	m.Clock.AddCPU(1 + int64(len(rec))/64)
-	m.Reads++
+	atomic.AddInt64(&m.Reads, 1)
 	return decodeObj(oid, rec)
 }
 

@@ -22,6 +22,7 @@ package pred
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // CmpOp enumerates comparison operators.
@@ -254,6 +255,7 @@ func Eval(p P, env map[string]float64) bool {
 // equality predicates fit the numeric solver: distinct strings get distinct
 // codes, making x = "Iron" ∧ x = "Gold" correctly unsatisfiable.
 type Interner struct {
+	mu    sync.Mutex
 	codes map[string]float64
 	next  float64
 }
@@ -261,8 +263,12 @@ type Interner struct {
 // NewInterner returns an empty interner.
 func NewInterner() *Interner { return &Interner{codes: make(map[string]float64), next: 1} }
 
-// Code returns the stable numeric code for s.
+// Code returns the stable numeric code for s. Safe for concurrent use: the
+// query planner interns string constants while translating predicates, which
+// happens on the read path.
 func (in *Interner) Code(s string) float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if c, ok := in.codes[s]; ok {
 		return c
 	}

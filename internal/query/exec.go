@@ -23,9 +23,11 @@ type Executor struct {
 	// plan (backward GMR index vs. extension scan).
 	Explain func(string)
 
-	// rangeTypes maps range variables of the currently executing query to
-	// their declared types, enabling static dispatch in path steps. The
-	// executor is single-threaded, like the GOM runtime it models.
+	// rangeTypes maps range variables of the executing query to their
+	// declared types, enabling static dispatch in path steps. It is
+	// query-local state: RunQuery populates it on a per-query shallow copy
+	// of the executor, never on the shared receiver, so concurrent
+	// read-only queries do not interfere.
 	rangeTypes map[string]string
 }
 
@@ -51,19 +53,23 @@ func (ex *Executor) Run(src string, params map[string]object.Value) (*Result, er
 	return ex.RunQuery(q, params)
 }
 
-// RunQuery executes a parsed statement.
+// RunQuery executes a parsed statement. It is safe to call concurrently for
+// read-only plans (see ReadOnlyPlan): per-query state lives on a shallow
+// copy of the executor, not the shared receiver.
 func (ex *Executor) RunQuery(q *Query, params map[string]object.Value) (*Result, error) {
-	ex.rangeTypes = make(map[string]string, len(q.Ranges))
+	rt := make(map[string]string, len(q.Ranges))
 	for _, r := range q.Ranges {
 		if ex.En.Sch.Reg.Lookup(r.Type) == nil {
 			return nil, fmt.Errorf("gomql: unknown range type %q", r.Type)
 		}
-		ex.rangeTypes[r.Var] = r.Type
+		rt[r.Var] = r.Type
 	}
+	exq := *ex
+	exq.rangeTypes = rt
 	if q.Kind == MaterializeStmt {
-		return ex.runMaterialize(q, params)
+		return exq.runMaterialize(q, params)
 	}
-	return ex.runRetrieve(q, params)
+	return exq.runRetrieve(q, params)
 }
 
 func (ex *Executor) explain(format string, args ...any) {

@@ -3,6 +3,7 @@ package schema
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"gomdb/internal/lang"
 	"gomdb/internal/object"
@@ -27,15 +28,19 @@ type Engine struct {
 	interceptor CallInterceptor
 
 	// trackers is a stack of access recorders; (re)materialization pushes
-	// one to collect the objects a computation visits.
+	// one to collect the objects a computation visits. Tracking only runs
+	// during (re)materialization, which executes under the exclusive
+	// Database lock, so the stack needs no further synchronization.
 	trackers []map[object.OID]struct{}
 	// suspend > 0 disables tracking: inside a public operation of a
 	// strictly encapsulated type only the receiver is recorded, its
-	// subobjects are not (Section 5.3).
+	// subobjects are not (Section 5.3). Write-path-only, like trackers.
 	suspend int
 	// noIntercept > 0 disables the GMR interceptor: rematerialization must
 	// recompute from base objects, not from (possibly stale) GMR entries.
-	noIntercept int
+	// Counted atomically because EvalRaw runs on the concurrent read path
+	// (consistency checks, non-materialized function evaluation).
+	noIntercept atomic.Int64
 }
 
 // NewEngine wires an engine over a schema and object manager.
@@ -163,7 +168,7 @@ func (en *Engine) CallFunction(name string, args []object.Value) (object.Value, 
 	if err != nil {
 		return object.Null(), err
 	}
-	if en.interceptor != nil && en.noIntercept == 0 {
+	if en.interceptor != nil && en.noIntercept.Load() == 0 {
 		v, handled, err := en.interceptor(fn, args)
 		if handled || err != nil {
 			return v, err
@@ -241,7 +246,7 @@ func (en *Engine) CallFunction(name string, args []object.Value) (object.Value, 
 // and the set of accessed objects for RRR maintenance.
 func (en *Engine) EvalTracked(fn *lang.Function, args []object.Value) (object.Value, map[object.OID]struct{}, error) {
 	tracker := en.PushTracker()
-	en.noIntercept++
+	en.noIntercept.Add(1)
 	// Track argument objects themselves: the paper's RRR examples include
 	// the argument objects (e.g. [id1, volume, <id1>]).
 	for _, a := range args {
@@ -263,7 +268,7 @@ func (en *Engine) EvalTracked(fn *lang.Function, args []object.Value) (object.Va
 		}
 	}
 	v, err := lang.Eval(en, fn, args)
-	en.noIntercept--
+	en.noIntercept.Add(-1)
 	en.PopTracker()
 	if err != nil {
 		return object.Null(), nil, err
@@ -275,8 +280,8 @@ func (en *Engine) EvalTracked(fn *lang.Function, args []object.Value) (object.Va
 // interception — the "normal" function of Section 6, used when a result is
 // not (or may not be) materialized.
 func (en *Engine) EvalRaw(fn *lang.Function, args []object.Value) (object.Value, error) {
-	en.noIntercept++
-	defer func() { en.noIntercept-- }()
+	en.noIntercept.Add(1)
+	defer en.noIntercept.Add(-1)
 	return lang.Eval(en, fn, args)
 }
 

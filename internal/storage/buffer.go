@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // Frame is a buffer-pool frame holding a cached page.
@@ -18,14 +19,22 @@ type Frame struct {
 func (f *Frame) ID() PageID { return f.id }
 
 // MarkDirty records that the frame's contents diverge from disk and must be
-// written back on eviction or flush.
+// written back on eviction or flush. Callers that mutate Data (and therefore
+// call MarkDirty) must hold the frame pinned and run under the Database
+// write lock; concurrent readers only ever read pinned frames.
 func (f *Frame) MarkDirty() { f.dirty = true }
 
 // BufferPool caches disk pages in a fixed number of frames with LRU
 // replacement. The paper deliberately ran with a small 600 KB buffer
 // (150 frames of 4 KB) to make I/O behaviour visible at benchmark scale;
 // NewPool(disk, 150) reproduces that configuration.
+//
+// All pool operations are serialized by an internal mutex, so concurrent
+// read-path queries can pin, unpin, and fault pages without corrupting the
+// LRU list or the hit/miss accounting. The mutex also guards the underlying
+// Disk, which is only reachable through the pool.
 type BufferPool struct {
+	mu     sync.Mutex
 	disk   *Disk
 	frames map[PageID]*Frame
 	lru    *list.List // front = most recently used; holds *Frame
@@ -33,7 +42,8 @@ type BufferPool struct {
 	clock  *Clock
 
 	// Hits and Misses count logical page requests served from the pool vs.
-	// requiring a physical read.
+	// requiring a physical read. Guarded by mu; read them only when no
+	// other goroutine is using the pool.
 	Hits   int64
 	Misses int64
 }
@@ -58,7 +68,9 @@ func (bp *BufferPool) Capacity() int { return bp.cap }
 // Pin fetches page id into the pool (reading from disk on a miss), pins it,
 // and returns its frame. Every Pin must be matched by an Unpin.
 func (bp *BufferPool) Pin(id PageID) (*Frame, error) {
-	bp.clock.LogReads++
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.clock.addLogRead()
 	if f, ok := bp.frames[id]; ok {
 		bp.Hits++
 		f.pins++
@@ -81,6 +93,8 @@ func (bp *BufferPool) Pin(id PageID) (*Frame, error) {
 // PinNew allocates a fresh disk page, installs a zeroed dirty frame for it
 // without a physical read, and returns the pinned frame.
 func (bp *BufferPool) PinNew() (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if err := bp.evictIfFull(); err != nil {
 		return nil, err
 	}
@@ -88,28 +102,34 @@ func (bp *BufferPool) PinNew() (*Frame, error) {
 	f := &Frame{id: id, pins: 1, dirty: true}
 	f.lru = bp.lru.PushFront(f)
 	bp.frames[id] = f
-	bp.clock.LogWrites++
+	bp.clock.addLogWrite()
 	return f, nil
 }
 
 // Unpin releases one pin on page id. If dirty is true the frame is marked
-// for write-back.
-func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+// for write-back. Unpinning a page that is not buffered, or whose pin count
+// is already zero, reports an error (it indicates a caller bug, but must not
+// take the process down in a server setting).
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok {
-		panic(fmt.Sprintf("storage: unpin of unbuffered page %d", id))
+		return fmt.Errorf("storage: unpin of unbuffered page %d", id)
 	}
 	if f.pins <= 0 {
-		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
 	}
 	f.pins--
 	if dirty {
 		f.dirty = true
-		bp.clock.LogWrites++
+		bp.clock.addLogWrite()
 	}
+	return nil
 }
 
 // evictIfFull frees one frame using LRU, writing it back if dirty.
+// Caller holds bp.mu.
 func (bp *BufferPool) evictIfFull() error {
 	if len(bp.frames) < bp.cap {
 		return nil
@@ -136,6 +156,8 @@ func (bp *BufferPool) evictIfFull() error {
 // backward indexes, RRR) whose consistency a 1991-era system guaranteed by
 // writing through. A miss is a no-op.
 func (bp *BufferPool) FlushPage(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok || !f.dirty {
 		return nil
@@ -149,6 +171,8 @@ func (bp *BufferPool) FlushPage(id PageID) error {
 
 // Flush writes all dirty frames back to disk without evicting them.
 func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for _, f := range bp.frames {
 		if f.dirty {
 			if err := bp.disk.write(f.id, &f.Data); err != nil {
@@ -162,12 +186,16 @@ func (bp *BufferPool) Flush() error {
 
 // Resident reports whether page id is currently buffered. Used by tests.
 func (bp *BufferPool) Resident(id PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	_, ok := bp.frames[id]
 	return ok
 }
 
 // PinnedCount returns the number of frames with a nonzero pin count.
 func (bp *BufferPool) PinnedCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	n := 0
 	for _, f := range bp.frames {
 		if f.pins > 0 {

@@ -11,7 +11,10 @@
 // paper's measurement setup without requiring real hardware.
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // PageSize is the size of a disk page in bytes.
 const PageSize = 4096
@@ -30,6 +33,12 @@ const (
 // Clock accumulates simulated work. The buffer pool charges physical I/Os;
 // higher layers charge CPU operations (interpreter steps, comparisons,
 // serialization). SimSeconds converts the counters into simulated time.
+//
+// The counters are mutated with atomic adds so that concurrent read-path
+// queries (which charge CPU and logical-read work under the Database read
+// lock) keep the accounting exact. The fields stay plain int64 so that
+// snapshots remain value copies; Snapshot, SimMicros, and Sub use atomic
+// loads so they are safe to call while other goroutines are charging.
 type Clock struct {
 	PhysReads  int64
 	PhysWrites int64
@@ -47,22 +56,38 @@ func NewClock() *Clock {
 }
 
 // AddCPU charges n CPU operations.
-func (c *Clock) AddCPU(n int64) { c.CPUOps += n }
+func (c *Clock) AddCPU(n int64) { atomic.AddInt64(&c.CPUOps, n) }
+
+func (c *Clock) addPhysRead()  { atomic.AddInt64(&c.PhysReads, 1) }
+func (c *Clock) addPhysWrite() { atomic.AddInt64(&c.PhysWrites, 1) }
+func (c *Clock) addLogRead()   { atomic.AddInt64(&c.LogReads, 1) }
+func (c *Clock) addLogWrite()  { atomic.AddInt64(&c.LogWrites, 1) }
 
 // SimMicros returns the total simulated microseconds of work charged so far.
 func (c *Clock) SimMicros() int64 {
-	return (c.PhysReads+c.PhysWrites)*c.IOCostMicros + c.CPUOps*c.CPUCostMicros
+	ios := atomic.LoadInt64(&c.PhysReads) + atomic.LoadInt64(&c.PhysWrites)
+	return ios*c.IOCostMicros + atomic.LoadInt64(&c.CPUOps)*c.CPUCostMicros
 }
 
 // SimSeconds returns the total simulated seconds of work charged so far.
 func (c *Clock) SimSeconds() float64 { return float64(c.SimMicros()) / 1e6 }
 
 // Snapshot returns a copy of the current counters.
-func (c *Clock) Snapshot() Clock { return *c }
+func (c *Clock) Snapshot() Clock {
+	return Clock{
+		PhysReads:     atomic.LoadInt64(&c.PhysReads),
+		PhysWrites:    atomic.LoadInt64(&c.PhysWrites),
+		LogReads:      atomic.LoadInt64(&c.LogReads),
+		LogWrites:     atomic.LoadInt64(&c.LogWrites),
+		CPUOps:        atomic.LoadInt64(&c.CPUOps),
+		IOCostMicros:  c.IOCostMicros,
+		CPUCostMicros: c.CPUCostMicros,
+	}
+}
 
 // Sub returns the work performed since an earlier snapshot.
 func (c *Clock) Sub(earlier Clock) Clock {
-	d := *c
+	d := c.Snapshot()
 	d.PhysReads -= earlier.PhysReads
 	d.PhysWrites -= earlier.PhysWrites
 	d.LogReads -= earlier.LogReads
@@ -131,7 +156,7 @@ func (d *Disk) read(id PageID, dst *[PageSize]byte) error {
 	if !ok {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
-	d.clock.PhysReads++
+	d.clock.addPhysRead()
 	*dst = *p
 	return nil
 }
@@ -144,7 +169,7 @@ func (d *Disk) write(id PageID, src *[PageSize]byte) error {
 	if !ok {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
-	d.clock.PhysWrites++
+	d.clock.addPhysWrite()
 	*p = *src
 	return nil
 }

@@ -39,7 +39,9 @@ func NewForcedHeapFile(pool *BufferPool, name string) *HeapFile {
 // unpinDirty releases a dirtied page, forcing it to disk under the FORCE
 // policy.
 func (h *HeapFile) unpinDirty(id PageID) error {
-	h.pool.Unpin(id, true)
+	if err := h.pool.Unpin(id, true); err != nil {
+		return err
+	}
 	if h.writeThrough {
 		return h.pool.FlushPage(id)
 	}
@@ -89,7 +91,9 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 				return RID{Page: id, Slot: slot}, nil
 			}
 		}
-		h.pool.Unpin(id, false)
+		if err := h.pool.Unpin(id, false); err != nil {
+			return RID{}, err
+		}
 	}
 	f, err := h.pool.PinNew()
 	if err != nil {
@@ -99,7 +103,9 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	p.initIfNeeded()
 	slot, ok := p.insert(rec)
 	if !ok {
-		h.pool.Unpin(f.ID(), false)
+		if err := h.pool.Unpin(f.ID(), false); err != nil {
+			return RID{}, err
+		}
 		return RID{}, fmt.Errorf("storage: record of %d bytes does not fit fresh page in %s", len(rec), h.name)
 	}
 	if err := h.unpinDirty(f.ID()); err != nil {
@@ -117,14 +123,19 @@ func (h *HeapFile) Read(rid RID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer h.pool.Unpin(rid.Page, false)
 	p := slotted{&f.Data}
 	data, ok := p.read(rid.Slot)
+	var out []byte
+	if ok {
+		out = make([]byte, len(data))
+		copy(out, data)
+	}
+	if err := h.pool.Unpin(rid.Page, false); err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("storage: no record at %v in %s", rid, h.name)
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
 	return out, nil
 }
 
@@ -164,7 +175,9 @@ func (h *HeapFile) Delete(rid RID) error {
 	p := slotted{&f.Data}
 	ok := p.del(rid.Slot)
 	if !ok {
-		h.pool.Unpin(rid.Page, false)
+		if err := h.pool.Unpin(rid.Page, false); err != nil {
+			return err
+		}
 		return fmt.Errorf("storage: delete of missing record %v in %s", rid, h.name)
 	}
 	if err := h.unpinDirty(rid.Page); err != nil {
@@ -186,8 +199,7 @@ func (h *HeapFile) ProbePage(hash uint64) error {
 	if _, err := h.pool.Pin(id); err != nil {
 		return err
 	}
-	h.pool.Unpin(id, false)
-	return nil
+	return h.pool.Unpin(id, false)
 }
 
 // Scan calls fn for every live record in page order. The record slice is
@@ -208,7 +220,9 @@ func (h *HeapFile) Scan(fn func(RID, []byte) bool) error {
 				}
 			}
 		}
-		h.pool.Unpin(id, false)
+		if err := h.pool.Unpin(id, false); err != nil {
+			return err
+		}
 		if stop {
 			return nil
 		}

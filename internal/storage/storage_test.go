@@ -222,22 +222,25 @@ func TestBufferPoolPinnedPagesNotEvicted(t *testing.T) {
 	}
 }
 
-func TestUnpinPanicsOnMisuse(t *testing.T) {
+func TestUnpinErrorsOnMisuse(t *testing.T) {
 	pool, _ := newPool(2)
 	f, _ := pool.PinNew()
-	pool.Unpin(f.ID(), false)
-	mustPanic(t, func() { pool.Unpin(f.ID(), false) })
-	mustPanic(t, func() { pool.Unpin(PageID(9999), false) })
-}
-
-func mustPanic(t *testing.T, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	f()
+	if err := pool.Unpin(f.ID(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Unpin(f.ID(), false); err == nil {
+		t.Fatal("double unpin did not report an error")
+	}
+	if err := pool.Unpin(PageID(9999), false); err == nil {
+		t.Fatal("unpin of unbuffered page did not report an error")
+	}
+	// Misuse must not corrupt the pool: the frame stays resident and usable.
+	if !pool.Resident(f.ID()) {
+		t.Fatal("frame lost after unpin misuse")
+	}
+	if pool.PinnedCount() != 0 {
+		t.Fatalf("pinned count = %d after misuse", pool.PinnedCount())
+	}
 }
 
 func TestWriteThroughForcesPages(t *testing.T) {
