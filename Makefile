@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench repro repro-short examples clean
+.PHONY: all build vet test test-short test-race bench bench-throughput repro repro-short examples clean
 
 all: build vet test
 
@@ -27,6 +27,12 @@ test-race:
 # scale; the full-scale reproduction is `make repro`.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Wall-clock read-path scalability: the parallel testing.B sweep plus the
+# gombench throughput suite (writes BENCH_throughput.json).
+bench-throughput:
+	$(GO) test -run '^$$' -bench 'Parallel' -cpu 1,2,4,8 -benchtime=200ms .
+	$(GO) run ./cmd/gombench -figure throughput
 
 # Regenerate every table and figure of the paper's evaluation (Section 7)
 # at the paper's scale. Takes ~8 minutes; output shapes are documented in

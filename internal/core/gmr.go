@@ -141,6 +141,14 @@ type Options struct {
 	// at most four total columns with numeric results. It enables
 	// Manager.Retrieve queries that constrain arbitrary column combinations.
 	UseMDS bool
+	// MemoCache enables the forward-lookup memo cache for this GMR's
+	// functions: repeat forward hits against a quiescent extension are
+	// answered from a sharded in-memory map without touching the buffer
+	// pool — and therefore without charging the simulated clock. Off by
+	// default so the paper's cost accounting is unchanged unless a caller
+	// explicitly opts into the modern-hardware read path (see memo.go for
+	// the epoch-based invalidation contract).
+	MemoCache bool
 }
 
 // entry is one tuple of a GMR extension:
@@ -178,6 +186,9 @@ type GMR struct {
 	Restriction  *Restriction
 	AtomicArgs   map[int]ArgRestriction
 	SecondChance bool
+	// Memo mirrors Options.MemoCache: forward lookups on this GMR consult
+	// and fill the manager's memo cache.
+	Memo bool
 
 	entries map[string]*entry
 	order   []string // insertion order: determinism + cache eviction
@@ -275,6 +286,7 @@ func encodeEntry(e *entry) []byte {
 
 // insertEntry adds a new entry to the extension, heap, and indexes.
 func (g *GMR) insertEntry(e *entry) error {
+	g.mgr.BumpWriteEpoch()
 	k := argKey(e.Args)
 	if _, dup := g.entries[k]; dup {
 		return fmt.Errorf("core: duplicate GMR entry for %v in %s", e.Args, g.Name)
@@ -388,6 +400,7 @@ func (g *GMR) markInvalid(k string, i int) error {
 	if !e.Valid[i] {
 		return nil
 	}
+	g.mgr.BumpWriteEpoch()
 	e.Valid[i] = false
 	g.invalid[i][k] = true
 	return g.rewrite(e)
@@ -395,6 +408,7 @@ func (g *GMR) markInvalid(k string, i int) error {
 
 // setResult replaces column i of entry e (the rematerialization write).
 func (g *GMR) setResult(e *entry, i int, v object.Value) error {
+	g.mgr.BumpWriteEpoch()
 	if err := g.mdsDelete(e); err != nil {
 		return err
 	}
@@ -441,6 +455,7 @@ func (g *GMR) removeEntry(k string) error {
 	if !ok {
 		return nil
 	}
+	g.mgr.BumpWriteEpoch()
 	if err := g.mdsDelete(e); err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ type Stats struct {
 	Compensations      int64 // compensating-action applications
 	ForwardHits        int64 // forward lookups answered from a valid entry
 	ForwardMisses      int64 // forward lookups that had to compute
+	MemoHits           int64 // forward lookups answered by the memo cache (counted in ForwardHits too)
 	BackwardQueries    int64
 	NewObjects         int64
 	ForgottenObjects   int64
@@ -64,6 +65,12 @@ type Manager struct {
 	// an atomic pointer because read-path lookups emit events while other
 	// goroutines may install or clear the hook.
 	trace atomic.Pointer[func(TraceEvent)]
+
+	// memo is the opt-in forward-lookup memo cache (see memo.go);
+	// writeEpoch is the wholesale-invalidation counter every cached value
+	// is tagged with.
+	memo       *memoCache
+	writeEpoch atomic.Uint64
 
 	Stats Stats
 }
@@ -105,6 +112,7 @@ func NewManager(en *schema.Engine, pool *storage.BufferPool) *Manager {
 		uninstall: make(map[string][]func()),
 		extractor: lang.NewExtractor(en.Sch, en.Sch),
 		Intern:    pred.NewInterner(),
+		memo:      newMemoCache(),
 	}
 	en.SetInterceptor(m.intercept)
 	return m
@@ -141,6 +149,7 @@ func (m *Manager) GMRFor(fid string) (*GMR, bool) {
 //
 //	range c: Cuboid materialize c.volume, c.weight [where p]
 func (m *Manager) Materialize(opts Options) (*GMR, error) {
+	m.BumpWriteEpoch()
 	if len(opts.Funcs) == 0 {
 		return nil, errors.New("core: materialize needs at least one function")
 	}
@@ -214,6 +223,7 @@ func (m *Manager) Materialize(opts Options) (*GMR, error) {
 		Restriction:  opts.Restriction,
 		AtomicArgs:   opts.AtomicArgs,
 		SecondChance: opts.SecondChance,
+		Memo:         opts.MemoCache,
 		entries:      make(map[string]*entry),
 		argIndex:     make(map[object.OID]map[string]bool),
 		heap:         storage.NewForcedHeapFile(m.Pool, "GMR:"+name),
@@ -278,6 +288,7 @@ func isNumericType(t string) bool {
 // Drop deletes a GMR: its extension, its RRR tuples and ObjDepFct marks, and
 // the hook rewrites — restoring the unmodified schema.
 func (m *Manager) Drop(name string) error {
+	m.BumpWriteEpoch()
 	g, ok := m.gmrs[name]
 	if !ok {
 		return fmt.Errorf("core: no GMR %q", name)
@@ -567,6 +578,7 @@ func (m *Manager) removeRRR(oid object.OID, fid string, args []object.Value) err
 // means "check everything" (the Figure 4 version); otherwise only tuples
 // whose function is in relev are processed (Sections 5.1/5.2/5.3).
 func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
+	m.BumpWriteEpoch()
 	atomic.AddInt64(&m.Stats.RRRLookups, 1)
 	tuples, err := m.rrr.Lookup(o.OID)
 	if err != nil {
@@ -711,6 +723,7 @@ func (m *Manager) predicateUpdate(t Tuple) error {
 // NewObject is GMR_Manager.new_object(o, t) (Section 4.2): extends every
 // complete GMR with entries for all argument combinations containing o.
 func (m *Manager) NewObject(o *object.Obj) error {
+	m.BumpWriteEpoch()
 	atomic.AddInt64(&m.Stats.NewObjects, 1)
 	m.emit("new_object", "", "", o.OID)
 	for _, name := range m.GMRs() {
@@ -744,6 +757,7 @@ func (m *Manager) NewObject(o *object.Obj) error {
 // on. RRR tuples of *other* objects that still reference the removed
 // entries become blind references, cleaned lazily on their next access.
 func (m *Manager) ForgetObject(o *object.Obj) error {
+	m.BumpWriteEpoch()
 	atomic.AddInt64(&m.Stats.ForgottenObjects, 1)
 	m.emit("forget_object", "", "", o.OID)
 	for _, name := range m.GMRs() {
@@ -783,6 +797,7 @@ func (m *Manager) hasEntriesWithArg(oid object.OID) bool {
 // invalidated before the benchmark was started — this causes the RRR and
 // the sets ObjDepFct to be empty with respect to <<volume>>").
 func (m *Manager) InvalidateAll(name string) error {
+	m.BumpWriteEpoch()
 	g, ok := m.gmrs[name]
 	if !ok {
 		return fmt.Errorf("core: no GMR %q", name)
@@ -818,6 +833,7 @@ func (m *Manager) InvalidateAll(name string) error {
 // background sweep lazy rematerialization performs "as soon as the load ...
 // falls below a predetermined threshold".
 func (m *Manager) Revalidate(name string) error {
+	m.BumpWriteEpoch()
 	g, ok := m.gmrs[name]
 	if !ok {
 		return fmt.Errorf("core: no GMR %q", name)

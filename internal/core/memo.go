@@ -1,0 +1,116 @@
+package core
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"gomdb/internal/object"
+)
+
+// memoCache is the opt-in forward-lookup memo layer above Manager.Forward:
+// a sharded map from (function id, argument combination) to the materialized
+// result, serving repeat forward hits against quiescent GMRs without
+// touching the buffer pool or the simulated clock.
+//
+// Consistency is epoch-based rather than entry-based. The Database facade
+// bumps the manager's write epoch under its exclusive lock before every
+// write-classified operation (the manager's own mutation entry points bump
+// it too, for single-threaded tooling that bypasses the facade), and every
+// cached value records the epoch it was read under. A lookup only answers
+// when the entry's epoch equals the current one, so any intervening write —
+// whether or not it touched this particular GMR — invalidates the whole
+// cache wholesale at the cost of one atomic increment. Fills happen on the
+// shared-lock read path, where the engine only serves valid entries of
+// complete GMRs (Database.readOnlyCall requires quiescence), so a cached
+// value is always a Definition 3.2-consistent result as of its epoch.
+//
+// Because only valid hits are cached, the cache is bounded by the extension
+// sizes of the memo-enabled GMRs; stale-epoch entries are overwritten in
+// place on the next fill of the same key.
+type memoCache struct {
+	shards [memoShardCount]memoShard
+	seed   maphash.Seed
+}
+
+const memoShardCount = 64
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]memoEntry
+}
+
+type memoEntry struct {
+	epoch uint64
+	val   object.Value
+}
+
+func newMemoCache() *memoCache {
+	c := &memoCache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]memoEntry)
+	}
+	return c
+}
+
+// memoKey encodes (fid, args); the fid prefix is length-tagged implicitly by
+// the 0 byte, which cannot occur inside a function name.
+func memoKey(fid string, args []object.Value) string {
+	b := make([]byte, 0, len(fid)+1+16*len(args))
+	b = append(b, fid...)
+	b = append(b, 0)
+	for _, a := range args {
+		b = append(b, object.EncodeValue(a)...)
+	}
+	return string(b)
+}
+
+func (c *memoCache) shardFor(key string) *memoShard {
+	return &c.shards[maphash.String(c.seed, key)&(memoShardCount-1)]
+}
+
+// get returns the cached result for key if it was filled under the current
+// epoch.
+func (c *memoCache) get(key string, epoch uint64) (object.Value, bool) {
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok || e.epoch != epoch {
+		return object.Value{}, false
+	}
+	return e.val, true
+}
+
+// put records the result read for key under epoch.
+func (c *memoCache) put(key string, epoch uint64, v object.Value) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	sh.m[key] = memoEntry{epoch: epoch, val: v}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of cached entries (current and stale); used by
+// tests.
+func (c *memoCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// BumpWriteEpoch invalidates every memo-cached forward result. The Database
+// facade calls it under its exclusive lock when classifying an operation as
+// a write; the manager's own mutation entry points call it as well so that
+// single-threaded tooling driving the manager directly keeps the cache
+// coherent.
+func (m *Manager) BumpWriteEpoch() { m.writeEpoch.Add(1) }
+
+// WriteEpoch returns the current write epoch; used by tests.
+func (m *Manager) WriteEpoch() uint64 { return m.writeEpoch.Load() }
+
+// MemoLen returns the number of memo-cached forward results; used by tests.
+func (m *Manager) MemoLen() int { return m.memo.Len() }

@@ -193,7 +193,7 @@ func TestBufferPoolLRUAndCounters(t *testing.T) {
 	if clock.PhysReads != 1 {
 		t.Fatalf("expected 1 physical read, got %d", clock.PhysReads)
 	}
-	if pool.Hits == 0 && pool.Misses == 0 {
+	if hits, misses := pool.HitStats(); hits == 0 && misses == 0 {
 		t.Fatal("hit/miss counters not maintained")
 	}
 }
