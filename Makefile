@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-throughput repro repro-short examples clean
+.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates check-determinism repro repro-short examples clean
 
 all: build vet test
 
@@ -33,6 +33,18 @@ bench:
 bench-throughput:
 	$(GO) test -run '^$$' -bench 'Parallel' -cpu 1,2,4,8 -benchtime=200ms .
 	$(GO) run ./cmd/gombench -figure throughput
+
+# Burst-update cost: immediate vs lazy vs deferred, plus the deferred
+# worker-pool sweep (writes BENCH_updates.json).
+bench-updates:
+	$(GO) run ./cmd/gombench -figure updates
+
+# The simulated figures must not depend on scheduling, core count, or worker
+# pools: regenerate the short-scale suite and compare it (modulo wall-time
+# lines) against the committed golden.
+check-determinism:
+	$(GO) run ./cmd/gombench -figure all -short | grep -v "wall time" | \
+		diff testdata/gombench_all_short.golden - && echo "figures deterministic"
 
 # Regenerate every table and figure of the paper's evaluation (Section 7)
 # at the paper's scale. Takes ~8 minutes; output shapes are documented in

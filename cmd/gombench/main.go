@@ -25,13 +25,13 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput) or 'all'")
+	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates) or 'all'")
 	short := flag.Bool("short", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cuboids := flag.Int("cuboids", 0, "override Cuboid database size (default 8000, paper scale)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	plot := flag.Bool("plot", false, "additionally render an ASCII log-scale plot")
-	out := flag.String("out", "BENCH_throughput.json", "output path for -figure throughput")
+	out := flag.String("out", "", "output path for -figure throughput/updates (default BENCH_<figure>.json)")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +39,7 @@ func main() {
 			fmt.Println(id)
 		}
 		fmt.Println("throughput")
+		fmt.Println("updates")
 		return
 	}
 	sc := bench.FullScale()
@@ -49,11 +50,16 @@ func main() {
 		sc.Cuboids = *cuboids
 	}
 
-	// The throughput suite measures wall-clock ops/sec, not simulated
-	// seconds, so it lives outside the Registry: "-figure all" keeps
-	// producing exactly the simulated figures it always has.
-	if strings.ToLower(*figure) == "throughput" {
-		runThroughput(sc, *out, *csv, *plot)
+	// The throughput and updates suites report wall-clock numbers alongside
+	// (or instead of) simulated seconds, so they live outside the Registry:
+	// "-figure all" keeps producing exactly the simulated figures it always
+	// has.
+	switch strings.ToLower(*figure) {
+	case "throughput":
+		runThroughput(sc, jsonOut(*out, "BENCH_throughput.json"), *csv, *plot)
+		return
+	case "updates":
+		runUpdates(sc, jsonOut(*out, "BENCH_updates.json"), *csv, *plot)
 		return
 	}
 
@@ -85,6 +91,49 @@ func main() {
 	}
 }
 
+// jsonOut resolves the -out flag against a per-figure default.
+func jsonOut(out, def string) string {
+	if out == "" {
+		return def
+	}
+	return out
+}
+
+// writeJSON marshals the report and writes it to out.
+func writeJSON(rep any, out, figure string) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: %s: %v\n", figure, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: %s: %v\n", figure, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  wrote %s\n", out)
+}
+
+// runUpdates runs the burst-update suite and writes the JSON report.
+func runUpdates(sc bench.Scale, out string, csv, plot bool) {
+	t0 := time.Now()
+	rep, fig, err := bench.Updates(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: updates: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fig.PrintCSV(os.Stdout)
+	} else {
+		fig.Print(os.Stdout)
+	}
+	if plot {
+		fig.PrintPlot(os.Stdout)
+	}
+	writeJSON(rep, out, "updates")
+	fmt.Printf("  (updates completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
+}
+
 // runThroughput runs the wall-clock suite and writes the JSON report.
 func runThroughput(sc bench.Scale, out string, csv, plot bool) {
 	t0 := time.Now()
@@ -101,16 +150,6 @@ func runThroughput(sc bench.Scale, out string, csv, plot bool) {
 	if plot {
 		fig.PrintPlot(os.Stdout)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gombench: throughput: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "gombench: throughput: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("  wrote %s\n", out)
+	writeJSON(rep, out, "throughput")
 	fmt.Printf("  (throughput completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
 }

@@ -53,7 +53,7 @@ type (
 	Stmt = lang.Stmt
 	// MaterializeOptions configures Materialize.
 	MaterializeOptions = core.Options
-	// Strategy selects immediate or lazy rematerialization.
+	// Strategy selects immediate, lazy, or deferred rematerialization.
 	Strategy = core.Strategy
 	// HookMode selects the invalidation mechanism (ModeBasic ... ModeInfoHiding).
 	HookMode = core.HookMode
@@ -83,6 +83,10 @@ const (
 	Immediate = core.Immediate
 	// Lazy rematerialization marks and recomputes on demand.
 	Lazy = core.Lazy
+	// Deferred rematerialization marks, coalesces repeated invalidations of
+	// the same result, and recomputes in parallel at the next Flush (or when
+	// a lookup forces a single pending entry).
+	Deferred = core.Deferred
 
 	// ModeBasic is the unsophisticated Section 4 invalidation mechanism.
 	ModeBasic = core.ModeBasic
@@ -153,6 +157,12 @@ type Config struct {
 	IOCostMicros int64
 	// CPUCostMicros is the simulated cost of one charged CPU operation.
 	CPUCostMicros int64
+	// RematWorkers bounds the worker pool that recomputes pending entries of
+	// Deferred GMRs at flush points; 0 (or negative) selects GOMAXPROCS.
+	// The worker count affects wall-clock time only: simulated cost
+	// accounting is bit-identical for every value (see DESIGN.md, "Update
+	// path").
+	RematWorkers int
 }
 
 // DefaultConfig returns the paper's measurement configuration.
@@ -217,6 +227,7 @@ func Open(cfg Config) *Database {
 	objs := object.NewManager(sch.Reg, pool, clock)
 	en := schema.NewEngine(sch, objs, clock)
 	mgr := core.NewManager(en, pool)
+	mgr.SetRematWorkers(cfg.RematWorkers)
 	return &Database{
 		Clock:   clock,
 		Disk:    disk,
@@ -229,15 +240,15 @@ func Open(cfg Config) *Database {
 	}
 }
 
-
 // lockWrite acquires the exclusive engine lock for a write-classified
-// operation and bumps the GMR manager's write epoch, wholesale-invalidating
-// the forward-lookup memo cache (see internal/core/memo.go). The bump is an
-// atomic increment performed after the lock is held, so no shared-lock
-// reader can fill the cache concurrently with it.
+// operation. The forward-lookup memo cache's write epoch is NOT bumped here:
+// every GMR-state mutation point (entry insert/remove, result write,
+// invalidity marking, RRR tuple change) bumps it itself, so an exclusive
+// operation that ends up changing nothing — an update irrelevant to every
+// materialized result, a no-op query — leaves memoized lookups valid (see
+// internal/core/memo.go).
 func (db *Database) lockWrite() {
 	db.mu.Lock()
-	db.GMRs.BumpWriteEpoch()
 }
 
 // Query parses and executes a GOMql statement; $name parameters are bound
@@ -396,6 +407,79 @@ func (db *Database) Call(fn string, args ...Value) (Value, error) {
 	db.lockWrite()
 	defer db.mu.Unlock()
 	return db.Engine.Invoke(fn, args...)
+}
+
+// Flush drains the deferred-rematerialization queue: every result a Deferred
+// GMR has marked invalid since the last flush point is recomputed once, by a
+// pool of Config.RematWorkers parallel workers, regardless of how many
+// updates invalidated it. A no-op when nothing is pending.
+func (db *Database) Flush() error {
+	db.lockWrite()
+	defer db.mu.Unlock()
+	return db.GMRs.Flush()
+}
+
+// Tx is the batch-update handle passed to Batch: it exposes the update
+// operations of Database without per-call locking, for use inside the single
+// exclusive critical section a batch holds. A Tx must not escape its batch
+// function and is not safe for concurrent use.
+type Tx struct {
+	db *Database
+}
+
+// New creates a tuple-structured instance (Database.New).
+func (tx *Tx) New(typeName string, attrs ...Value) (OID, error) {
+	return tx.db.Engine.Create(typeName, attrs)
+}
+
+// NewSet creates a set- or list-structured instance (Database.NewSet).
+func (tx *Tx) NewSet(typeName string, elems ...Value) (OID, error) {
+	return tx.db.Engine.CreateCollection(typeName, elems)
+}
+
+// Delete removes an object (Database.Delete).
+func (tx *Tx) Delete(oid OID) error { return tx.db.Engine.Delete(oid) }
+
+// Set performs the elementary update oid.set_attr(v) (Database.Set).
+func (tx *Tx) Set(oid OID, attr string, v Value) error {
+	return tx.db.Engine.SetAttrByName(oid, attr, v)
+}
+
+// GetAttr reads attribute attr of oid (Database.GetAttr).
+func (tx *Tx) GetAttr(oid OID, attr string) (Value, error) {
+	return tx.db.Engine.ReadAttr(Ref(oid), attr)
+}
+
+// Insert performs the elementary update set.insert(elem) (Database.Insert).
+func (tx *Tx) Insert(set OID, elem Value) error {
+	return tx.db.Engine.InsertElem(Ref(set), elem)
+}
+
+// Remove performs the elementary update set.remove(elem) (Database.Remove).
+func (tx *Tx) Remove(set OID, elem Value) error {
+	return tx.db.Engine.RemoveElem(Ref(set), elem)
+}
+
+// Call invokes a declared function or operation (Database.Call).
+func (tx *Tx) Call(fn string, args ...Value) (Value, error) {
+	return tx.db.Engine.Invoke(fn, args...)
+}
+
+// Batch runs fn as one update batch: the exclusive engine lock is taken once
+// for the whole batch instead of per operation, and the end of the batch is a
+// flush point for Deferred GMRs — all results the batch invalidated are
+// recomputed by the parallel worker pool before the lock is released. If fn
+// returns an error the flush still runs (updates already applied must not
+// leave the queue stale across an unlocked window for readers that force
+// entries individually), and fn's error takes precedence.
+func (db *Database) Batch(fn func(*Tx) error) error {
+	db.lockWrite()
+	defer db.mu.Unlock()
+	err := fn(&Tx{db: db})
+	if ferr := db.GMRs.Flush(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // readOnlyCall reports whether invoking name cannot mutate engine or GMR

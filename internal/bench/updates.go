@@ -1,0 +1,253 @@
+package bench
+
+// The update-path suite for the deferred rematerialization strategy: bursty
+// update workloads where each touched object receives several elementary
+// updates between flush points. Immediate pays one recomputation per update,
+// lazy pays one per first re-read, deferred coalesces the burst into one
+// recomputation per entry at the flush. Costs are *simulated seconds* like
+// the figure experiments; wall-clock milliseconds are reported separately for
+// the worker-pool comparison (the simulated cost of a deferred flush is
+// bit-identical for every worker count — the charge-equivalence property —
+// so only wall time can show the parallel drain).
+//
+// `gombench -figure updates` writes the results to BENCH_updates.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// updatesSeed fixes the workload; every strategy and worker count replays the
+// same operation sequence.
+const updatesSeed = 271
+
+// UpdatesPoint is one measurement: a burst size (elementary updates per
+// touched object between flushes) and the simulated cost of the workload.
+type UpdatesPoint struct {
+	PerObject  int     `json:"updates_per_object"`
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// UpdatesStrategy is one maintenance discipline across the burst-size sweep.
+type UpdatesStrategy struct {
+	Name   string         `json:"name"`
+	Points []UpdatesPoint `json:"points"`
+}
+
+// UpdatesWorkerPoint is one deferred drain at a fixed burst size with a given
+// worker-pool bound.
+type UpdatesWorkerPoint struct {
+	Workers    int     `json:"workers"`
+	SimSeconds float64 `json:"sim_seconds"`
+	WallMs     float64 `json:"wall_ms"`
+	// EvalWallMs and FlushWallMs are the summed per-item evaluation time and
+	// the summed flush wall time of phase 1; their ratio is the realized
+	// parallel speedup of the drain (bounded by schedulable CPUs).
+	EvalWallMs      float64 `json:"eval_wall_ms"`
+	FlushWallMs     float64 `json:"flush_wall_ms"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// UpdatesReport is the JSON document gombench writes to BENCH_updates.json.
+type UpdatesReport struct {
+	Harness         string            `json:"harness"`
+	GoVersion       string            `json:"go_version"`
+	NumCPU          int               `json:"num_cpu"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	Cuboids         int               `json:"cuboids"`
+	Bursts          int               `json:"bursts"`
+	ObjectsPerBurst int               `json:"objects_per_burst"`
+	PerObjectSweep  []int             `json:"per_object_sweep"`
+	Strategies      []UpdatesStrategy `json:"strategies"`
+	// WorkerSweep is the deferred strategy at the largest burst size under
+	// increasing worker-pool bounds.
+	WorkerSweep      []UpdatesWorkerPoint `json:"deferred_worker_sweep"`
+	ChargesIdentical bool                 `json:"worker_charges_identical"`
+	QueueHighWater   int64                `json:"queue_high_water"`
+	CoalescedUpdates int64                `json:"coalesced_updates"`
+	Flushes          int64                `json:"flushes"`
+	Notes            string               `json:"notes"`
+}
+
+// updatesRun replays the burst workload under one configuration and returns
+// the simulated seconds of the measured phase plus its wall time.
+type updatesRun struct {
+	simSeconds float64
+	wallMs     float64
+	evalMs     float64
+	flushMs    float64
+	highWater  int64
+	coalesced  int64
+	flushes    int64
+}
+
+// runUpdateBursts builds a fresh database, materializes <<volume,weight>>
+// under the given strategy, and drives `bursts` rounds: each round touches
+// `objects` cuboids with `perObj` elementary vertex updates apiece inside one
+// Batch (whose end is a flush point — a no-op for immediate and lazy), then
+// reads both functions of every touched cuboid back so lazy pays its
+// rematerialization debt inside the measured window.
+func runUpdateBursts(strategy gomdb.Strategy, workers, nCuboids, bursts, objects, perObj int) (updatesRun, error) {
+	cfg := gomdb.DefaultConfig()
+	cfg.RematWorkers = workers
+	db := gomdb.Open(cfg)
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		return updatesRun{}, err
+	}
+	g, err := fixtures.PopulateGeometry(db, nCuboids, cuboidSeed)
+	if err != nil {
+		return updatesRun{}, err
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Strategy: strategy, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		return updatesRun{}, err
+	}
+	rng := rand.New(rand.NewSource(updatesSeed))
+	vertices := []string{"V1", "V2", "V4", "V5"}
+	attrs := []string{"X", "Y", "Z"}
+	start := db.Clock.Snapshot()
+	t0 := time.Now()
+	for b := 0; b < bursts; b++ {
+		touched := make([]gomdb.OID, objects)
+		for i := range touched {
+			touched[i] = g.Cuboids[rng.Intn(len(g.Cuboids))]
+		}
+		err := db.Batch(func(tx *gomdb.Tx) error {
+			for _, c := range touched {
+				for u := 0; u < perObj; u++ {
+					v, err := tx.GetAttr(c, vertices[u%len(vertices)])
+					if err != nil {
+						return err
+					}
+					if err := tx.Set(v.R, attrs[rng.Intn(len(attrs))], gomdb.Float(1+rng.Float64()*10)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return updatesRun{}, err
+		}
+		for _, c := range touched {
+			for _, fn := range []string{"Cuboid.volume", "Cuboid.weight"} {
+				if _, err := db.Call(fn, gomdb.Ref(c)); err != nil {
+					return updatesRun{}, err
+				}
+			}
+		}
+	}
+	wall := time.Since(t0)
+	d := db.Clock.Sub(start)
+	st := &db.GMRs.Stats
+	return updatesRun{
+		simSeconds: float64(d.PhysReads+d.PhysWrites)*float64(db.Clock.IOCostMicros)/1e6 +
+			float64(d.CPUOps)*float64(db.Clock.CPUCostMicros)/1e6,
+		wallMs:    float64(wall.Nanoseconds()) / 1e6,
+		evalMs:    float64(atomic.LoadInt64(&st.FlushEvalNanos)) / 1e6,
+		flushMs:   float64(atomic.LoadInt64(&st.FlushWallNanos)) / 1e6,
+		highWater: atomic.LoadInt64(&st.QueueHighWater),
+		coalesced: atomic.LoadInt64(&st.CoalescedUpdates),
+		flushes:   atomic.LoadInt64(&st.Flushes),
+	}, nil
+}
+
+// Updates runs the burst-update suite and returns the report plus a Figure
+// (X = updates per object, one series per strategy, Y = simulated seconds).
+func Updates(sc Scale) (*UpdatesReport, *Figure, error) {
+	nCuboids := 400
+	bursts := 8
+	objects := 24
+	if sc.OpsDivisor > 1 { // -short
+		nCuboids = 100
+		bursts = 3
+		objects = 8
+	}
+	sweep := []int{1, 2, 4, 8}
+	rep := &UpdatesReport{
+		Harness:         "gombench -figure updates",
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Cuboids:         nCuboids,
+		Bursts:          bursts,
+		ObjectsPerBurst: objects,
+		PerObjectSweep:  sweep,
+		Notes: "Simulated seconds of a bursty update workload (updates per object between flush points on the x-axis), " +
+			"each burst followed by a read-back of every touched result so lazy pays its debt inside the window. " +
+			"The deferred worker sweep reruns the largest burst size with growing worker pools: simulated charges are " +
+			"bit-identical by construction (charge-equivalence), so the parallel drain can only show in wall time, " +
+			"which requires as many schedulable CPUs as workers (see num_cpu).",
+	}
+	fig := &Figure{
+		ID:     "updates",
+		Title:  "Burst updates: immediate vs lazy vs deferred (coalescing)",
+		XLabel: "#updates/obj",
+		YLabel: fmt.Sprintf("simulated seconds, %d bursts x %d objects", bursts, objects),
+	}
+	for _, u := range sweep {
+		fig.X = append(fig.X, float64(u))
+	}
+	strategies := []struct {
+		name     string
+		strategy gomdb.Strategy
+	}{
+		{"Immediate", gomdb.Immediate},
+		{"Lazy", gomdb.Lazy},
+		{"Deferred", gomdb.Deferred},
+	}
+	for _, s := range strategies {
+		us := UpdatesStrategy{Name: s.name}
+		series := Series{Name: s.name}
+		for _, perObj := range sweep {
+			run, err := runUpdateBursts(s.strategy, 1, nCuboids, bursts, objects, perObj)
+			if err != nil {
+				return nil, nil, fmt.Errorf("updates %s/%d: %w", s.name, perObj, err)
+			}
+			us.Points = append(us.Points, UpdatesPoint{PerObject: perObj, SimSeconds: run.simSeconds})
+			series.Points = append(series.Points, run.simSeconds)
+			if s.strategy == gomdb.Deferred && perObj == sweep[len(sweep)-1] {
+				rep.QueueHighWater = run.highWater
+				rep.CoalescedUpdates = run.coalesced
+				rep.Flushes = run.flushes
+			}
+		}
+		rep.Strategies = append(rep.Strategies, us)
+		fig.Series = append(fig.Series, series)
+	}
+	// Worker sweep: the deferred drain at the largest burst size.
+	perObj := sweep[len(sweep)-1]
+	rep.ChargesIdentical = true
+	var baseSim float64
+	for _, w := range []int{1, 2, 4, 8} {
+		run, err := runUpdateBursts(gomdb.Deferred, w, nCuboids, bursts, objects, perObj)
+		if err != nil {
+			return nil, nil, fmt.Errorf("updates deferred w%d: %w", w, err)
+		}
+		pt := UpdatesWorkerPoint{
+			Workers:     w,
+			SimSeconds:  run.simSeconds,
+			WallMs:      run.wallMs,
+			EvalWallMs:  run.evalMs,
+			FlushWallMs: run.flushMs,
+		}
+		if run.flushMs > 0 {
+			pt.ParallelSpeedup = run.evalMs / run.flushMs
+		}
+		if w == 1 {
+			baseSim = run.simSeconds
+		} else if run.simSeconds != baseSim {
+			rep.ChargesIdentical = false
+		}
+		rep.WorkerSweep = append(rep.WorkerSweep, pt)
+	}
+	return rep, fig, nil
+}

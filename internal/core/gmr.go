@@ -35,11 +35,20 @@ const (
 	// Lazy only marks invalidated results; they are recomputed when next
 	// needed (or by an explicit Revalidate sweep).
 	Lazy
+	// Deferred marks invalidated results and enqueues them on the manager's
+	// coalescing recomputation queue: N updates hitting the same entry
+	// between flushes cost a single recomputation, performed by the parallel
+	// worker drain of Manager.Flush (see deferred.go). A lookup that touches
+	// a pending entry forces just that entry, like the lazy path.
+	Deferred
 )
 
 func (s Strategy) String() string {
-	if s == Lazy {
+	switch s {
+	case Lazy:
 		return "lazy"
+	case Deferred:
+		return "deferred"
 	}
 	return "immediate"
 }
@@ -406,7 +415,10 @@ func (g *GMR) markInvalid(k string, i int) error {
 	return g.rewrite(e)
 }
 
-// setResult replaces column i of entry e (the rematerialization write).
+// setResult replaces column i of entry e (the rematerialization write). It
+// also retires any pending deferred recomputation of the same column — this
+// is how a forward force, a column revalidation, and the flush apply phase
+// all keep the deferred queue consistent through a single point.
 func (g *GMR) setResult(e *entry, i int, v object.Value) error {
 	g.mgr.BumpWriteEpoch()
 	if err := g.mdsDelete(e); err != nil {
@@ -415,9 +427,11 @@ func (g *GMR) setResult(e *entry, i int, v object.Value) error {
 	if err := g.unindexResult(e, i); err != nil {
 		return err
 	}
+	k := argKey(e.Args)
 	e.Results[i] = v
 	e.Valid[i] = true
-	delete(g.invalid[i], argKey(e.Args))
+	delete(g.invalid[i], k)
+	g.mgr.clearPending(g.Name, k, i)
 	if err := g.indexResult(e, i); err != nil {
 		return err
 	}
@@ -464,6 +478,7 @@ func (g *GMR) removeEntry(k string) error {
 			return err
 		}
 		delete(g.invalid[i], k)
+		g.mgr.clearPending(g.Name, k, i)
 	}
 	delete(g.entries, k)
 	for i, ok := range g.order {

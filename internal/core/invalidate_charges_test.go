@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// TestInvalidatePathChargesStable pins the exact simulated charges of the
+// multi-tuple lazy invalidation path. The constants were captured before the
+// tuple-key hoisting refactor (Tuple.key / RemoveByKey / removeTuple), which
+// is supposed to save only un-simulated encoding work: any drift in RRR
+// lookups, heap I/O, or CPU charges means the refactor changed the paper's
+// cost model and is a regression.
+func TestInvalidatePathChargesStable(t *testing.T) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fixtures.PopulateGeometry(db, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Snapshot()
+	st0 := db.GMRs.Stats
+	// One rotate performs 24 elementary vertex updates -> multi-tuple lazy
+	// invalidations through the RRR.
+	for i := 0; i < 5; i++ {
+		if _, err := db.Call("Cuboid.rotate", gomdb.Ref(g.Cuboids[i]), gomdb.Float(0.3), gomdb.Str("z")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := db.Clock.Sub(before)
+	st := db.GMRs.Stats
+	got := map[string]int64{
+		"physReads":  d.PhysReads,
+		"physWrites": d.PhysWrites,
+		"logReads":   d.LogReads,
+		"logWrites":  d.LogWrites,
+		"cpuOps":     d.CPUOps,
+		"rrrLookups": atomic.LoadInt64(&st.RRRLookups) - atomic.LoadInt64(&st0.RRRLookups),
+		"inval":      atomic.LoadInt64(&st.Invalidations) - atomic.LoadInt64(&st0.Invalidations),
+		"remat":      atomic.LoadInt64(&st.Rematerializations) - atomic.LoadInt64(&st0.Rematerializations),
+	}
+	want := map[string]int64{
+		"physReads":  0,
+		"physWrites": 10,
+		"logReads":   570,
+		"logWrites":  210,
+		"cpuOps":     2480,
+		"rrrLookups": 20,
+		"inval":      40,
+		"remat":      0,
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %d, want %d", k, got[k], w)
+		}
+	}
+}

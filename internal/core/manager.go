@@ -33,6 +33,16 @@ type Stats struct {
 	NewObjects         int64
 	ForgottenObjects   int64
 	PredicateUpdates   int64
+
+	// Deferred-rematerialization accounting (see deferred.go).
+	DeferredUpdates  int64 // invalidations routed to the pending queue
+	CoalescedUpdates int64 // deferred invalidations absorbed by an already-pending recomputation
+	DeferredForces   int64 // pending recomputations forced individually by a lookup before the flush
+	Flushes          int64 // Flush calls that found work
+	FlushedItems     int64 // pending recomputations performed by flushes
+	QueueHighWater   int64 // maximum pending-queue depth observed
+	FlushEvalNanos   int64 // cumulative per-item wall time of parallel flush evaluations
+	FlushWallNanos   int64 // cumulative wall time of the parallel phase of flushes
 }
 
 // Manager is the GMR manager: it owns all GMR extensions and the RRR, and is
@@ -72,6 +82,16 @@ type Manager struct {
 	memo       *memoCache
 	writeEpoch atomic.Uint64
 
+	// pending is the coalescing queue of deferred rematerializations, keyed
+	// by (GMR, entry, column) so repeated invalidations of one result fold
+	// into a single recomputation. Mutated only under the exclusive Database
+	// lock (deferred GMRs are never quiescent while work is pending, so
+	// every path that touches the queue is write-classified); drained by
+	// Flush. rematWorkers bounds the flush worker pool (<= 0 selects
+	// GOMAXPROCS). See deferred.go.
+	pending      map[pendingKey]*pendingItem
+	rematWorkers int
+
 	Stats Stats
 }
 
@@ -82,6 +102,9 @@ type Manager struct {
 // to decide whether a retrieval may run under the shared read lock; it is
 // evaluated without charging the simulated clock.
 func (m *Manager) Quiescent() bool {
+	if len(m.pending) > 0 {
+		return false
+	}
 	for _, g := range m.gmrs {
 		if !g.Complete {
 			return false
@@ -113,6 +136,7 @@ func NewManager(en *schema.Engine, pool *storage.BufferPool) *Manager {
 		extractor: lang.NewExtractor(en.Sch, en.Sch),
 		Intern:    pred.NewInterner(),
 		memo:      newMemoCache(),
+		pending:   make(map[pendingKey]*pendingItem),
 	}
 	en.SetInterceptor(m.intercept)
 	return m
@@ -316,6 +340,7 @@ func (m *Manager) Drop(name string) error {
 }
 
 func (m *Manager) dropState(g *GMR) {
+	m.clearPendingGMR(g.Name)
 	for _, undo := range m.uninstall[g.Name] {
 		undo()
 	}
@@ -537,6 +562,9 @@ func (m *Manager) addRRR(oid object.OID, fid string, args []object.Value) error 
 	if err != nil {
 		return err
 	}
+	if isNew {
+		m.BumpWriteEpoch()
+	}
 	if isNew && first {
 		o, err := m.Objs.Get(oid)
 		if err != nil {
@@ -555,30 +583,55 @@ func (m *Manager) addRRR(oid object.OID, fid string, args []object.Value) error 
 // last tuple for (oid, fid) disappears. A vanished object is fine — its
 // marking died with it.
 func (m *Manager) removeRRR(oid object.OID, fid string, args []object.Value) error {
-	existed, last, err := m.rrr.Remove(oid, fid, args)
-	if err != nil {
-		return err
+	return m.finishRemove(oid, fid)(m.rrr.Remove(oid, fid, args))
+}
+
+// removeTuple removes a looked-up RRR tuple, reusing its stored relation key
+// instead of re-encoding the argument combination (tuples obtained by Scan
+// carry no key and fall back to the encoding path).
+func (m *Manager) removeTuple(t Tuple) error {
+	if t.key == "" {
+		return m.removeRRR(t.O, t.F, t.Args)
 	}
-	if existed && last && m.Objs.Exists(oid) {
-		o, err := m.Objs.Get(oid)
+	return m.finishRemove(t.O, t.F)(m.rrr.RemoveByKey(t.O, t.F, t.key))
+}
+
+// finishRemove performs the post-removal bookkeeping shared by removeRRR and
+// removeTuple: the memo epoch bump and the ObjDepFct demotion.
+func (m *Manager) finishRemove(oid object.OID, fid string) func(existed, last bool, err error) error {
+	return func(existed, last bool, err error) error {
 		if err != nil {
 			return err
 		}
-		if o.RemoveDepFct(fid) {
-			if err := m.Objs.Put(o); err != nil {
+		if existed {
+			m.BumpWriteEpoch()
+		}
+		if existed && last && m.Objs.Exists(oid) {
+			o, err := m.Objs.Get(oid)
+			if err != nil {
 				return err
 			}
+			if o.RemoveDepFct(fid) {
+				if err := m.Objs.Put(o); err != nil {
+					return err
+				}
+			}
 		}
+		return nil
 	}
-	return nil
 }
 
 // Invalidate is GMR_Manager.invalidate(o[, RelevFct]): called by the
 // rewritten update operations after an object was modified. relev == nil
 // means "check everything" (the Figure 4 version); otherwise only tuples
 // whose function is in relev are processed (Sections 5.1/5.2/5.3).
+//
+// The memo-cache write epoch is NOT bumped here: every state change the loop
+// can cause — marking an entry invalid, rewriting a result, removing an RRR
+// tuple, predicate admission/expulsion — bumps at its own mutation point, so
+// an update that turns out to be irrelevant (no surviving tuples) leaves the
+// memo cache valid.
 func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
-	m.BumpWriteEpoch()
 	atomic.AddInt64(&m.Stats.RRRLookups, 1)
 	tuples, err := m.rrr.Lookup(o.OID)
 	if err != nil {
@@ -597,16 +650,17 @@ func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
 		g, ok := m.byFunc[t.F]
 		if !ok {
 			// The GMR was dropped; stale tuple.
-			if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+			if err := m.removeTuple(t); err != nil {
 				return err
 			}
 			continue
 		}
-		e, ok := g.lookup(t.Args)
+		k := t.argSuffix()
+		e, ok := g.entries[k]
 		if !ok {
 			// Blind reference (Section 4.2): the entry is gone; clean up
 			// lazily.
-			if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+			if err := m.removeTuple(t); err != nil {
 				return err
 			}
 			continue
@@ -618,12 +672,27 @@ func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
 		case Lazy:
 			// lazy(o): (1) set Vi := false, (2) remove the RRR tuple so a
 			// repeated update of o does not pay the GMR access again.
-			if err := g.markInvalid(argKey(t.Args), i); err != nil {
+			if err := g.markInvalid(k, i); err != nil {
 				return err
 			}
-			if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+			if err := m.removeTuple(t); err != nil {
 				return err
 			}
+		case Deferred:
+			// deferred(o): like lazy(o), but additionally enqueue the entry
+			// on the coalescing recomputation queue drained by Flush. Under
+			// the second-chance variant the RRR tuple stays put and the
+			// triggering object is remembered, so the flush can prune
+			// tuples the recomputation no longer justifies.
+			if err := g.markInvalid(k, i); err != nil {
+				return err
+			}
+			if !g.SecondChance {
+				if err := m.removeTuple(t); err != nil {
+					return err
+				}
+			}
+			m.enqueue(g, k, i, t.Args, o.OID)
 		case Immediate:
 			if g.SecondChance {
 				// Second-chance variant (Section 4.1): keep the tuple
@@ -634,7 +703,7 @@ func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
 					return err
 				}
 				if _, ok := visited[t.O]; !ok {
-					if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+					if err := m.removeTuple(t); err != nil {
 						return err
 					}
 				}
@@ -642,7 +711,7 @@ func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
 			}
 			// immediate(o): (1) remove the RRR tuple, (2) recompute and
 			// replace, (3) re-insert tuples for all accessed objects.
-			if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+			if err := m.removeTuple(t); err != nil {
 				return err
 			}
 			if err := m.rematerialize(g, e, i); err != nil {
@@ -660,8 +729,25 @@ func (m *Manager) rematerialize(g *GMR, e *entry, i int) error {
 }
 
 // rematerializeTracked recomputes column i of entry e, refreshes the RRR,
-// and returns the set of objects the recomputation visited.
+// and returns the set of objects the recomputation visited. If the entry had
+// a pending deferred recomputation this serial path retires it (via
+// setResult) and counts the force; under the deferred second-chance variant
+// the pending item's trigger objects whose RRR tuples the recomputation no
+// longer justifies are pruned.
 func (m *Manager) rematerializeTracked(g *GMR, e *entry, i int) (map[object.OID]struct{}, error) {
+	var triggers map[object.OID]struct{}
+	if g.Strategy == Deferred {
+		if it, ok := m.pending[pendingKey{g.Name, argKey(e.Args), i}]; ok {
+			triggers = it.triggers
+			atomic.AddInt64(&m.Stats.DeferredForces, 1)
+		}
+	}
+	return m.rematerializeWith(g, e, i, triggers)
+}
+
+// rematerializeWith is the serial, fully charged recomputation shared by the
+// immediate strategy, lazy/deferred forcing, and the flush fallback path.
+func (m *Manager) rematerializeWith(g *GMR, e *entry, i int, triggers map[object.OID]struct{}) (map[object.OID]struct{}, error) {
 	fn := g.Funcs[i]
 	v, accessed, err := m.En.EvalTracked(m.dispatch(fn, e.Args), e.Args)
 	if err != nil {
@@ -681,6 +767,13 @@ func (m *Manager) rematerializeTracked(g *GMR, e *entry, i int) (map[object.OID]
 			return nil, err
 		}
 	}
+	for _, trig := range sortedOIDs(triggers) {
+		if _, ok := accessed[trig]; !ok {
+			if err := m.removeRRR(trig, fn.Name, e.Args); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return accessed, nil
 }
 
@@ -691,18 +784,19 @@ func (m *Manager) predicateUpdate(t Tuple) error {
 	gname := strings.TrimPrefix(t.F, "p:")
 	g, ok := m.gmrs[gname]
 	if !ok || g.Restriction == nil {
-		return m.removeRRR(t.O, t.F, t.Args)
+		return m.removeTuple(t)
 	}
 	atomic.AddInt64(&m.Stats.PredicateUpdates, 1)
 	m.emit("predicate", g.Name, t.F, t.O)
+	k := t.argSuffix()
 	// (1) remove the triple.
-	if err := m.removeRRR(t.O, t.F, t.Args); err != nil {
+	if err := m.removeTuple(t); err != nil {
 		return err
 	}
 	// Dangling argument objects mean the combination is being deleted.
 	for _, a := range t.Args {
 		if a.Kind == object.KRef && !m.Objs.Exists(a.R) {
-			return g.removeEntry(argKey(t.Args))
+			return g.removeEntry(k)
 		}
 	}
 	// (2) recompute p and admit/expel; (3) re-insert predicate tuples —
@@ -712,12 +806,12 @@ func (m *Manager) predicateUpdate(t Tuple) error {
 		return err
 	}
 	if holds {
-		if _, exists := g.lookup(t.Args); !exists {
+		if _, exists := g.entries[k]; !exists {
 			return m.computeEntry(g, t.Args)
 		}
 		return nil
 	}
-	return g.removeEntry(argKey(t.Args))
+	return g.removeEntry(k)
 }
 
 // NewObject is GMR_Manager.new_object(o, t) (Section 4.2): extends every

@@ -192,6 +192,9 @@ func TestPropertyConsistencyAllModes(t *testing.T) {
 		{"objdep/lazy", core.ModeObjDep, core.Lazy},
 		{"infohiding/immediate", core.ModeInfoHiding, core.Immediate},
 		{"infohiding/lazy", core.ModeInfoHiding, core.Lazy},
+		{"basic/deferred", core.ModeBasic, core.Deferred},
+		{"objdep/deferred", core.ModeObjDep, core.Deferred},
+		{"infohiding/deferred", core.ModeInfoHiding, core.Deferred},
 	}
 	for _, cfg := range configs {
 		cfg := cfg
@@ -202,6 +205,17 @@ func TestPropertyConsistencyAllModes(t *testing.T) {
 					if err := w.randomOp(); err != nil {
 						t.Logf("seed %d op %d: %v", seed, i, err)
 						return false
+					}
+					// Every fifth op is a flush point, so the deferred
+					// configurations exercise both the pending window (valid
+					// entries must still be consistent while siblings wait)
+					// and the parallel drain. A no-op for the other
+					// strategies.
+					if i%5 == 4 {
+						if err := w.db.Flush(); err != nil {
+							t.Logf("seed %d flush after op %d: %v", seed, i, err)
+							return false
+						}
 					}
 					if err := w.checkInvariants(); err != nil {
 						t.Logf("seed %d after op %d: %v", seed, i, err)

@@ -36,6 +36,23 @@ type Tuple struct {
 	O    object.OID
 	F    string
 	Args []object.Value
+
+	// key is the encoded relation key the tuple was found under, filled by
+	// Lookup (where it is the map key, i.e. free). Invalidation processes
+	// every looked-up tuple at least once more — to remove it, or to address
+	// the GMR entry it names — and carrying the key avoids re-encoding the
+	// argument combination for each of those steps.
+	key string
+}
+
+// argSuffix returns the encoded argument-combination key of the tuple — the
+// GMR entry key its invalidation addresses — reusing the stored relation key
+// when present instead of re-encoding the arguments.
+func (t Tuple) argSuffix() string {
+	if t.key != "" {
+		return t.key[len(t.F)+1:]
+	}
+	return argKey(t.Args)
 }
 
 func (t Tuple) String() string {
@@ -106,8 +123,14 @@ func (r *RRR) Insert(o object.OID, f string, args []object.Value) (isNew, firstF
 // whether it was the last tuple for the (o, f) pair — the signal to remove
 // f from o's ObjDepFct.
 func (r *RRR) Remove(o object.OID, f string, args []object.Value) (existed, lastForFct bool, err error) {
+	return r.RemoveByKey(o, f, rrrKey(f, args))
+}
+
+// RemoveByKey is Remove for a caller that already holds the encoded relation
+// key (a Tuple returned by Lookup), sparing the re-encoding of the argument
+// combination.
+func (r *RRR) RemoveByKey(o object.OID, f, k string) (existed, lastForFct bool, err error) {
 	m := r.byObj[o]
-	k := rrrKey(f, args)
 	rid, ok := m[k]
 	if !ok {
 		return false, false, nil
@@ -158,6 +181,7 @@ func (r *RRR) Lookup(o object.OID) ([]Tuple, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.key = k
 		out = append(out, t)
 	}
 	return out, nil

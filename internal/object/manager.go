@@ -240,6 +240,25 @@ func (m *Manager) Get(oid OID) (*Obj, error) {
 	return decodeObj(oid, rec)
 }
 
+// GetSnapshot reads and decodes the object with the given OID through the
+// charge-free snapshot path: no simulated-clock charges, no buffer-pool
+// traffic, no Reads increment. The deferred-rematerialization workers use it
+// to evaluate concurrently; the corresponding charged Get calls are replayed
+// serially afterwards so the simulated accounting stays deterministic.
+// Callers must guarantee no concurrent writer (the workers run under the
+// Database write lock).
+func (m *Manager) GetSnapshot(oid OID) (*Obj, error) {
+	rid, ok := m.rids[oid]
+	if !ok {
+		return nil, fmt.Errorf("object: dangling reference %v", oid)
+	}
+	rec, err := m.heap.ReadSnapshot(rid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeObj(oid, rec)
+}
+
 // Put writes back a (possibly mutated) object.
 func (m *Manager) Put(o *Obj) error {
 	rid, ok := m.rids[o.OID]

@@ -41,6 +41,12 @@ type Engine struct {
 	// Counted atomically because EvalRaw runs on the concurrent read path
 	// (consistency checks, non-materialized function evaluation).
 	noIntercept atomic.Int64
+
+	// shadow, when non-nil, marks this engine as a read-only evaluation
+	// clone created by Shadow: object reads take the charge-free snapshot
+	// path and are recorded here for later charged replay; mutations are
+	// refused with ErrShadowMutation. See shadow.go.
+	shadow *shadowTrace
 }
 
 // NewEngine wires an engine over a schema and object manager.
@@ -84,7 +90,7 @@ func (en *Engine) Tracking() bool { return len(en.trackers) > 0 && en.suspend ==
 func (en *Engine) ReadAttr(recv object.Value, attr string) (object.Value, error) {
 	switch recv.Kind {
 	case object.KRef:
-		o, err := en.Objs.Get(recv.R)
+		o, err := en.getObject(recv.R)
 		if err != nil {
 			return object.Null(), err
 		}
@@ -113,7 +119,7 @@ func (en *Engine) ReadAttr(recv object.Value, attr string) (object.Value, error)
 func (en *Engine) ReadElems(coll object.Value) ([]object.Value, error) {
 	switch coll.Kind {
 	case object.KRef:
-		o, err := en.Objs.Get(coll.R)
+		o, err := en.getObject(coll.R)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +154,7 @@ func (en *Engine) resolveCall(name string, args []object.Value) (*lang.Function,
 	// without touching the argument object, as the paper's rewrite into a
 	// forward query implies.
 	if len(args) > 0 && args[0].Kind == object.KRef && en.Sch.Reg.HasSubtypes(declType) {
-		o, err := en.Objs.Get(args[0].R)
+		o, err := en.getObject(args[0].R)
 		if err != nil {
 			return nil, "", err
 		}
@@ -204,6 +210,11 @@ func (en *Engine) CallFunction(name string, args []object.Value) (object.Value, 
 	var hooks []*UpdateHook
 	if dispatchType != "" && len(args) > 0 && args[0].Kind == object.KRef {
 		hooks = en.Hooks.lookup(dispatchType, opName)
+		if len(hooks) > 0 && en.shadow != nil {
+			// A hooked public operation mutates the receiver (and cascades
+			// into GMR maintenance) — not allowed under shadow evaluation.
+			return object.Null(), ErrShadowMutation
+		}
 		if len(hooks) > 0 {
 			recvObj, err = en.Objs.Get(args[0].R)
 			if err != nil {
@@ -258,7 +269,7 @@ func (en *Engine) EvalTracked(fn *lang.Function, args []object.Value) (object.Va
 	// itself: if it is a public operation of a strictly encapsulated type,
 	// only the argument objects are marked, none of their subobjects.
 	if dot := strings.IndexByte(fn.Name, '.'); dot >= 0 && len(args) > 0 && args[0].Kind == object.KRef {
-		if o, err := en.Objs.Get(args[0].R); err == nil {
+		if o, err := en.getObject(args[0].R); err == nil {
 			t := en.Sch.Reg.Lookup(o.Type)
 			if t != nil && t.StrictEncapsulated && en.Sch.HasInvalidatedFctDecl(o.Type) &&
 				en.Sch.IsPublic(o.Type, fn.Name[dot+1:]) {
@@ -291,6 +302,9 @@ func (en *Engine) EvalRaw(fn *lang.Function, args []object.Value) (object.Value,
 func (en *Engine) SetAttr(recv object.Value, attr string, v object.Value) error {
 	if recv.Kind != object.KRef {
 		return fmt.Errorf("schema: set_%s on %v value", attr, recv.Kind)
+	}
+	if en.shadow != nil {
+		return ErrShadowMutation
 	}
 	o, err := en.Objs.Get(recv.R)
 	if err != nil {
@@ -328,6 +342,9 @@ func (en *Engine) SetAttr(recv object.Value, attr string, v object.Value) error 
 func (en *Engine) InsertElem(coll, elem object.Value) error {
 	if coll.Kind != object.KRef {
 		return fmt.Errorf("schema: insert on %v value", coll.Kind)
+	}
+	if en.shadow != nil {
+		return ErrShadowMutation
 	}
 	o, err := en.Objs.Get(coll.R)
 	if err != nil {
@@ -371,6 +388,9 @@ func (en *Engine) InsertElem(coll, elem object.Value) error {
 func (en *Engine) RemoveElem(coll, elem object.Value) error {
 	if coll.Kind != object.KRef {
 		return fmt.Errorf("schema: remove on %v value", coll.Kind)
+	}
+	if en.shadow != nil {
+		return ErrShadowMutation
 	}
 	o, err := en.Objs.Get(coll.R)
 	if err != nil {

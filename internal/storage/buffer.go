@@ -337,6 +337,27 @@ func (bp *BufferPool) Flush() error {
 	return nil
 }
 
+// ReadSnapshot copies the current contents of page id into dst — the
+// buffered frame when the page is resident, the disk image otherwise —
+// without pinning, without touching replacement state, and without charging
+// the simulated clock or the hit/miss counters. It is the read path of the
+// deferred-rematerialization workers: they evaluate concurrently against a
+// stable snapshot while the simulated charges of their reads are replayed
+// serially (and therefore deterministically) afterwards. Callers must
+// guarantee that no writer runs concurrently; the GMR manager's flush holds
+// the Database write lock for the whole drain.
+func (bp *BufferPool) ReadSnapshot(id PageID, dst *[PageSize]byte) error {
+	sh := bp.shardFor(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
+		*dst = f.Data
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.mu.Unlock()
+	return bp.disk.readSnapshot(id, dst)
+}
+
 // Resident reports whether page id is currently buffered. Used by tests.
 func (bp *BufferPool) Resident(id PageID) bool {
 	sh := bp.shardFor(id)

@@ -161,6 +161,19 @@ func (d *Disk) read(id PageID, dst *[PageSize]byte) error {
 	return nil
 }
 
+// readSnapshot copies a page without charging the clock, counting the I/O,
+// or consulting fault injection — the un-simulated read underneath
+// BufferPool.ReadSnapshot. Safe for concurrent readers as long as no writer
+// runs (snapshot reads happen under the Database write lock).
+func (d *Disk) readSnapshot(id PageID, dst *[PageSize]byte) error {
+	p, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: snapshot read of unallocated page %d", id)
+	}
+	*dst = *p
+	return nil
+}
+
 func (d *Disk) write(id PageID, src *[PageSize]byte) error {
 	if err := d.checkFault(); err != nil {
 		return err

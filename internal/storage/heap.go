@@ -139,6 +139,25 @@ func (h *HeapFile) Read(rid RID) ([]byte, error) {
 	return out, nil
 }
 
+// ReadSnapshot returns a copy of the record stored at rid without pinning,
+// charging, or disturbing the buffer pool — the charge-free read path of the
+// deferred-rematerialization workers (see BufferPool.ReadSnapshot for the
+// no-concurrent-writer contract).
+func (h *HeapFile) ReadSnapshot(rid RID) ([]byte, error) {
+	var page [PageSize]byte
+	if err := h.pool.ReadSnapshot(rid.Page, &page); err != nil {
+		return nil, err
+	}
+	p := slotted{&page}
+	data, ok := p.read(rid.Slot)
+	if !ok {
+		return nil, fmt.Errorf("storage: no record at %v in %s", rid, h.name)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
 // Update rewrites the record at rid. If the new record no longer fits on its
 // page the record moves and the new RID is returned; the caller must update
 // any mapping it keeps.

@@ -1,0 +1,101 @@
+package gomdb_test
+
+// Regression tests for the write-epoch discipline: the epoch (which
+// invalidates the forward-lookup memo cache wholesale) must move only when
+// the GMR state, the RRR, or a restriction predicate actually changes — not
+// merely because a write lock was taken or an update hook fired without
+// finding anything to invalidate.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// TestMemoSurvivesIrrelevantWrite: an update that no materialized function
+// depends on (Cuboid.Value is read by neither volume nor weight) must leave
+// the write epoch — and therefore the memo cache — untouched, while a
+// relevant update (a vertex move) must bump it and refresh the cached value.
+func TestMemoSurvivesIrrelevantWrite(t *testing.T) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fixtures.PopulateGeometry(db, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmr, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeObjDep, MemoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Cuboids[0]
+	st := &db.GMRs.Stats
+
+	// Fill the cache, then read again so the second Call is a memo hit.
+	if _, err := db.Call("Cuboid.volume", gomdb.Ref(c)); err != nil {
+		t.Fatal(err)
+	}
+	hits0 := atomic.LoadInt64(&st.MemoHits)
+	if _, err := db.Call("Cuboid.volume", gomdb.Ref(c)); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&st.MemoHits) != hits0+1 {
+		t.Fatalf("warm-up Call was not a memo hit")
+	}
+
+	// Irrelevant write: Value is not read by any materialized function, so no
+	// hook finds work and the epoch must not move.
+	epoch := db.GMRs.WriteEpoch()
+	if err := db.Set(c, "Value", gomdb.Float(77.5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.GMRs.WriteEpoch(); got != epoch {
+		t.Fatalf("irrelevant write bumped the epoch %d -> %d", epoch, got)
+	}
+	hits1 := atomic.LoadInt64(&st.MemoHits)
+	if _, err := db.Call("Cuboid.volume", gomdb.Ref(c)); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&st.MemoHits) != hits1+1 {
+		t.Fatalf("memo entry did not survive an irrelevant write")
+	}
+
+	// Relevant write: moving a vertex volume depends on must bump the epoch,
+	// and the next Call must serve the fresh value, not the cached one.
+	before, err := db.Call("Cuboid.volume", gomdb.Ref(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.GetAttr(c, "V2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Set(v.R, "X", gomdb.Float(99.25)); err != nil {
+		t.Fatal(err)
+	}
+	if db.GMRs.WriteEpoch() == epoch {
+		t.Fatal("relevant write did not bump the epoch")
+	}
+	after, err := db.Call("Cuboid.volume", gomdb.Ref(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := before.AsFloat()
+	fa, _ := after.AsFloat()
+	if fa == fb {
+		t.Fatalf("volume unchanged (%v) after a vertex move: stale memo value served", fa)
+	}
+	rep, err := db.CheckConsistency(gmr.Name, 1e-6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
