@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates check-determinism repro repro-short examples clean
+.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates check-determinism repro repro-short examples sim sim-long cover clean
 
 all: build vet test
 
@@ -54,6 +54,26 @@ repro:
 
 repro-short:
 	$(GO) run ./cmd/gombench -figure all -short
+
+# Deterministic simulation smoke: a window of seeded random workloads against
+# all three strategies, invariant audits at every quiescent point. Violations
+# shrink to a replayable artifact under testdata/sim/.
+sim:
+	$(GO) run ./cmd/gomsim -seeds 10 -ops 150
+
+# Nightly-style campaign: more seeds, longer workloads, scripted fault
+# windows, and the race detector over the whole sim test suite. Rotate the
+# seed window with SIM_SEED_BASE (e.g. SIM_SEED_BASE=$$(date +%Y%m%d)).
+SIM_SEED_BASE ?= 1
+sim-long:
+	$(GO) test -race -run 'TestSim|TestMatrix|TestFault|TestMutation|TestCharge' ./internal/sim/
+	$(GO) run ./cmd/gomsim -seed-base $(SIM_SEED_BASE) -seeds 40 -ops 250 -faults
+
+# Coverage over the engine and storage layers (the simulation harness drives
+# most of both); writes cover.out and prints the per-function summary tail.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/core/...,./internal/storage/... ./...
+	$(GO) tool cover -func=cover.out | tail -20
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,131 @@
+// Command gomsim drives the deterministic simulation harness (internal/sim):
+// seeded random workloads executed against a chosen engine configuration (or
+// the whole strategy matrix), with invariant audits at every quiescent point.
+// On an invariant violation the failing op trace is shrunk to a minimal
+// reproducer and written as a replayable JSON artifact.
+//
+// Usage:
+//
+//	gomsim -seeds 25                         # 25 seeds, all strategies
+//	gomsim -seed 42 -strategy deferred -v    # one seed, one config, full trace
+//	gomsim -seeds 100 -faults -long          # nightly-style fault campaign
+//	gomsim -seed-base 20260805 -seeds 50     # rotating nightly seed window
+//	gomsim -replay testdata/sim/repro.json   # re-run a saved reproducer
+//
+// Exit status is 0 when every run is clean (or a replayed artifact
+// reproduces its recorded outcome) and 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gomdb/internal/sim"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 10, "number of consecutive seeds to run")
+		seed     = flag.Int64("seed", 0, "run exactly this seed (overrides -seeds)")
+		seedBase = flag.Int64("seed-base", 1, "first seed of the window (nightly runs rotate this, e.g. -seed-base $(date +%Y%m%d))")
+		ops      = flag.Int("ops", 150, "ops per workload")
+		strategy = flag.String("strategy", "", "immediate|lazy|deferred (default: all three)")
+		memo     = flag.Bool("memo", false, "enable the forward-lookup memo cache")
+		sc       = flag.Bool("second-chance", false, "enable second-chance immediate(o)")
+		mds      = flag.Bool("mds", false, "maintain the multidimensional index")
+		shards   = flag.Int("shards", 0, "buffer pool lock-stripe count (0 = default)")
+		workers  = flag.Int("workers", 0, "deferred-flush worker count (0 = GOMAXPROCS)")
+		faults   = flag.Bool("faults", false, "insert scripted fault windows into each plan")
+		broken   = flag.Bool("broken", false, "arm the deliberately-broken invalidation path (audits must fail)")
+		outDir   = flag.String("out", filepath.Join("testdata", "sim"), "directory for shrunk reproducer artifacts")
+		replay   = flag.String("replay", "", "replay a saved artifact instead of generating workloads")
+		verbose  = flag.Bool("v", false, "print the full op trace of every run")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay, *verbose))
+	}
+
+	var configs []sim.EngineConfig
+	strategies := []string{"immediate", "lazy", "deferred"}
+	if *strategy != "" {
+		strategies = []string{*strategy}
+	}
+	for _, s := range strategies {
+		configs = append(configs, sim.EngineConfig{
+			Strategy: s, Memo: *memo, SecondChance: *sc, UseMDS: *mds,
+			BufferShards: *shards, RematWorkers: *workers, Broken: *broken,
+		})
+	}
+
+	first, count := *seedBase, int64(*seeds)
+	if *seed != 0 {
+		first, count = *seed, 1
+	}
+
+	failures := 0
+	for _, cfg := range configs {
+		for s := first; s < first+count; s++ {
+			plan := sim.Generate(s, sim.GenOptions{Ops: *ops, Faults: *faults})
+			res := sim.Run(cfg, plan)
+			status := "ok"
+			if res.Violation != nil {
+				status = "VIOLATION " + res.Violation.String()
+			}
+			fmt.Printf("seed %-6d %-24s ops=%-4d faults=%-3d sim=%8.2fs %s\n",
+				s, cfg, len(plan.Ops), res.FaultsInjected, res.Clock.SimSeconds(), status)
+			if *verbose {
+				for _, line := range res.Trace {
+					fmt.Println("  " + line)
+				}
+			}
+			if res.Violation == nil {
+				continue
+			}
+			failures++
+			a := sim.ShrinkToArtifact(cfg, plan, "gomsim")
+			path := filepath.Join(*outDir, fmt.Sprintf("repro-seed%d-%s.json", s, cfg))
+			if err := a.Save(path); err != nil {
+				fmt.Fprintf(os.Stderr, "saving reproducer: %v\n", err)
+			} else {
+				fmt.Printf("  shrunk to %d ops -> %s\n", len(a.Ops), path)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d run(s) violated invariants\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all runs clean")
+}
+
+func runReplay(path string, verbose bool) int {
+	a, err := sim.LoadArtifact(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	res := sim.Replay(a)
+	if verbose {
+		for _, line := range res.Trace {
+			fmt.Println(line)
+		}
+	}
+	switch {
+	case res.Violation != nil:
+		fmt.Printf("replay of %s: VIOLATION %s\n", path, res.Violation)
+		if a.Violation == "" {
+			return 1 // artifact claimed a clean run
+		}
+		return 0 // reproduced the recorded violation
+	case a.Violation != "":
+		fmt.Printf("replay of %s: clean, but artifact records %q — no longer reproduces\n", path, a.Violation)
+		return 1
+	default:
+		fmt.Printf("replay of %s: clean\n", path)
+		return 0
+	}
+}

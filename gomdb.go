@@ -522,6 +522,11 @@ var (
 	AnySpec = core.AnySpec
 )
 
+// ErrInjectedFault is the sentinel wrapped by every error the simulated
+// disk's fault-injection layer produces (db.Disk.FailAfter and scripted
+// fault plans via db.Disk.SetFaultPlan); match it with errors.Is.
+var ErrInjectedFault = storage.ErrInjectedFault
+
 // Materialize creates a GMR per the options — the API form of the GOMql
 // statement "range ... materialize ...".
 func (db *Database) Materialize(opts MaterializeOptions) (*GMR, error) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"gomdb/internal/object"
 )
 
@@ -88,10 +90,13 @@ func (m *Manager) CollectResultGarbage() (int, error) {
 			push(v.R)
 		}
 	}
-	// Roots: GMR result columns.
-	for _, g := range m.gmrs {
-		for _, e := range g.entries {
-			for _, r := range e.Results {
+	// Roots: GMR result columns. Iterate GMRs by sorted name and entries in
+	// insertion order so the traversal (and hence the charged page-access
+	// sequence) is deterministic for a given history.
+	for _, name := range m.GMRs() {
+		g := m.gmrs[name]
+		for _, k := range g.order {
+			for _, r := range g.entries[k].Results {
 				pushValue(r)
 			}
 		}
@@ -129,9 +134,14 @@ func (m *Manager) CollectResultGarbage() (int, error) {
 			pushValue(v)
 		}
 	}
-	// Sweep.
+	// Sweep in ascending OID order so deletions hit pages deterministically.
 	collected := 0
+	candidates := make([]object.OID, 0, len(m.resultObjs))
 	for oid := range m.resultObjs {
+		candidates = append(candidates, oid)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, oid := range candidates {
 		if reachable[oid] {
 			continue
 		}

@@ -92,8 +92,19 @@ type Manager struct {
 	pending      map[pendingKey]*pendingItem
 	rematWorkers int
 
+	// breakInvalidation, when set, makes Invalidate silently drop every
+	// notification. It exists solely so the simulation harness
+	// (internal/sim) can prove its invariant auditors have teeth: with the
+	// hook armed, stale GMR entries must be reported as Def. 3.2
+	// violations. Never set outside tests.
+	breakInvalidation bool
+
 	Stats Stats
 }
+
+// TestingBreakInvalidation arms or disarms the deliberate invalidation bug
+// used by the simulator's mutation smoke test. See breakInvalidation.
+func (m *Manager) TestingBreakInvalidation(broken bool) { m.breakInvalidation = broken }
 
 // Quiescent reports whether no retrieval operation can mutate GMR state:
 // every GMR is complete (so forward misses never insert entries) and no
@@ -632,6 +643,11 @@ func (m *Manager) finishRemove(oid object.OID, fid string) func(existed, last bo
 // an update that turns out to be irrelevant (no surviving tuples) leaves the
 // memo cache valid.
 func (m *Manager) Invalidate(o *object.Obj, relev map[string]bool) error {
+	if m.breakInvalidation {
+		// Deliberately-broken mode for the simulator's mutation smoke test:
+		// drop the notification so dependent entries go stale undetected.
+		return nil
+	}
 	atomic.AddInt64(&m.Stats.RRRLookups, 1)
 	tuples, err := m.rrr.Lookup(o.OID)
 	if err != nil {

@@ -1,6 +1,9 @@
 package object
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // TypeKind enumerates the structural descriptions a GOM type may have
 // (Section 2: "The structural description of a new object type can be either
@@ -164,12 +167,15 @@ func (r *Registry) MustLookup(name string) *Type {
 	return t
 }
 
-// Types returns all registered type names.
+// Types returns all registered type names in sorted order, so callers that
+// iterate the schema (hooks installation, garbage collection, tooling) do so
+// deterministically.
 func (r *Registry) Types() []string {
 	out := make([]string, 0, len(r.types))
 	for n := range r.types {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

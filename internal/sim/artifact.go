@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Artifact is a self-contained, replayable failure reproducer: the engine
+// configuration, the initial-population parameters, and the (usually shrunk)
+// op list that triggers the violation. Artifacts are plain JSON so they can
+// be committed under testdata/sim/, attached to CI runs, and replayed with
+// `gomsim -replay <file>` or sim.Replay.
+type Artifact struct {
+	// Seed derives the initial object base (Init cuboids); the op list is
+	// stored explicitly, so Seed is NOT re-expanded into ops on replay.
+	Seed   int64        `json:"seed"`
+	Init   int          `json:"init"`
+	Config EngineConfig `json:"config"`
+	Ops    []Op         `json:"ops"`
+	// Violation is the failure the artifact reproduces, as observed when it
+	// was written (informational; replay re-derives it).
+	Violation string `json:"violation,omitempty"`
+	// Note says where the artifact came from (test name, CI job).
+	Note string `json:"note,omitempty"`
+}
+
+// Plan returns the replay plan encoded in the artifact.
+func (a *Artifact) Plan() Plan {
+	return Plan{Seed: a.Seed, Init: a.Init, Ops: a.Ops}
+}
+
+// Save writes the artifact as indented JSON, creating the directory if
+// needed.
+func (a *Artifact) Save(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact written by Save.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("sim: artifact %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Replay executes an artifact's op list against its recorded configuration.
+func Replay(a *Artifact) *Result {
+	return Run(a.Config, a.Plan())
+}
+
+// ShrinkToArtifact shrinks a failing plan to a minimal reproducer and wraps
+// it as an artifact. The predicate for shrinking is "Run still reports a
+// violation" under cfg; the recorded Violation is the shrunk run's.
+func ShrinkToArtifact(cfg EngineConfig, plan Plan, note string) *Artifact {
+	ops := Shrink(plan.Ops, func(sub []Op) bool {
+		return Run(cfg, Plan{Seed: plan.Seed, Init: plan.Init, Ops: sub}).Violation != nil
+	})
+	res := Run(cfg, Plan{Seed: plan.Seed, Init: plan.Init, Ops: ops})
+	a := &Artifact{Seed: plan.Seed, Init: plan.Init, Config: cfg, Ops: ops, Note: note}
+	if res.Violation != nil {
+		a.Violation = res.Violation.String()
+	}
+	return a
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+
+	"gomdb"
+	"gomdb/internal/object"
+)
+
+// auditTol is the relative tolerance for comparing stored results against
+// fresh recomputations. Recomputation replays the identical float operations
+// against the identical object state, so results must match essentially
+// bit-for-bit; the tolerance only absorbs non-associativity in aggregate
+// functions.
+const auditTol = 1e-9
+
+// Audit runs every invariant auditor against a quiescent database and
+// returns the violations found (empty for a healthy engine). The caller must
+// have drained the deferred queue first — a pending rematerialization is not
+// an inconsistency, it is scheduled work.
+//
+// The auditors:
+//
+//  1. Definition 3.2 congruence — every valid GMR entry equals a fresh
+//     recomputation of its function (core.CheckConsistency), and, for
+//     complete GMRs, Definition 3.4 completeness against the current type
+//     extensions.
+//  2. RRR soundness — every valid entry's argument objects carry supporting
+//     RRR tuples, so a future update of those objects can find and
+//     invalidate the entry. (Left-over tuples in the other direction are
+//     legitimate: Section 4.2's blind references are cleaned lazily.)
+//  3. Pin-leak accounting — no buffer frame is left pinned at a quiescent
+//     point; a leaked pin would eventually wedge the pool.
+//  4. Deferred-queue emptiness — after a flush the pending queue must be
+//     empty, or Flush is silently dropping work.
+func Audit(db *gomdb.Database) []string {
+	var out []string
+	if n := db.GMRs.PendingLen(); n != 0 {
+		out = append(out, fmt.Sprintf("deferred queue: %d items pending after flush", n))
+	}
+	if n := db.Pool.PinnedCount(); n != 0 {
+		out = append(out, fmt.Sprintf("pin leak: %d frames pinned at quiescent point", n))
+	}
+	for _, name := range db.GMRs.GMRs() {
+		g, ok := db.GMRs.Get(name)
+		if !ok {
+			continue
+		}
+		rep, err := db.CheckConsistency(name, auditTol, g.Complete)
+		if err != nil {
+			out = append(out, "consistency check "+name+": "+err.Error())
+			continue
+		}
+		for _, v := range rep.Violations {
+			out = append(out, name+": "+v)
+		}
+		out = append(out, auditRRRSupport(db, name, g)...)
+	}
+	return out
+}
+
+// auditRRRSupport verifies invariant 2: for every fully- or partially-valid
+// entry of g, every argument object still referenced by the entry has at
+// least one RRR tuple per valid materialized function. Without that tuple an
+// update of the argument object could never invalidate the entry — exactly
+// the failure mode the deliberately-broken invalidation hook simulates
+// upstream of the RRR (and which auditor 1 catches as stale results).
+func auditRRRSupport(db *gomdb.Database, name string, g *gomdb.GMR) []string {
+	var out []string
+	rrr := db.GMRs.RRR()
+	g.Entries(func(args, results []object.Value, valid []bool) bool {
+		for i, fn := range g.Funcs {
+			if !valid[i] {
+				continue
+			}
+			for _, a := range args {
+				if a.Kind != object.KRef {
+					continue
+				}
+				if rrr.FctCount(a.R, fn.Name) == 0 {
+					out = append(out, fmt.Sprintf(
+						"%s: valid entry for %s lacks RRR support on argument %s",
+						name, fn.Name, a.R))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"math/rand"
+
+	"gomdb/internal/storage"
+)
+
+// OpKind names one simulated operation.
+type OpKind string
+
+// The operation vocabulary of the simulator. Every op is fully parameterized
+// at generation time: applying an op consumes no randomness, so a recorded op
+// list can be replayed, truncated, or shrunk without shifting the meaning of
+// the ops that remain.
+const (
+	// OpMat materializes catalog entry X%len(catalog) with the run's engine
+	// configuration (strategy, memo, second chance, MDS).
+	OpMat OpKind = "mat"
+	// OpDemat drops catalog entry X%len(catalog) if materialized.
+	OpDemat OpKind = "demat"
+	// OpCreate creates a Cuboid (8 vertices, material N, value F[6]) at
+	// origin F[0..2] with extents F[3..5].
+	OpCreate OpKind = "create"
+	// OpDelete deletes live cuboid X%live.
+	OpDelete OpKind = "delete"
+	// OpSetValue performs the elementary update cuboid.set_Value(F[0]).
+	OpSetValue OpKind = "set-value"
+	// OpSetVertex sets coordinate S ("X"/"Y"/"Z") of vertex V<1+N%8> of
+	// cuboid X%live to F[0] — an elementary update two references deep.
+	OpSetVertex OpKind = "set-vertex"
+	// OpScale calls Cuboid.scale with factors F[0..2] (a fresh transient
+	// Vertex instance carries them).
+	OpScale OpKind = "scale"
+	// OpTranslate calls Cuboid.translate with offsets F[0..2].
+	OpTranslate OpKind = "translate"
+	// OpRotate calls Cuboid.rotate(F[0], S) with S an axis name.
+	OpRotate OpKind = "rotate"
+	// OpForward calls function S on cuboid X%live (Cuboid.distance also
+	// takes robot N%2) — a forward lookup when S is materialized.
+	OpForward OpKind = "forward"
+	// OpBackward runs the backward range query S in [F[0], F[1]].
+	OpBackward OpKind = "backward"
+	// OpSum computes the aggregate Sum of S over the first 1+N%live cuboids.
+	OpSum OpKind = "sum"
+	// OpRetrieve runs a tabular retrieval against catalog entry
+	// X%len(catalog), constraining its first result column to [F[0], F[1]].
+	OpRetrieve OpKind = "retrieve"
+	// OpFlush drains the deferred-rematerialization queue.
+	OpFlush OpKind = "flush"
+	// OpBatch applies Sub as one Database.Batch.
+	OpBatch OpKind = "batch"
+	// OpGC runs CollectResultGarbage and ReorganizeRRR.
+	OpGC OpKind = "gc"
+	// OpAudit is a quiescent point: flush, then run every invariant auditor.
+	// Skipped while a fault window is open (invariants may legitimately be
+	// broken until recovery).
+	OpAudit OpKind = "audit"
+	// OpFault arms the scriptable fault plan Rules on the simulated disk and
+	// opens a fault window: subsequent op errors are tolerated and recorded.
+	OpFault OpKind = "fault"
+	// OpFaultClear disarms fault injection, closes the window, and runs
+	// recovery (flush + rebuild of every materialized GMR) so the next audit
+	// must pass.
+	OpFaultClear OpKind = "fault-clear"
+)
+
+// Op is one fully-parameterized simulated operation. The field meanings
+// depend on Kind (see the OpKind constants); unused fields stay zero so the
+// JSON encoding of an op list (the replay artifact) stays compact.
+type Op struct {
+	Kind OpKind              `json:"kind"`
+	X    int                 `json:"x,omitempty"`
+	N    int                 `json:"n,omitempty"`
+	S    string              `json:"s,omitempty"`
+	F    []float64           `json:"f,omitempty"`
+	Sub  []Op                `json:"sub,omitempty"`
+	Rule []storage.FaultRule `json:"rule,omitempty"`
+}
+
+// Plan is a complete, self-contained workload: the seed that derives the
+// initial object base, the initial cuboid count, and the op list. Two runs of
+// the same plan against the same engine configuration produce byte-identical
+// traces and clock snapshots.
+type Plan struct {
+	Seed int64 `json:"seed"`
+	Init int   `json:"init"`
+	Ops  []Op  `json:"ops"`
+}
+
+// gmrSpec is one entry of the fixed GMR catalog the generator draws from.
+// The catalog spans the shapes the paper distinguishes: a two-function GMR,
+// single-function GMRs, a binary-argument GMR (Cuboid x Robot), and an
+// incomplete bounded GMR acting as a result cache.
+type gmrSpec struct {
+	Name       string
+	Funcs      []string
+	Complete   bool
+	MaxEntries int
+	NumArgs    int
+}
+
+var catalog = []gmrSpec{
+	{Name: "Gvw", Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true, NumArgs: 1},
+	{Name: "Glen", Funcs: []string{"Cuboid.length"}, Complete: true, NumArgs: 1},
+	{Name: "Gdist", Funcs: []string{"Cuboid.distance"}, Complete: true, NumArgs: 2},
+	{Name: "Gcache", Funcs: []string{"Cuboid.height"}, Complete: false, MaxEntries: 24, NumArgs: 1},
+}
+
+// forwardFuncs are the side-effect-free functions OpForward draws from —
+// a mix of materialized-catalog functions and never-materialized ones.
+var forwardFuncs = []string{
+	"Cuboid.volume", "Cuboid.weight", "Cuboid.length", "Cuboid.width",
+	"Cuboid.height", "Cuboid.distance",
+}
+
+// backwardFuncs are the numeric functions backward queries target.
+var backwardFuncs = []string{"Cuboid.volume", "Cuboid.weight", "Cuboid.length", "Cuboid.height"}
+
+// GenOptions tunes Generate.
+type GenOptions struct {
+	// Ops is the target op count (audits included). Default 150.
+	Ops int
+	// Faults inserts 1-2 scripted fault windows into the plan.
+	Faults bool
+}
+
+// Generate derives a complete workload plan from seed. All randomness is
+// consumed here: the returned plan is a pure value, so the same seed always
+// yields the same plan regardless of how (or how often) it is executed.
+func Generate(seed int64, opt GenOptions) Plan {
+	n := opt.Ops
+	if n <= 0 {
+		n = 150
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Seed: seed, Init: 6 + rng.Intn(8)}
+
+	// Materialize the two-function GMR up front (the workload's center of
+	// gravity), plus one random other catalog entry half the time.
+	p.Ops = append(p.Ops, Op{Kind: OpMat, X: 0})
+	if rng.Intn(2) == 0 {
+		p.Ops = append(p.Ops, Op{Kind: OpMat, X: 1 + rng.Intn(len(catalog)-1)})
+	}
+
+	sinceAudit := 0
+	for len(p.Ops) < n {
+		if sinceAudit >= 20 {
+			p.Ops = append(p.Ops, Op{Kind: OpAudit})
+			sinceAudit = 0
+			continue
+		}
+		p.Ops = append(p.Ops, genOp(rng))
+		sinceAudit++
+	}
+
+	if opt.Faults {
+		injectFaultWindows(rng, &p)
+	}
+	return p
+}
+
+// genOp draws one weighted operation.
+func genOp(rng *rand.Rand) Op {
+	switch w := rng.Intn(100); {
+	case w < 16: // forward lookups dominate, as in the paper's workloads
+		return Op{Kind: OpForward, X: rng.Intn(1 << 16), N: rng.Intn(2),
+			S: forwardFuncs[rng.Intn(len(forwardFuncs))]}
+	case w < 25:
+		return genUpdateOp(rng)
+	case w < 33:
+		return Op{Kind: OpScale, X: rng.Intn(1 << 16),
+			F: []float64{0.8 + rng.Float64()*0.45, 0.8 + rng.Float64()*0.45, 0.8 + rng.Float64()*0.45}}
+	case w < 39:
+		return Op{Kind: OpTranslate, X: rng.Intn(1 << 16),
+			F: []float64{rng.Float64()*20 - 10, rng.Float64()*20 - 10, rng.Float64()*20 - 10}}
+	case w < 45:
+		return Op{Kind: OpRotate, X: rng.Intn(1 << 16), S: []string{"x", "y", "z"}[rng.Intn(3)],
+			F: []float64{rng.Float64() * 3.14159}}
+	case w < 53:
+		return genCreate(rng)
+	case w < 57:
+		return Op{Kind: OpDelete, X: rng.Intn(1 << 16)}
+	case w < 64:
+		lo := rng.Float64() * 400
+		return Op{Kind: OpBackward, S: backwardFuncs[rng.Intn(len(backwardFuncs))],
+			F: []float64{lo, lo + rng.Float64()*600}}
+	case w < 68:
+		return Op{Kind: OpSum, S: "Cuboid.volume", N: rng.Intn(1 << 16)}
+	case w < 73:
+		lo := rng.Float64() * 400
+		return Op{Kind: OpRetrieve, X: rng.Intn(len(catalog)), F: []float64{lo, lo + rng.Float64()*600}}
+	case w < 79:
+		return Op{Kind: OpFlush}
+	case w < 85:
+		sub := make([]Op, 2+rng.Intn(4))
+		for i := range sub {
+			sub[i] = genUpdateOp(rng)
+		}
+		return Op{Kind: OpBatch, Sub: sub}
+	case w < 88:
+		return Op{Kind: OpGC}
+	case w < 92:
+		return Op{Kind: OpDemat, X: rng.Intn(len(catalog))}
+	case w < 96:
+		return Op{Kind: OpMat, X: rng.Intn(len(catalog))}
+	default:
+		return Op{Kind: OpAudit}
+	}
+}
+
+// genUpdateOp draws one elementary-update op — the subset allowed inside a
+// batch body.
+func genUpdateOp(rng *rand.Rand) Op {
+	switch rng.Intn(4) {
+	case 0:
+		return Op{Kind: OpSetValue, X: rng.Intn(1 << 16), F: []float64{10 + rng.Float64()*90}}
+	case 1:
+		return Op{Kind: OpSetVertex, X: rng.Intn(1 << 16), N: rng.Intn(8),
+			S: []string{"X", "Y", "Z"}[rng.Intn(3)], F: []float64{rng.Float64()*100 - 50}}
+	case 2:
+		return genCreate(rng)
+	default:
+		return Op{Kind: OpDelete, X: rng.Intn(1 << 16)}
+	}
+}
+
+func genCreate(rng *rand.Rand) Op {
+	return Op{Kind: OpCreate, N: rng.Intn(4), F: []float64{
+		rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100, // origin
+		1 + rng.Float64()*9, 1 + rng.Float64()*9, 1 + rng.Float64()*9, // extents
+		10 + rng.Float64()*90, // value
+	}}
+}
+
+// injectFaultWindows inserts one or two [OpFault ... OpFaultClear] windows
+// into the plan at random positions. Rules are transient or persistent (a
+// persistent rule lives until the window's OpFaultClear), target reads,
+// writes, or both, and optionally a single heap file.
+func injectFaultWindows(rng *rand.Rand, p *Plan) {
+	windows := 1 + rng.Intn(2)
+	for w := 0; w < windows; w++ {
+		rules := make([]storage.FaultRule, 1+rng.Intn(2))
+		for i := range rules {
+			r := storage.FaultRule{
+				Op:    []storage.FaultOp{storage.FaultAny, storage.FaultRead, storage.FaultWrite}[rng.Intn(3)],
+				After: rng.Intn(6),
+			}
+			if rng.Intn(2) == 0 {
+				r.Count = 1 + rng.Intn(3) // transient
+			}
+			if f := rng.Intn(5); f > 0 {
+				r.File = []string{"objects", "GMR:", "RRR", "IDX:"}[f-1]
+			}
+			rules[i] = r
+		}
+		at := rng.Intn(len(p.Ops))
+		span := 4 + rng.Intn(10)
+		end := at + 1 + span
+		if end > len(p.Ops) {
+			end = len(p.Ops)
+		}
+		// Insert the clear first so the arm index stays valid.
+		p.Ops = append(p.Ops[:end], append([]Op{{Kind: OpFaultClear}}, p.Ops[end:]...)...)
+		p.Ops = append(p.Ops[:at], append([]Op{{Kind: OpFault, Rule: rules}}, p.Ops[at:]...)...)
+	}
+}

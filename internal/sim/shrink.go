@@ -1,0 +1,59 @@
+package sim
+
+// Shrink reduces an op list to a (locally) minimal sub-list that still makes
+// fails return true, using the classic ddmin delta-debugging loop: try
+// removing ever-finer chunks, restarting at coarse granularity after every
+// successful reduction. The result is 1-minimal with respect to chunk
+// removal — dropping any single remaining op stops the failure.
+//
+// Shrinking relies on the op encoding being position-independent: ops select
+// objects by index modulo the live population and tolerate "object missing"
+// outcomes, so removing earlier ops never makes a later op meaningless, only
+// different. fails must be deterministic (run the plan through Run with a
+// fixed config).
+func Shrink(ops []Op, fails func([]Op) bool) []Op {
+	if !fails(ops) {
+		return ops
+	}
+	n := 2
+	for len(ops) >= 2 {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			candidate := make([]Op, 0, len(ops)-(end-start))
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[end:]...)
+			if len(candidate) > 0 && fails(candidate) {
+				ops = candidate
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(ops) {
+			break
+		}
+		n = min(2*n, len(ops))
+	}
+	// Final singleton pass: with 1-op chunks the loop above already tried
+	// removing each op, but a last sweep after the final granularity bump
+	// catches ops whose removal only became safe late.
+	for i := 0; i < len(ops) && len(ops) > 1; {
+		candidate := make([]Op, 0, len(ops)-1)
+		candidate = append(candidate, ops[:i]...)
+		candidate = append(candidate, ops[i+1:]...)
+		if fails(candidate) {
+			ops = candidate
+		} else {
+			i++
+		}
+	}
+	return ops
+}

@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// TestShrinkMinimal drives ddmin with a synthetic predicate: the failure
+// needs ops at positions carrying markers 3, 17, and 40 (by value, so the
+// predicate is position-independent like a real replay). Shrink must reduce
+// 50 ops to exactly those 3.
+func TestShrinkMinimal(t *testing.T) {
+	var ops []Op
+	for i := 0; i < 50; i++ {
+		ops = append(ops, Op{Kind: OpForward, X: i})
+	}
+	needs := map[int]bool{3: true, 17: true, 40: true}
+	fails := func(sub []Op) bool {
+		seen := 0
+		for _, op := range sub {
+			if needs[op.X] {
+				seen++
+			}
+		}
+		return seen == len(needs)
+	}
+	got := Shrink(ops, fails)
+	if len(got) != 3 {
+		t.Fatalf("shrunk to %d ops, want 3: %+v", len(got), got)
+	}
+	for _, op := range got {
+		if !needs[op.X] {
+			t.Fatalf("kept irrelevant op %+v", op)
+		}
+	}
+}
+
+// TestShrinkNonFailing: a predicate that never fails returns the input
+// unchanged (nothing to minimize).
+func TestShrinkNonFailing(t *testing.T) {
+	ops := []Op{{Kind: OpFlush}, {Kind: OpGC}}
+	got := Shrink(ops, func([]Op) bool { return false })
+	if len(got) != len(ops) {
+		t.Fatalf("non-failing input was modified: %d ops", len(got))
+	}
+}

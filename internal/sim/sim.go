@@ -1,0 +1,568 @@
+// Package sim is a deterministic simulation harness for the GMR engine: it
+// generates seeded random workloads (object creation and deletion, elementary
+// updates, geometric transformations, materializations, forward/backward/
+// tabular lookups, batches, flushes, garbage collection), executes them
+// against a chosen engine configuration, audits the paper's invariants at
+// every quiescent point, and — when an invariant breaks — shrinks the op
+// trace to a minimal reproducer and writes a replayable artifact.
+//
+// Determinism is the load-bearing property: a plan is fully parameterized at
+// generation time (applying an op consumes no randomness), every engine path
+// the simulator drives iterates in canonical order, and the cost model
+// charges identically for every buffer-shard and remat-worker count. The
+// pinned consequence, verified by TestChargeDeterminism: same seed + same
+// strategy produces a byte-identical op trace and a byte-identical Clock
+// snapshot across shard counts {1,4,16} and worker counts {1,4,8}.
+//
+// Operational errors (a backward query against a dropped GMR, an injected
+// disk fault) are workload outcomes: they are recorded in the trace, and the
+// invariant auditors — not error-freedom — decide whether the engine
+// misbehaved. A panic, however, is always a violation: the engine's contract
+// under fault injection is "typed error or intact invariants", never a crash.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/storage"
+)
+
+// EngineConfig selects one cell of the engine-configuration matrix a plan is
+// executed against. The zero value is immediate rematerialization with every
+// optional mechanism off and default pool geometry.
+type EngineConfig struct {
+	// Strategy is "immediate", "lazy", or "deferred".
+	Strategy string `json:"strategy"`
+	// Memo enables the forward-lookup memo cache on every materialized GMR.
+	Memo bool `json:"memo,omitempty"`
+	// SecondChance enables the second-chance immediate(o) variant.
+	SecondChance bool `json:"secondChance,omitempty"`
+	// UseMDS maintains the multidimensional index on every GMR.
+	UseMDS bool `json:"useMDS,omitempty"`
+	// BufferShards is the buffer pool's lock-stripe count (0 = default).
+	BufferShards int `json:"bufferShards,omitempty"`
+	// RematWorkers bounds the deferred-flush worker pool (0 = GOMAXPROCS).
+	RematWorkers int `json:"rematWorkers,omitempty"`
+	// BufferPages is the pool capacity (0 = the paper's 150 pages).
+	BufferPages int `json:"bufferPages,omitempty"`
+	// Broken arms the deliberately-broken invalidation path
+	// (core.Manager.TestingBreakInvalidation): updates stop notifying
+	// dependent GMR entries, so audits MUST report Definition 3.2
+	// violations. Exists so the mutation smoke test can prove the auditors
+	// have teeth.
+	Broken bool `json:"broken,omitempty"`
+}
+
+func (c EngineConfig) strategy() gomdb.Strategy {
+	switch c.Strategy {
+	case "lazy":
+		return gomdb.Lazy
+	case "deferred":
+		return gomdb.Deferred
+	}
+	return gomdb.Immediate
+}
+
+// String renders the configuration compactly for test names and artifacts.
+func (c EngineConfig) String() string {
+	s := c.Strategy
+	if s == "" {
+		s = "immediate"
+	}
+	if c.Memo {
+		s += "+memo"
+	}
+	if c.SecondChance {
+		s += "+2c"
+	}
+	if c.UseMDS {
+		s += "+mds"
+	}
+	if c.BufferShards != 0 {
+		s += fmt.Sprintf("+shards%d", c.BufferShards)
+	}
+	if c.RematWorkers != 0 {
+		s += fmt.Sprintf("+workers%d", c.RematWorkers)
+	}
+	if c.Broken {
+		s += "+BROKEN"
+	}
+	return s
+}
+
+// Violation reports the first audit failure (or panic) of a run.
+type Violation struct {
+	// OpIndex is the index into Plan.Ops at which the violation surfaced
+	// (len(ops) for the implicit final audit).
+	OpIndex int `json:"opIndex"`
+	// Msgs are the auditor messages.
+	Msgs []string `json:"msgs"`
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("op %d: %s", v.OpIndex, strings.Join(v.Msgs, "; "))
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// Trace is one canonical line per applied op (plus audit outcomes). Two
+	// runs are equivalent iff their traces are byte-identical.
+	Trace []string
+	// TraceHash is the FNV-1a hash of Trace.
+	TraceHash uint64
+	// Clock is the final simulated-cost snapshot.
+	Clock storage.Clock
+	// Violation is the first invariant failure, or nil for a clean run.
+	Violation *Violation
+	// FaultsInjected counts disk failures injected across all fault windows.
+	FaultsInjected int
+}
+
+// api is the operation surface shared by *gomdb.Database (per-op locking)
+// and *gomdb.Tx (inside one Batch critical section), so the same op applier
+// serves both paths.
+type api interface {
+	New(typeName string, attrs ...gomdb.Value) (gomdb.OID, error)
+	Delete(oid gomdb.OID) error
+	Set(oid gomdb.OID, attr string, v gomdb.Value) error
+	GetAttr(oid gomdb.OID, attr string) (gomdb.Value, error)
+	Call(fn string, args ...gomdb.Value) (gomdb.Value, error)
+}
+
+// world is the mutable execution state of one run.
+type world struct {
+	db  *gomdb.Database
+	cfg EngineConfig
+
+	cuboids []gomdb.OID
+	robots  []gomdb.OID
+	mats    []gomdb.OID
+	nextID  int64
+
+	matted     map[int]bool // catalog index -> currently materialized
+	faultsOpen bool
+	faults     int // total faults injected across closed windows
+}
+
+// Run executes plan against cfg and returns the trace, cost snapshot, and
+// first invariant violation (if any).
+func Run(cfg EngineConfig, plan Plan) (res *Result) {
+	res = &Result{}
+	var w *world
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			res.Violation = &Violation{OpIndex: cur, Msgs: []string{fmt.Sprintf("panic: %v", r)}}
+		}
+		if w != nil {
+			res.Clock = w.db.Clock.Snapshot()
+			res.FaultsInjected = w.faults + w.db.Disk.FaultsInjected()
+		}
+		h := fnv.New64a()
+		for _, line := range res.Trace {
+			h.Write([]byte(line))
+			h.Write([]byte{'\n'})
+		}
+		res.TraceHash = h.Sum64()
+	}()
+
+	db := gomdb.Open(gomdb.Config{
+		BufferPages:  cfg.BufferPages,
+		BufferShards: cfg.BufferShards,
+		RematWorkers: cfg.RematWorkers,
+	})
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"schema: " + err.Error()}}
+		return res
+	}
+	geo, err := fixtures.PopulateGeometry(db, plan.Init, plan.Seed)
+	if err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"populate: " + err.Error()}}
+		return res
+	}
+	db.GMRs.TestingBreakInvalidation(cfg.Broken)
+	w = &world{
+		db:      db,
+		cfg:     cfg,
+		cuboids: append([]gomdb.OID(nil), geo.Cuboids...),
+		robots:  append([]gomdb.OID(nil), geo.Robots...),
+		mats:    append([]gomdb.OID(nil), geo.MaterialO...),
+		nextID:  geo.NextID,
+		matted:  make(map[int]bool),
+	}
+
+	for i, op := range plan.Ops {
+		cur = i
+		detail, bad := w.apply(op)
+		res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", i, op.Kind, detail))
+		if bad != nil {
+			bad.OpIndex = i
+			res.Violation = bad
+			return res
+		}
+	}
+
+	// Implicit final quiescent point: close any window the plan (or
+	// shrinking) left open, then audit.
+	cur = len(plan.Ops)
+	if w.faultsOpen {
+		detail, bad := w.applyFaultClear()
+		res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", cur, OpFaultClear, detail))
+		if bad != nil {
+			bad.OpIndex = cur
+			res.Violation = bad
+			return res
+		}
+	}
+	detail, bad := w.applyAudit()
+	res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", cur, "final-audit", detail))
+	if bad != nil {
+		bad.OpIndex = cur
+		res.Violation = bad
+	}
+	return res
+}
+
+// cuboid resolves an op's object selector against the live cuboid list.
+func (w *world) cuboid(x int) (gomdb.OID, bool) {
+	if len(w.cuboids) == 0 {
+		return 0, false
+	}
+	return w.cuboids[x%len(w.cuboids)], true
+}
+
+// apply executes one op, returning the canonical trace detail and a
+// violation if an invariant broke at this op. Operational errors are
+// recorded in the detail, not escalated — the auditors decide what counts as
+// engine misbehavior.
+func (w *world) apply(op Op) (string, *Violation) {
+	switch op.Kind {
+	case OpMat:
+		return w.applyMat(op), nil
+	case OpDemat:
+		spec := catalog[op.X%len(catalog)]
+		err := w.db.Dematerialize(spec.Name)
+		if err == nil {
+			delete(w.matted, op.X%len(catalog))
+		}
+		return spec.Name + " " + errStr(err), nil
+	case OpCreate:
+		oid, err := w.createCuboid(w.db, op)
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("cuboid %s (n=%d)", oid, len(w.cuboids)), nil
+	case OpDelete:
+		oid, ok := w.cuboid(op.X)
+		if !ok {
+			return "skip (no cuboids)", nil
+		}
+		err := w.db.Delete(oid)
+		if !w.db.Objects.Exists(oid) {
+			w.dropCuboid(oid)
+		}
+		return fmt.Sprintf("cuboid %s (n=%d) %s", oid, len(w.cuboids), errStr(err)), nil
+	case OpSetValue, OpSetVertex, OpScale, OpTranslate, OpRotate:
+		detail, err := w.applyUpdate(w.db, op)
+		if err != nil {
+			detail += " ERR " + err.Error()
+		}
+		return detail, nil
+	case OpForward:
+		oid, ok := w.cuboid(op.X)
+		if !ok {
+			return "skip (no cuboids)", nil
+		}
+		args := []gomdb.Value{gomdb.Ref(oid)}
+		if op.S == "Cuboid.distance" {
+			args = append(args, gomdb.Ref(w.robots[op.N%len(w.robots)]))
+		}
+		v, err := w.db.Call(op.S, args...)
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s(%s) = %s", op.S, oid, v), nil
+	case OpBackward:
+		ms, err := w.db.GMRs.Backward(op.S, op.F[0], op.F[1])
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s[%g,%g] %s", op.S, op.F[0], op.F[1], matchStr(ms)), nil
+	case OpSum:
+		if len(w.cuboids) == 0 {
+			return "skip (no cuboids)", nil
+		}
+		k := 1 + op.N%len(w.cuboids)
+		oids := append([]gomdb.OID(nil), w.cuboids[:k]...)
+		s, err := w.db.GMRs.Sum(op.S, oids)
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s over %d = %g", op.S, k, s), nil
+	case OpRetrieve:
+		spec := catalog[op.X%len(catalog)]
+		specs := make([]gomdb.FieldSpec, spec.NumArgs+len(spec.Funcs))
+		for i := range specs {
+			specs[i] = gomdb.AnySpec()
+		}
+		specs[spec.NumArgs] = gomdb.RangeSpec(op.F[0], op.F[1])
+		rows, err := w.db.Retrieve(spec.Name, specs)
+		if err != nil {
+			return spec.Name + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s[%g,%g] %s", spec.Name, op.F[0], op.F[1], rowStr(rows)), nil
+	case OpFlush:
+		return errStr(w.db.Flush()), nil
+	case OpBatch:
+		return w.applyBatch(op), nil
+	case OpGC:
+		ngc, err := w.db.GMRs.CollectResultGarbage()
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		nrr, err := w.db.GMRs.ReorganizeRRR()
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("collected %d, reorganized %d", ngc, nrr), nil
+	case OpAudit:
+		if w.faultsOpen {
+			return "skipped (faults armed)", nil
+		}
+		return w.applyAudit()
+	case OpFault:
+		w.db.Disk.SetFaultPlan(storage.FaultPlan{Rules: op.Rule})
+		w.faultsOpen = true
+		return storage.FaultPlan{Rules: op.Rule}.String(), nil
+	case OpFaultClear:
+		return w.applyFaultClear()
+	}
+	return "unknown op", &Violation{Msgs: []string{"unknown op kind " + string(op.Kind)}}
+}
+
+func (w *world) applyMat(op Op) string {
+	ci := op.X % len(catalog)
+	spec := catalog[ci]
+	_, err := w.db.Materialize(gomdb.MaterializeOptions{
+		Name:         spec.Name,
+		Funcs:        spec.Funcs,
+		Strategy:     w.cfg.strategy(),
+		Complete:     spec.Complete,
+		MaxEntries:   spec.MaxEntries,
+		SecondChance: w.cfg.SecondChance,
+		UseMDS:       w.cfg.UseMDS,
+		MemoCache:    w.cfg.Memo,
+	})
+	if err == nil {
+		w.matted[ci] = true
+	}
+	return spec.Name + " " + errStr(err)
+}
+
+func (w *world) applyUpdate(a api, op Op) (string, error) {
+	oid, ok := w.cuboid(op.X)
+	if !ok {
+		return "skip (no cuboids)", nil
+	}
+	switch op.Kind {
+	case OpSetValue:
+		return fmt.Sprintf("%s.Value=%g", oid, op.F[0]),
+			a.Set(oid, "Value", gomdb.Float(op.F[0]))
+	case OpSetVertex:
+		attr := fmt.Sprintf("V%d", 1+op.N%8)
+		vref, err := a.GetAttr(oid, attr)
+		if err != nil {
+			return oid.String() + "." + attr, err
+		}
+		return fmt.Sprintf("%s.%s.%s=%g", oid, attr, op.S, op.F[0]),
+			a.Set(vref.R, op.S, gomdb.Float(op.F[0]))
+	case OpScale, OpTranslate:
+		vec, err := a.New("Vertex", gomdb.Float(op.F[0]), gomdb.Float(op.F[1]), gomdb.Float(op.F[2]))
+		if err != nil {
+			return "new vertex", err
+		}
+		opName := "Cuboid.scale"
+		if op.Kind == OpTranslate {
+			opName = "Cuboid.translate"
+		}
+		_, err = a.Call(opName, gomdb.Ref(oid), gomdb.Ref(vec))
+		return fmt.Sprintf("%s(%s, [%g %g %g])", opName, oid, op.F[0], op.F[1], op.F[2]), err
+	case OpRotate:
+		_, err := a.Call("Cuboid.rotate", gomdb.Ref(oid), gomdb.Float(op.F[0]), gomdb.Str(op.S))
+		return fmt.Sprintf("rotate(%s, %g, %s)", oid, op.F[0], op.S), err
+	}
+	return "", fmt.Errorf("sim: %s is not an update op", op.Kind)
+}
+
+func (w *world) applyBatch(op Op) string {
+	var parts []string
+	err := w.db.Batch(func(tx *gomdb.Tx) error {
+		for _, sub := range op.Sub {
+			var detail string
+			var serr error
+			switch sub.Kind {
+			case OpCreate:
+				var oid gomdb.OID
+				oid, serr = w.createCuboid(tx, sub)
+				detail = "create " + oid.String()
+			case OpDelete:
+				oid, ok := w.cuboid(sub.X)
+				if !ok {
+					parts = append(parts, "delete skip")
+					continue
+				}
+				serr = tx.Delete(oid)
+				if !w.db.Objects.Exists(oid) {
+					w.dropCuboid(oid)
+				}
+				detail = "delete " + oid.String()
+			default:
+				detail, serr = w.applyUpdate(tx, sub)
+			}
+			if serr != nil {
+				detail += " ERR " + serr.Error()
+			}
+			parts = append(parts, detail)
+		}
+		return nil
+	})
+	out := fmt.Sprintf("{%s}", strings.Join(parts, "; "))
+	if err != nil {
+		out += " ERR " + err.Error()
+	}
+	return out
+}
+
+// applyFaultClear closes the fault window: disarm injection, then recover —
+// drain the deferred queue and rebuild every materialized GMR from scratch,
+// so the engine returns to a state the auditors are entitled to judge.
+// Recovery errors (with injection disarmed) are violations: a fault must
+// never wedge the engine.
+func (w *world) applyFaultClear() (string, *Violation) {
+	w.faults += w.db.Disk.FaultsInjected()
+	w.db.Disk.ClearFaults()
+	w.faultsOpen = false
+	var msgs []string
+	if err := w.db.Flush(); err != nil {
+		msgs = append(msgs, "recovery flush: "+err.Error())
+	}
+	rebuilt := 0
+	for _, ci := range w.mattedIndices() {
+		spec := catalog[ci]
+		if err := w.db.Dematerialize(spec.Name); err != nil {
+			msgs = append(msgs, "recovery demat "+spec.Name+": "+err.Error())
+			continue
+		}
+		delete(w.matted, ci)
+		if s := w.applyMat(Op{Kind: OpMat, X: ci}); !strings.HasSuffix(s, " ok") {
+			msgs = append(msgs, "recovery remat "+s)
+			continue
+		}
+		rebuilt++
+	}
+	if len(msgs) > 0 {
+		return "recovery FAILED", &Violation{Msgs: msgs}
+	}
+	return fmt.Sprintf("recovered (%d GMRs rebuilt, %d faults so far)", rebuilt, w.faults), nil
+}
+
+func (w *world) mattedIndices() []int {
+	out := make([]int, 0, len(w.matted))
+	for ci := range w.matted {
+		out = append(out, ci)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// applyAudit is a quiescent point: drain the deferred queue, then run every
+// invariant auditor.
+func (w *world) applyAudit() (string, *Violation) {
+	if err := w.db.Flush(); err != nil {
+		return "flush ERR", &Violation{Msgs: []string{"audit flush: " + err.Error()}}
+	}
+	msgs := Audit(w.db)
+	if len(msgs) > 0 {
+		return fmt.Sprintf("FAILED (%d violations)", len(msgs)), &Violation{Msgs: msgs}
+	}
+	return fmt.Sprintf("ok (%d gmrs, %d cuboids)", len(w.matted), len(w.cuboids)), nil
+}
+
+// createCuboid builds one cuboid through the error-checked path (the fixture
+// helper panics on failure, which a fault window must not).
+func (w *world) createCuboid(a api, op Op) (gomdb.OID, error) {
+	ox, oy, oz := op.F[0], op.F[1], op.F[2]
+	l, wd, h := op.F[3], op.F[4], op.F[5]
+	corners := [8][3]float64{
+		{ox, oy, oz}, {ox + l, oy, oz}, {ox + l, oy + wd, oz}, {ox, oy + wd, oz},
+		{ox, oy, oz + h}, {ox + l, oy, oz + h}, {ox + l, oy + wd, oz + h}, {ox, oy + wd, oz + h},
+	}
+	attrs := make([]gomdb.Value, 0, 11)
+	for _, c := range corners {
+		v, err := a.New("Vertex", gomdb.Float(c[0]), gomdb.Float(c[1]), gomdb.Float(c[2]))
+		if err != nil {
+			return 0, err
+		}
+		attrs = append(attrs, gomdb.Ref(v))
+	}
+	w.nextID++
+	attrs = append(attrs,
+		gomdb.Ref(w.mats[op.N%len(w.mats)]),
+		gomdb.Float(op.F[6]),
+		gomdb.Int(w.nextID),
+	)
+	oid, err := a.New("Cuboid", attrs...)
+	if err != nil {
+		return 0, err
+	}
+	w.cuboids = append(w.cuboids, oid)
+	return oid, nil
+}
+
+func (w *world) dropCuboid(oid gomdb.OID) {
+	for i, c := range w.cuboids {
+		if c == oid {
+			w.cuboids = append(w.cuboids[:i], w.cuboids[i+1:]...)
+			return
+		}
+	}
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "ERR " + err.Error()
+}
+
+func matchStr(ms []gomdb.Match) string {
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		args := make([]string, len(m.Args))
+		for j, a := range m.Args {
+			args[j] = a.String()
+		}
+		parts[i] = strings.Join(args, ",") + "=" + m.Result.String()
+	}
+	return fmt.Sprintf("%d matches [%s]", len(ms), strings.Join(parts, " "))
+}
+
+func rowStr(rows []gomdb.Row) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		cols := make([]string, 0, len(r.Args)+len(r.Results))
+		for _, a := range r.Args {
+			cols = append(cols, a.String())
+		}
+		for _, v := range r.Results {
+			cols = append(cols, v.String())
+		}
+		parts[i] = strings.Join(cols, ",")
+	}
+	return fmt.Sprintf("%d rows [%s]", len(rows), strings.Join(parts, " "))
+}

@@ -208,13 +208,18 @@ func (bp *BufferPool) pinMiss(id PageID) (*Frame, error) {
 
 // PinNew allocates a fresh disk page, installs a zeroed dirty frame for it
 // without a physical read, and returns the pinned frame.
-func (bp *BufferPool) PinNew() (*Frame, error) {
+func (bp *BufferPool) PinNew() (*Frame, error) { return bp.PinNewOwned("") }
+
+// PinNewOwned is PinNew with the page tagged as owned by the named heap
+// file, so fault plans (storage/fault.go) can target I/O on a single file.
+func (bp *BufferPool) PinNewOwned(owner string) (*Frame, error) {
 	bp.missMu.Lock()
 	defer bp.missMu.Unlock()
 	if err := bp.evictIfFull(); err != nil {
 		return nil, err
 	}
 	id := bp.disk.Allocate()
+	bp.disk.tagOwner(id, owner)
 	f := &Frame{id: id, dirty: true}
 	f.pins.Store(1)
 	sh := bp.shardFor(id)

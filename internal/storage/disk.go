@@ -97,43 +97,24 @@ func (c *Clock) Sub(earlier Clock) Clock {
 }
 
 // Disk is the simulated disk: a growable array of pages plus I/O counters.
-// It is only accessed through a BufferPool.
+// It is only accessed through a BufferPool. Fault injection — scriptable
+// plans that make selected physical I/Os fail — lives in fault.go.
 type Disk struct {
 	pages map[PageID]*[PageSize]byte
 	next  PageID
 	clock *Clock
 
-	// failAfter, when positive, makes the disk fail every physical I/O
-	// after that many more operations — the fault-injection hook used by
-	// tests to verify that storage errors surface cleanly through every
-	// layer instead of corrupting in-memory state.
-	failAfter int
-	failing   bool
-}
-
-// FailAfter arms fault injection: the next n physical I/Os succeed, then
-// every subsequent read and write returns an error until ClearFailure.
-func (d *Disk) FailAfter(n int) { d.failAfter = n; d.failing = false }
-
-// ClearFailure disarms fault injection.
-func (d *Disk) ClearFailure() { d.failAfter = 0; d.failing = false }
-
-func (d *Disk) checkFault() error {
-	if d.failing {
-		return fmt.Errorf("storage: injected disk failure")
-	}
-	if d.failAfter > 0 {
-		d.failAfter--
-		if d.failAfter == 0 {
-			d.failing = true
-		}
-	}
-	return nil
+	faults faultState
 }
 
 // NewDisk returns an empty disk charging I/O to clock.
 func NewDisk(clock *Clock) *Disk {
-	return &Disk{pages: make(map[PageID]*[PageSize]byte), next: 1, clock: clock}
+	return &Disk{
+		pages:  make(map[PageID]*[PageSize]byte),
+		next:   1,
+		clock:  clock,
+		faults: faultState{owners: make(map[PageID]string)},
+	}
 }
 
 // Allocate reserves a fresh zeroed page and returns its id. Allocation
@@ -149,7 +130,7 @@ func (d *Disk) Allocate() PageID {
 func (d *Disk) NumPages() int { return len(d.pages) }
 
 func (d *Disk) read(id PageID, dst *[PageSize]byte) error {
-	if err := d.checkFault(); err != nil {
+	if err := d.checkFault(FaultRead, id); err != nil {
 		return err
 	}
 	p, ok := d.pages[id]
@@ -175,7 +156,7 @@ func (d *Disk) readSnapshot(id PageID, dst *[PageSize]byte) error {
 }
 
 func (d *Disk) write(id PageID, src *[PageSize]byte) error {
-	if err := d.checkFault(); err != nil {
+	if err := d.checkFault(FaultWrite, id); err != nil {
 		return err
 	}
 	p, ok := d.pages[id]

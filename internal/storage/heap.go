@@ -95,7 +95,7 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 			return RID{}, err
 		}
 	}
-	f, err := h.pool.PinNew()
+	f, err := h.pool.PinNewOwned(h.name)
 	if err != nil {
 		return RID{}, err
 	}
