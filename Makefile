@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates check-determinism repro repro-short examples sim sim-long cover clean
+.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates check-determinism repro repro-short examples sim sim-crash sim-long cover clean
 
 all: build vet test
 
@@ -61,13 +61,22 @@ repro-short:
 sim:
 	$(GO) run ./cmd/gomsim -seeds 10 -ops 150
 
+# Crash-recovery campaign: durable (file-backed) runs with generated
+# crash-restart points — crash mid-batch, mid-flush, mid-materialize, torn
+# page writes — under the race detector. A violating run leaves its shrunk
+# reproducer AND the on-disk store (data file, WAL, checkpoint metadata)
+# under testdata/sim/.
+sim-crash:
+	$(GO) run -race ./cmd/gomsim -durable -crashes -seeds 25 -ops 150
+
 # Nightly-style campaign: more seeds, longer workloads, scripted fault
 # windows, and the race detector over the whole sim test suite. Rotate the
 # seed window with SIM_SEED_BASE (e.g. SIM_SEED_BASE=$$(date +%Y%m%d)).
 SIM_SEED_BASE ?= 1
 sim-long:
-	$(GO) test -race -run 'TestSim|TestMatrix|TestFault|TestMutation|TestCharge' ./internal/sim/
+	$(GO) test -race -run 'TestSim|TestMatrix|TestFault|TestMutation|TestCharge|TestCrash|TestDurable' ./internal/sim/
 	$(GO) run ./cmd/gomsim -seed-base $(SIM_SEED_BASE) -seeds 40 -ops 250 -faults
+	$(GO) run ./cmd/gomsim -seed-base $(SIM_SEED_BASE) -seeds 20 -ops 200 -durable -crashes -faults
 
 # Coverage over the engine and storage layers (the simulation harness drives
 # most of both); writes cover.out and prints the per-function summary tail.

@@ -10,7 +10,14 @@
 //	gomsim -seed 42 -strategy deferred -v    # one seed, one config, full trace
 //	gomsim -seeds 100 -faults -long          # nightly-style fault campaign
 //	gomsim -seed-base 20260805 -seeds 50     # rotating nightly seed window
+//	gomsim -durable -crashes -seeds 25       # crash-recovery campaign
 //	gomsim -replay testdata/sim/repro.json   # re-run a saved reproducer
+//
+// With -durable each run executes against a file-backed store; -crashes
+// additionally inserts crash-restart points (crash mid-batch, mid-flush,
+// mid-materialize, torn page write) into every plan. A violating durable run
+// is re-executed with its store pinned under -out, so the on-disk state that
+// fed recovery ships alongside the shrunk reproducer.
 //
 // Exit status is 0 when every run is clean (or a replayed artifact
 // reproduces its recorded outcome) and 1 otherwise.
@@ -38,6 +45,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "buffer pool lock-stripe count (0 = default)")
 		workers  = flag.Int("workers", 0, "deferred-flush worker count (0 = GOMAXPROCS)")
 		faults   = flag.Bool("faults", false, "insert scripted fault windows into each plan")
+		durable  = flag.Bool("durable", false, "run against a file-backed store (checkpoints + WAL + recovery)")
+		crashes  = flag.Bool("crashes", false, "insert crash-restart points into each plan (implies -durable)")
 		broken   = flag.Bool("broken", false, "arm the deliberately-broken invalidation path (audits must fail)")
 		outDir   = flag.String("out", filepath.Join("testdata", "sim"), "directory for shrunk reproducer artifacts")
 		replay   = flag.String("replay", "", "replay a saved artifact instead of generating workloads")
@@ -54,10 +63,14 @@ func main() {
 	if *strategy != "" {
 		strategies = []string{*strategy}
 	}
+	if *crashes {
+		*durable = true
+	}
 	for _, s := range strategies {
 		configs = append(configs, sim.EngineConfig{
 			Strategy: s, Memo: *memo, SecondChance: *sc, UseMDS: *mds,
 			BufferShards: *shards, RematWorkers: *workers, Broken: *broken,
+			Durable: *durable,
 		})
 	}
 
@@ -69,7 +82,7 @@ func main() {
 	failures := 0
 	for _, cfg := range configs {
 		for s := first; s < first+count; s++ {
-			plan := sim.Generate(s, sim.GenOptions{Ops: *ops, Faults: *faults})
+			plan := sim.Generate(s, sim.GenOptions{Ops: *ops, Faults: *faults, Crashes: *crashes})
 			res := sim.Run(cfg, plan)
 			status := "ok"
 			if res.Violation != nil {
@@ -92,6 +105,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "saving reproducer: %v\n", err)
 			} else {
 				fmt.Printf("  shrunk to %d ops -> %s\n", len(a.Ops), path)
+			}
+			if cfg.Durable {
+				// Re-run the shrunk reproducer with its store pinned next to
+				// the artifact: the directory holds the exact on-disk state
+				// (data file, WAL, checkpoint metadata) recovery last saw.
+				pinned := a.Config
+				pinned.CrashDir = filepath.Join(*outDir, fmt.Sprintf("db-seed%d-%s", s, cfg))
+				sim.Run(pinned, a.Plan())
+				fmt.Printf("  durable store preserved in %s\n", pinned.CrashDir)
 			}
 		}
 	}

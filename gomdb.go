@@ -163,6 +163,21 @@ type Config struct {
 	// accounting is bit-identical for every value (see DESIGN.md, "Update
 	// path").
 	RematWorkers int
+	// Path, when non-empty, makes the database durable: pages and engine
+	// metadata are checkpointed to this directory (see DESIGN.md,
+	// "Durability & recovery") and recovered on the next open. Durability
+	// never changes simulated cost accounting: all durable file I/O is real
+	// I/O outside the simulated Clock.
+	Path string
+	// DefineSchema rebuilds the schema (types, operations, public clauses,
+	// InvalidatedFct declarations) on every durable open. GOMpl function
+	// bodies are code, not data, so they cannot be read back from disk; the
+	// checkpoint stores a schema fingerprint and recovery verifies the
+	// callback rebuilt a congruent schema before decoding any record. The
+	// callback must only define schema — it must not create objects or
+	// materialize. Required when Path is set and the directory holds an
+	// existing database.
+	DefineSchema func(*Database) error
 }
 
 // DefaultConfig returns the paper's measurement configuration.
@@ -204,13 +219,34 @@ type Database struct {
 	Engine  *schema.Engine
 	GMRs    *core.Manager
 	Queries *query.Executor
+
+	// store is the durable page store (nil for an in-memory database); see
+	// durable.go.
+	store *storage.PageStore
+	// Recovery describes what the durable open recovered; nil when the
+	// database is in-memory or the directory was fresh.
+	Recovery *RecoveryInfo
 }
 
 // QueryResult is the result of a GOMql query.
 type QueryResult = query.Result
 
-// Open creates an empty database.
+// Open creates a database. With Config.Path unset the database is purely
+// in-memory (the historical behaviour). With Path set it delegates to OpenAt,
+// panicking on error — use OpenAt directly to handle recovery failures.
 func Open(cfg Config) *Database {
+	if cfg.Path != "" {
+		db, err := OpenAt(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return db
+	}
+	return newDatabase(cfg)
+}
+
+// newDatabase builds the in-memory engine stack shared by Open and OpenAt.
+func newDatabase(cfg Config) *Database {
 	if cfg.BufferPages == 0 {
 		cfg.BufferPages = 150
 	}
@@ -412,11 +448,17 @@ func (db *Database) Call(fn string, args ...Value) (Value, error) {
 // Flush drains the deferred-rematerialization queue: every result a Deferred
 // GMR has marked invalid since the last flush point is recomputed once, by a
 // pool of Config.RematWorkers parallel workers, regardless of how many
-// updates invalidated it. A no-op when nothing is pending.
+// updates invalidated it. A no-op when nothing is pending. On a durable
+// database a flush is a checkpoint point: the drained state is made durable
+// before the lock is released.
 func (db *Database) Flush() error {
 	db.lockWrite()
 	defer db.mu.Unlock()
-	return db.GMRs.Flush()
+	err := db.GMRs.Flush()
+	if cerr := db.checkpointLocked(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Tx is the batch-update handle passed to Batch: it exposes the update
@@ -471,13 +513,17 @@ func (tx *Tx) Call(fn string, args ...Value) (Value, error) {
 // recomputed by the parallel worker pool before the lock is released. If fn
 // returns an error the flush still runs (updates already applied must not
 // leave the queue stale across an unlocked window for readers that force
-// entries individually), and fn's error takes precedence.
+// entries individually), and fn's error takes precedence. On a durable
+// database the end of the batch is also a checkpoint point.
 func (db *Database) Batch(fn func(*Tx) error) error {
 	db.lockWrite()
 	defer db.mu.Unlock()
 	err := fn(&Tx{db: db})
 	if ferr := db.GMRs.Flush(); err == nil {
 		err = ferr
+	}
+	if cerr := db.checkpointLocked(); err == nil {
+		err = cerr
 	}
 	return err
 }
@@ -528,11 +574,24 @@ var (
 var ErrInjectedFault = storage.ErrInjectedFault
 
 // Materialize creates a GMR per the options — the API form of the GOMql
-// statement "range ... materialize ...".
+// statement "range ... materialize ...". On a durable database a successful
+// materialization is a checkpoint point, and restricted GMRs (Restriction or
+// AtomicArgs set) are refused: their predicates are function values that
+// cannot be persisted, so they could not be rebuilt on recovery.
 func (db *Database) Materialize(opts MaterializeOptions) (*GMR, error) {
 	db.lockWrite()
 	defer db.mu.Unlock()
-	return db.GMRs.Materialize(opts)
+	if db.store != nil && (opts.Restriction != nil || len(opts.AtomicArgs) > 0) {
+		return nil, errRestrictedDurable
+	}
+	g, err := db.GMRs.Materialize(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := db.checkpointLocked(); cerr != nil {
+		return g, cerr
+	}
+	return g, nil
 }
 
 // Retrieve answers a tabular GMR query (one FieldSpec per argument and
@@ -569,11 +628,15 @@ func (db *Database) CheckConsistency(gmrName string, tol float64, checkComplete 
 // and must synchronize any state it accumulates.
 func (db *Database) SetTrace(fn func(TraceEvent)) { db.GMRs.SetTrace(fn) }
 
-// Dematerialize drops a GMR and undoes its schema rewrite.
+// Dematerialize drops a GMR and undoes its schema rewrite. On a durable
+// database the drop is a checkpoint point.
 func (db *Database) Dematerialize(name string) error {
 	db.lockWrite()
 	defer db.mu.Unlock()
-	return db.GMRs.Drop(name)
+	if err := db.GMRs.Drop(name); err != nil {
+		return err
+	}
+	return db.checkpointLocked()
 }
 
 // Extension returns the OIDs of all instances of typeName (and subtypes).

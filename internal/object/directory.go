@@ -1,0 +1,93 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"gomdb/internal/storage"
+)
+
+// Durable directory of the object manager. The heap pages themselves are
+// persisted by the storage checkpoint; what the pages do not contain is the
+// mapping from OIDs to RIDs, the per-type extensions, and the allocation
+// watermark. Directory captures exactly that state, in a canonical order so
+// the serialized checkpoint metadata is byte-deterministic.
+
+// DirEntry maps one OID to the RID of its record.
+type DirEntry struct {
+	O OID         `json:"o"`
+	R storage.RID `json:"r"`
+}
+
+// ExtentDir is the persisted extension of one exact type. OID order is
+// preserved verbatim: extension iteration order is observable (seeded
+// benchmarks, extension scans), so a restored manager must reproduce it.
+type ExtentDir struct {
+	Type string `json:"type"`
+	OIDs []OID  `json:"oids"`
+}
+
+// Directory is the persistent state of a Manager, minus the heap pages.
+type Directory struct {
+	NextOID OID             `json:"nextOID"`
+	Heap    storage.HeapDir `json:"heap"`
+	RIDs    []DirEntry      `json:"rids,omitempty"`
+	Extents []ExtentDir     `json:"extents,omitempty"`
+}
+
+// ExportDirectory captures the manager's directory for a durable checkpoint.
+// Callers must hold the exclusive Database lock.
+func (m *Manager) ExportDirectory() Directory {
+	dir := Directory{
+		NextOID: m.nextOID,
+		Heap:    m.heap.Directory(),
+	}
+	dir.RIDs = make([]DirEntry, 0, len(m.rids))
+	for oid, rid := range m.rids {
+		dir.RIDs = append(dir.RIDs, DirEntry{O: oid, R: rid})
+	}
+	sort.Slice(dir.RIDs, func(i, j int) bool { return dir.RIDs[i].O < dir.RIDs[j].O })
+	types := make([]string, 0, len(m.extents))
+	for tn := range m.extents {
+		types = append(types, tn)
+	}
+	sort.Strings(types)
+	for _, tn := range types {
+		dir.Extents = append(dir.Extents, ExtentDir{
+			Type: tn,
+			OIDs: append([]OID(nil), m.extents[tn].order...),
+		})
+	}
+	return dir
+}
+
+// RestoreDirectory replaces the manager's directory state with a persisted
+// one. heap must be the restored heap file handle (built by the caller with
+// storage.RestoreHeapFile over the recovered pages, so the facade — not this
+// package — owns the buffer pool plumbing). Lazily-built layout caches are
+// left alone: they are derived from the registry, not from stored state.
+func (m *Manager) RestoreDirectory(heap *storage.HeapFile, dir Directory) error {
+	rids := make(map[OID]storage.RID, len(dir.RIDs))
+	for _, e := range dir.RIDs {
+		if _, dup := rids[e.O]; dup {
+			return fmt.Errorf("object: restore: duplicate OID %v in directory", e.O)
+		}
+		rids[e.O] = e.R
+	}
+	extents := make(map[string]*extent, len(dir.Extents))
+	for _, ed := range dir.Extents {
+		ext := &extent{pos: make(map[OID]int, len(ed.OIDs))}
+		for _, oid := range ed.OIDs {
+			if _, ok := rids[oid]; !ok {
+				return fmt.Errorf("object: restore: extension of %q lists unknown OID %v", ed.Type, oid)
+			}
+			ext.add(oid)
+		}
+		extents[ed.Type] = ext
+	}
+	m.heap = heap
+	m.rids = rids
+	m.extents = extents
+	m.nextOID = dir.NextOID
+	return nil
+}

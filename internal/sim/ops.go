@@ -63,6 +63,16 @@ const (
 	// recovery (flush + rebuild of every materialized GMR) so the next audit
 	// must pass.
 	OpFaultClear OpKind = "fault-clear"
+	// OpCrash kills and reopens a durable database (a no-op on in-memory
+	// runs). S selects the crash point: "now" crashes between operations;
+	// "mid-batch" cuts the WAL append of the end-of-batch checkpoint after N
+	// bytes while committing Sub; "mid-flush" and "mid-mat" cut the
+	// checkpoint of a Flush or of materializing catalog entry X the same
+	// way; "torn" arms the Rule fault plan (FaultTornWrite) so the batch
+	// checkpoint's data-file apply tears a page write in half. After the
+	// trigger the database is crashed and reopened: a recovery error is a
+	// violation, and the recovered state is audited immediately.
+	OpCrash OpKind = "crash"
 )
 
 // Op is one fully-parameterized simulated operation. The field meanings
@@ -123,6 +133,9 @@ type GenOptions struct {
 	Ops int
 	// Faults inserts 1-2 scripted fault windows into the plan.
 	Faults bool
+	// Crashes inserts 1-3 crash-restart points into the plan. Crash ops are
+	// no-ops unless the run's EngineConfig is Durable.
+	Crashes bool
 }
 
 // Generate derives a complete workload plan from seed. All randomness is
@@ -156,6 +169,9 @@ func Generate(seed int64, opt GenOptions) Plan {
 
 	if opt.Faults {
 		injectFaultWindows(rng, &p)
+	}
+	if opt.Crashes {
+		injectCrashes(rng, &p)
 	}
 	return p
 }
@@ -231,6 +247,46 @@ func genCreate(rng *rand.Rand) Op {
 		1 + rng.Float64()*9, 1 + rng.Float64()*9, 1 + rng.Float64()*9, // extents
 		10 + rng.Float64()*90, // value
 	}}
+}
+
+// genCrash draws one fully-parameterized crash-restart op. The WAL cut
+// offsets (N) span zero to well past a typical checkpoint batch, so crashes
+// land before the first record, mid-record, between records, and after the
+// commit (in which case the trigger succeeds and the crash is merely
+// post-commit).
+func genCrash(rng *rand.Rand) Op {
+	batch := func() []Op {
+		sub := make([]Op, 1+rng.Intn(4))
+		for i := range sub {
+			sub[i] = genUpdateOp(rng)
+		}
+		return sub
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return Op{Kind: OpCrash, S: "now"}
+	case 1:
+		return Op{Kind: OpCrash, S: "mid-batch", N: rng.Intn(20000), Sub: batch()}
+	case 2:
+		return Op{Kind: OpCrash, S: "mid-flush", N: rng.Intn(20000)}
+	case 3:
+		return Op{Kind: OpCrash, S: "mid-mat", X: rng.Intn(len(catalog)), N: rng.Intn(20000)}
+	default:
+		return Op{Kind: OpCrash, S: "torn", Sub: batch(), Rule: []storage.FaultRule{
+			{Op: storage.FaultTornWrite, After: rng.Intn(3), Count: 1},
+		}}
+	}
+}
+
+// injectCrashes inserts one to three crash-restart points into the plan at
+// random positions.
+func injectCrashes(rng *rand.Rand, p *Plan) {
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		at := rng.Intn(len(p.Ops) + 1)
+		op := genCrash(rng)
+		p.Ops = append(p.Ops[:at], append([]Op{op}, p.Ops[at:]...)...)
+	}
 }
 
 // injectFaultWindows inserts one or two [OpFault ... OpFaultClear] windows

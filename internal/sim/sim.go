@@ -24,6 +24,7 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sort"
 	"strings"
 
@@ -56,6 +57,16 @@ type EngineConfig struct {
 	// violations. Exists so the mutation smoke test can prove the auditors
 	// have teeth.
 	Broken bool `json:"broken,omitempty"`
+	// Durable runs the plan against a file-backed database (gomdb.OpenAt):
+	// checkpoints become real I/O and OpCrash ops kill + reopen the store.
+	// The simulated Clock is unaffected by durability, so traces and cost
+	// snapshots stay comparable with in-memory runs of the same plan.
+	Durable bool `json:"durable,omitempty"`
+	// CrashDir, when set, is the directory the durable store lives in; its
+	// previous contents are wiped at run start and the files are left behind
+	// at run end (so a violating run's on-disk state can be attached to its
+	// reproducer). When empty, a temp directory is used and removed.
+	CrashDir string `json:"-"`
 }
 
 func (c EngineConfig) strategy() gomdb.Strategy {
@@ -88,6 +99,9 @@ func (c EngineConfig) String() string {
 	}
 	if c.RematWorkers != 0 {
 		s += fmt.Sprintf("+workers%d", c.RematWorkers)
+	}
+	if c.Durable {
+		s += "+durable"
 	}
 	if c.Broken {
 		s += "+BROKEN"
@@ -138,6 +152,9 @@ type api interface {
 type world struct {
 	db  *gomdb.Database
 	cfg EngineConfig
+	// dir is the durable store's directory ("" on in-memory runs); OpCrash
+	// reopens it.
+	dir string
 
 	cuboids []gomdb.OID
 	robots  []gomdb.OID
@@ -149,11 +166,35 @@ type world struct {
 	faults     int // total faults injected across closed windows
 }
 
+// openSim opens the database one run (or one post-crash recovery) executes
+// against: in-memory when dir is empty, file-backed (gomdb.OpenAt) otherwise.
+// The geometry schema is defined either way — durable opens run it through
+// Config.DefineSchema so recovery can fingerprint-check it.
+func openSim(cfg EngineConfig, dir string) (*gomdb.Database, error) {
+	gc := gomdb.Config{
+		BufferPages:  cfg.BufferPages,
+		BufferShards: cfg.BufferShards,
+		RematWorkers: cfg.RematWorkers,
+	}
+	if dir == "" {
+		db := gomdb.Open(gc)
+		if err := fixtures.DefineGeometry(db, false); err != nil {
+			return nil, fmt.Errorf("schema: %w", err)
+		}
+		return db, nil
+	}
+	gc.Path = dir
+	gc.DefineSchema = func(db *gomdb.Database) error { return fixtures.DefineGeometry(db, false) }
+	return gomdb.OpenAt(gc)
+}
+
 // Run executes plan against cfg and returns the trace, cost snapshot, and
 // first invariant violation (if any).
 func Run(cfg EngineConfig, plan Plan) (res *Result) {
 	res = &Result{}
 	var w *world
+	var db *gomdb.Database
+	removeDir := ""
 	cur := -1
 	defer func() {
 		if r := recover(); r != nil {
@@ -162,6 +203,13 @@ func Run(cfg EngineConfig, plan Plan) (res *Result) {
 		if w != nil {
 			res.Clock = w.db.Clock.Snapshot()
 			res.FaultsInjected = w.faults + w.db.Disk.FaultsInjected()
+			db = w.db
+		}
+		if db != nil {
+			db.Crash() // release the durable store's file handles (no-op in-memory)
+		}
+		if removeDir != "" {
+			os.RemoveAll(removeDir)
 		}
 		h := fnv.New64a()
 		for _, line := range res.Trace {
@@ -171,13 +219,28 @@ func Run(cfg EngineConfig, plan Plan) (res *Result) {
 		res.TraceHash = h.Sum64()
 	}()
 
-	db := gomdb.Open(gomdb.Config{
-		BufferPages:  cfg.BufferPages,
-		BufferShards: cfg.BufferShards,
-		RematWorkers: cfg.RematWorkers,
-	})
-	if err := fixtures.DefineGeometry(db, false); err != nil {
-		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"schema: " + err.Error()}}
+	dir := ""
+	if cfg.Durable {
+		dir = cfg.CrashDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "gomsim-durable-")
+			if err != nil {
+				res.Violation = &Violation{OpIndex: -1, Msgs: []string{"durable dir: " + err.Error()}}
+				return res
+			}
+			dir, removeDir = tmp, tmp
+		} else if err := os.RemoveAll(dir); err != nil {
+			// A stale store from a previous run of the same artifact directory
+			// must not leak into this one.
+			res.Violation = &Violation{OpIndex: -1, Msgs: []string{"durable dir: " + err.Error()}}
+			return res
+		}
+	}
+
+	var err error
+	db, err = openSim(cfg, dir)
+	if err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"open: " + err.Error()}}
 		return res
 	}
 	geo, err := fixtures.PopulateGeometry(db, plan.Init, plan.Seed)
@@ -185,10 +248,17 @@ func Run(cfg EngineConfig, plan Plan) (res *Result) {
 		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"populate: " + err.Error()}}
 		return res
 	}
+	// Make the initial object base durable so the earliest possible crash
+	// still recovers a populated world.
+	if err := db.Checkpoint(); err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"populate checkpoint: " + err.Error()}}
+		return res
+	}
 	db.GMRs.TestingBreakInvalidation(cfg.Broken)
 	w = &world{
 		db:      db,
 		cfg:     cfg,
+		dir:     dir,
 		cuboids: append([]gomdb.OID(nil), geo.Cuboids...),
 		robots:  append([]gomdb.OID(nil), geo.Robots...),
 		mats:    append([]gomdb.OID(nil), geo.MaterialO...),
@@ -341,8 +411,74 @@ func (w *world) apply(op Op) (string, *Violation) {
 		return storage.FaultPlan{Rules: op.Rule}.String(), nil
 	case OpFaultClear:
 		return w.applyFaultClear()
+	case OpCrash:
+		return w.applyCrash(op)
 	}
 	return "unknown op", &Violation{Msgs: []string{"unknown op kind " + string(op.Kind)}}
+}
+
+// applyCrash kills the durable database at the op's chosen point and reopens
+// it. A recovery error is a violation — crash-safety is the invariant under
+// test — and the recovered state is audited immediately, so a recovery that
+// resurrects stale GMR entries or loses committed objects fails at this op,
+// not at some later audit. On in-memory runs the op is a recorded no-op
+// (plans stay portable across the durability axis).
+func (w *world) applyCrash(op Op) (string, *Violation) {
+	if w.dir == "" {
+		return op.S + " skip (in-memory)", nil
+	}
+	var trigger string
+	switch op.S {
+	case "mid-batch":
+		w.db.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-batch@%d %s", op.N, w.applyBatch(Op{Kind: OpBatch, Sub: op.Sub}))
+	case "mid-flush":
+		w.db.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-flush@%d %s", op.N, errStr(w.db.Flush()))
+	case "mid-mat":
+		w.db.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-mat@%d %s", op.N, w.applyMat(Op{Kind: OpMat, X: op.X}))
+	case "torn":
+		w.db.Disk.SetFaultPlan(storage.FaultPlan{Rules: op.Rule})
+		trigger = "torn " + w.applyBatch(Op{Kind: OpBatch, Sub: op.Sub})
+	default:
+		trigger = "now"
+	}
+	w.faults += w.db.Disk.FaultsInjected()
+	w.db.Crash()
+	w.faultsOpen = false // the crash wiped any armed fault plan
+	db, err := openSim(w.cfg, w.dir)
+	if err != nil {
+		return trigger + " -> recovery FAILED", &Violation{Msgs: []string{"recovery: " + err.Error()}}
+	}
+	w.db = db
+	db.GMRs.TestingBreakInvalidation(w.cfg.Broken)
+	w.resync()
+	rec := "fresh"
+	if info := db.Recovery; info != nil && info.Recovered {
+		rec = fmt.Sprintf("objs=%d gmrs=%d pend=%d wal=%d torn=%d",
+			info.ObjectsRestored, info.GMRsRebuilt, info.PendingDiscarded,
+			info.WALPagesReplayed, info.TornPagesRepaired)
+	}
+	detail, bad := w.applyAudit()
+	return fmt.Sprintf("%s -> recovered(%s); audit %s", trigger, rec, detail), bad
+}
+
+// resync rebuilds the world's object and GMR bookkeeping from the recovered
+// database: work after the last committed checkpoint is gone (created
+// cuboids vanish, deletes un-happen) and only checkpointed GMRs come back.
+// Extent order is insertion order, preserved verbatim through checkpoint and
+// recovery, so the resynced lists are deterministic.
+func (w *world) resync() {
+	w.cuboids = w.db.Objects.Extension("Cuboid")
+	w.robots = w.db.Objects.Extension("Robot")
+	w.mats = w.db.Objects.Extension("Material")
+	w.matted = make(map[int]bool)
+	for ci, spec := range catalog {
+		if _, ok := w.db.GMRs.Get(spec.Name); ok {
+			w.matted[ci] = true
+		}
+	}
 }
 
 func (w *world) applyMat(op Op) string {

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -19,6 +20,14 @@ type Frame struct {
 	id    PageID
 	Data  [PageSize]byte
 	dirty bool
+	// durDirty tracks divergence from the last durable checkpoint rather
+	// than from the simulated disk: set together with dirty, cleared only by
+	// BufferPool.ClearDurableDirty (after a checkpoint commits), never by
+	// simulated write-back. Durable checkpoints capture exactly the frames
+	// with durDirty set, so a page whose content is unchanged since the last
+	// checkpoint is not rewritten. Unused (set but never read) without
+	// durability.
+	durDirty bool
 	// pins is the pin count. Atomic because concurrent readers pin and
 	// unpin under different shard lock acquisitions and MarkDirty's debug
 	// assertion reads it without any lock.
@@ -40,6 +49,7 @@ func (f *Frame) MarkDirty() {
 		panic(fmt.Sprintf("storage: MarkDirty on unpinned page %d", f.id))
 	}
 	f.dirty = true
+	f.durDirty = true
 }
 
 // shard is one lock stripe of the pool: a mutex and the frames whose page
@@ -220,7 +230,7 @@ func (bp *BufferPool) PinNewOwned(owner string) (*Frame, error) {
 	}
 	id := bp.disk.Allocate()
 	bp.disk.tagOwner(id, owner)
-	f := &Frame{id: id, dirty: true}
+	f := &Frame{id: id, dirty: true, durDirty: true}
 	f.pins.Store(1)
 	sh := bp.shardFor(id)
 	sh.mu.Lock()
@@ -250,6 +260,7 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
 	f.pins.Add(-1)
 	if dirty {
 		f.dirty = true
+		f.durDirty = true
 		bp.clock.addLogWrite()
 	}
 	return nil
@@ -361,6 +372,41 @@ func (bp *BufferPool) ReadSnapshot(id PageID, dst *[PageSize]byte) error {
 	}
 	sh.mu.Unlock()
 	return bp.disk.readSnapshot(id, dst)
+}
+
+// DirtyPageIDs returns the sorted ids of all frames whose contents changed
+// since the last durable checkpoint (the durDirty flag). The durable
+// checkpoint unions them with Disk.DurableDirty to find every page it must
+// capture; the frames' simulated dirty flags are left untouched so the
+// simulated write-back accounting (eviction and Flush charges) is unchanged
+// by durability.
+func (bp *BufferPool) DirtyPageIDs() []PageID {
+	var out []PageID
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.durDirty {
+				out = append(out, f.id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClearDurableDirty resets every frame's durDirty flag; called after a
+// durable checkpoint commits. The simulated dirty flags are untouched.
+func (bp *BufferPool) ClearDurableDirty() {
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			f.durDirty = false
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // Resident reports whether page id is currently buffered. Used by tests.

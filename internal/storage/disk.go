@@ -13,6 +13,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 )
 
@@ -99,10 +100,30 @@ func (c *Clock) Sub(earlier Clock) Clock {
 // Disk is the simulated disk: a growable array of pages plus I/O counters.
 // It is only accessed through a BufferPool. Fault injection — scriptable
 // plans that make selected physical I/Os fail — lives in fault.go.
+//
+// With durability enabled (EnableDurability, done by gomdb.OpenAt) the disk
+// additionally tracks which pages have been written since the last durable
+// checkpoint, and recycles page ids freed by a recovery restore. Neither
+// mechanism charges the simulated clock or changes the allocation sequence of
+// a fresh database, so the cost model is bit-identical whether durability is
+// on or off.
 type Disk struct {
 	pages map[PageID]*[PageSize]byte
 	next  PageID
 	clock *Clock
+
+	// free holds page ids below next that a recovery restore reclaimed
+	// (pages of dropped GMR/RRR/index incarnations). Kept sorted ascending
+	// and consumed front-first so allocation stays deterministic. Always
+	// empty on a database that never recovered.
+	free []PageID
+
+	// durDirty, non-nil only when durability is enabled, is the set of pages
+	// allocated or physically written since the last checkpoint — the pages
+	// the next checkpoint must capture. Mutated under the buffer pool's miss
+	// lock (all physical I/O is) and drained under the exclusive Database
+	// lock.
+	durDirty map[PageID]struct{}
 
 	faults faultState
 }
@@ -117,12 +138,29 @@ func NewDisk(clock *Clock) *Disk {
 	}
 }
 
-// Allocate reserves a fresh zeroed page and returns its id. Allocation
-// itself is not charged; the first write is.
+// EnableDurability switches on dirty-page tracking for durable checkpoints.
+func (d *Disk) EnableDurability() {
+	if d.durDirty == nil {
+		d.durDirty = make(map[PageID]struct{})
+	}
+}
+
+// Allocate reserves a fresh zeroed page and returns its id, reusing ids a
+// recovery restore freed before growing the address space. Allocation itself
+// is not charged; the first write is.
 func (d *Disk) Allocate() PageID {
-	id := d.next
-	d.next++
+	var id PageID
+	if len(d.free) > 0 {
+		id = d.free[0]
+		d.free = d.free[1:]
+	} else {
+		id = d.next
+		d.next++
+	}
 	d.pages[id] = new([PageSize]byte)
+	if d.durDirty != nil {
+		d.durDirty[id] = struct{}{}
+	}
 	return id
 }
 
@@ -165,5 +203,65 @@ func (d *Disk) write(id PageID, src *[PageSize]byte) error {
 	}
 	d.clock.addPhysWrite()
 	*p = *src
+	if d.durDirty != nil {
+		d.durDirty[id] = struct{}{}
+	}
+	return nil
+}
+
+// NextPage returns the id the next fresh allocation would receive when the
+// free list is empty — the durable checkpoint records it so a restored disk
+// continues the same id sequence.
+func (d *Disk) NextPage() PageID { return d.next }
+
+// DurableDirty returns the sorted ids of pages written or allocated since the
+// last checkpoint. Callers must hold the exclusive Database lock (no
+// concurrent physical I/O).
+func (d *Disk) DurableDirty() []PageID {
+	out := make([]PageID, 0, len(d.durDirty))
+	for id := range d.durDirty {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClearDurableDirty resets the dirty set after a checkpoint committed.
+func (d *Disk) ClearDurableDirty() {
+	for id := range d.durDirty {
+		delete(d.durDirty, id)
+	}
+}
+
+// Restore replaces the disk's contents with the live pages of a recovered
+// image: every id in live is copied from img, next continues the persisted
+// allocation sequence, and ids below next that are not live (pages of the
+// previous incarnation's derived structures) become the free list, so the
+// data file's address space is reclaimed instead of growing forever. The
+// restored pages are not marked durably dirty — they are already in the data
+// file.
+func (d *Disk) Restore(img map[PageID]*[PageSize]byte, live []PageID, next PageID) error {
+	pages := make(map[PageID]*[PageSize]byte, len(live))
+	for _, id := range live {
+		src, ok := img[id]
+		if !ok {
+			return fmt.Errorf("storage: restore: live page %d missing from recovered image", id)
+		}
+		cp := new([PageSize]byte)
+		*cp = *src
+		pages[id] = cp
+	}
+	var free []PageID
+	for id := PageID(1); id < next; id++ {
+		if _, ok := pages[id]; !ok {
+			free = append(free, id)
+		}
+	}
+	d.pages = pages
+	d.next = next
+	d.free = free
+	if d.durDirty != nil {
+		d.ClearDurableDirty()
+	}
 	return nil
 }

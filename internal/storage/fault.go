@@ -41,6 +41,12 @@ const (
 	FaultRead
 	// FaultWrite matches physical page writes only.
 	FaultWrite
+	// FaultTornWrite matches durable data-file page writes during a
+	// checkpoint apply: when it fires, the page store writes only the first
+	// half of the page record (simulating a power loss mid-sector-train) and
+	// reports a simulated crash. It never matches simulated in-memory I/O,
+	// and FaultAny does not include it — tearing is requested explicitly.
+	FaultTornWrite
 )
 
 func (op FaultOp) String() string {
@@ -49,11 +55,16 @@ func (op FaultOp) String() string {
 		return "read"
 	case FaultWrite:
 		return "write"
+	case FaultTornWrite:
+		return "torn-write"
 	}
 	return "any"
 }
 
 func (op FaultOp) matches(actual FaultOp) bool {
+	if op == FaultTornWrite || actual == FaultTornWrite {
+		return op == actual
+	}
 	return op == FaultAny || op == actual
 }
 
@@ -191,6 +202,39 @@ func (d *Disk) PageOwner(id PageID) string {
 	d.faults.mu.Lock()
 	defer d.faults.mu.Unlock()
 	return d.faults.owners[id]
+}
+
+// CheckTornWrite consults the armed FaultTornWrite rules for one durable
+// data-file page write and reports whether the write should be torn. It uses
+// the same After/Count accounting as checkFault, counts a firing as an
+// injected fault, and matches File prefixes against the page's heap-file
+// owner tag. The page store's checkpoint apply calls it per page.
+func (d *Disk) CheckTornWrite(id PageID) bool {
+	d.faults.mu.Lock()
+	defer d.faults.mu.Unlock()
+	owner := d.faults.owners[id]
+	var failing *faultRule
+	for _, r := range d.faults.rules {
+		if r.expired() || r.Op != FaultTornWrite {
+			continue
+		}
+		if r.File != "" && !strings.HasPrefix(owner, r.File) {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+			continue
+		}
+		if failing == nil {
+			failing = r
+		}
+	}
+	if failing == nil {
+		return false
+	}
+	failing.fired++
+	d.faults.injected++
+	return true
 }
 
 // checkFault consults the armed fault rules for one physical I/O. Every rule

@@ -36,6 +36,45 @@ func NewForcedHeapFile(pool *BufferPool, name string) *HeapFile {
 	return &HeapFile{pool: pool, name: name, freeHint: -1, writeThrough: true}
 }
 
+// HeapDir is the persistent directory of a heap file: everything needed to
+// reconstruct the HeapFile handle over already-restored pages. It is part of
+// the durable checkpoint's metadata blob.
+type HeapDir struct {
+	Name     string   `json:"name"`
+	Pages    []PageID `json:"pages,omitempty"`
+	FreeHint int      `json:"freeHint"`
+	Count    int      `json:"count"`
+}
+
+// Directory captures the heap file's persistent directory.
+func (h *HeapFile) Directory() HeapDir {
+	return HeapDir{
+		Name:     h.name,
+		Pages:    append([]PageID(nil), h.pages...),
+		FreeHint: h.freeHint,
+		Count:    h.count,
+	}
+}
+
+// RestoreHeapFile reconstructs a heap file from its persisted directory. The
+// pages themselves must already be present on the (restored) disk; the pages
+// are re-tagged with the file's owner name so per-file fault targeting keeps
+// working after recovery.
+func RestoreHeapFile(pool *BufferPool, dir HeapDir, writeThrough bool) *HeapFile {
+	h := &HeapFile{
+		pool:         pool,
+		pages:        append([]PageID(nil), dir.Pages...),
+		name:         dir.Name,
+		writeThrough: writeThrough,
+		freeHint:     dir.FreeHint,
+		count:        dir.Count,
+	}
+	for _, id := range h.pages {
+		pool.disk.tagOwner(id, h.name)
+	}
+	return h
+}
+
 // unpinDirty releases a dirtied page, forcing it to disk under the FORCE
 // policy.
 func (h *HeapFile) unpinDirty(id PageID) error {

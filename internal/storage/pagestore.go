@@ -1,0 +1,571 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// PageStore is the optional durable backend behind the simulated Disk: a
+// file-backed page store plus a physical write-ahead log with page-level redo
+// records and checksums. The paper's GOM prototype inherited durability from
+// the EXODUS storage manager; this reproduction gets it from three files in a
+// directory:
+//
+//	data.gomdb  page records, one fixed-size slot per page id
+//	wal.gomdb   the redo log of the checkpoint in flight (or last applied)
+//	meta.gomdb  the engine metadata blob of the last committed checkpoint
+//
+// The durable unit is the checkpoint: the engine (gomdb facade) collects
+// every page written since the last checkpoint plus a metadata blob and calls
+// Checkpoint, which makes the transition atomic via the WAL:
+//
+//	 1. append all page records + the meta record + a commit record to the
+//	    WAL and fsync it    (crash before/during: tail is discarded, the
+//	    previous checkpoint remains the durable state)
+//	 2. apply the page records to the data file and fsync it (crash during:
+//	    the committed WAL is replayed on recovery, repairing torn records)
+//	 3. replace meta.gomdb atomically (tmp + rename)
+//	 4. truncate the WAL
+//
+// Recovery (OpenPageStore) therefore always returns exactly the state of the
+// last committed checkpoint: it scans the WAL, discards an uncommitted tail,
+// re-applies a committed batch (finishing the interrupted steps 2-4), and
+// validates every data-file record's checksum, preferring the WAL copy for a
+// record a torn write corrupted.
+//
+// All PageStore I/O is real file I/O and is deliberately NEVER charged to the
+// simulated Clock: the cost model of the paper's figures must be bit-identical
+// whether durability is on or off.
+type PageStore struct {
+	dir   string
+	dataF *os.File
+	walF  *os.File
+
+	// walEnd is the append offset of the WAL (header-only after a completed
+	// checkpoint).
+	walEnd int64
+
+	// failAfter, when >= 0, cuts the next checkpoint's WAL batch off after
+	// that many bytes and reports ErrSimulatedCrash — the crash-mid-flush
+	// injection hook of the simulation harness. Disarmed after one
+	// checkpoint regardless of whether it fired.
+	failAfter int64
+
+	// torn, when set, is consulted once per page during the data-file apply;
+	// a true return tears that page's record (half of it is written) and the
+	// checkpoint reports ErrSimulatedCrash, leaving the committed WAL in
+	// place. Wired to Disk.CheckTornWrite so FaultPlan rules with
+	// Op: FaultTornWrite script it.
+	torn func(PageID) bool
+
+	closed bool
+}
+
+// FormatVersion is the on-disk format version tag of all three files. Tests
+// pin it; bump it (and regenerate the golden files under testdata/golden)
+// only for a deliberate format change.
+const FormatVersion = 1
+
+const (
+	dataMagic = "GOMDBPG1"
+	walMagic  = "GOMDBWAL"
+	metaMagic = "GOMDBMET"
+
+	fileHeaderSize = 16
+	// pageRecSize is one data-file record: the page image, the page id, and
+	// a CRC32-Castagnoli checksum over both.
+	pageRecSize = PageSize + 8
+
+	walPageRec   = 1
+	walMetaRec   = 2
+	walCommitRec = 3
+)
+
+// ErrSimulatedCrash marks an injected crash point: a checkpoint that was
+// deliberately cut short (FailNextCheckpointAfter) or torn (a FaultTornWrite
+// rule). The store must be abandoned afterwards, exactly as after a real
+// crash; reopening the directory runs recovery.
+var ErrSimulatedCrash = errors.New("storage: simulated crash")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// RecoveredImage is what OpenPageStore recovered from the directory: the page
+// images and metadata blob of the last committed checkpoint, plus counters
+// describing the repair work recovery performed.
+type RecoveredImage struct {
+	// Exists reports whether any committed checkpoint was found; false means
+	// the directory is fresh (Pages and Meta are empty).
+	Exists bool
+	// Meta is the engine metadata blob of the last committed checkpoint.
+	Meta []byte
+	// Pages maps page id to the recovered page image.
+	Pages map[PageID]*[PageSize]byte
+	// WALPagesReplayed counts page records re-applied from a committed WAL
+	// batch (nonzero when the crash hit between WAL commit and data-file
+	// apply).
+	WALPagesReplayed int
+	// TornPagesRepaired counts data-file records whose checksum was invalid
+	// and whose content was recovered from the WAL copy.
+	TornPagesRepaired int
+	// WALTailDiscarded reports whether an uncommitted (or torn) WAL tail was
+	// thrown away — the crash hit mid-append, so the previous checkpoint is
+	// the durable state.
+	WALTailDiscarded bool
+}
+
+// OpenPageStore opens (creating if necessary) the durable page store in dir
+// and runs recovery, returning the store and the recovered image.
+func OpenPageStore(dir string) (*PageStore, *RecoveredImage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	ps := &PageStore{dir: dir, failAfter: -1}
+	var err error
+	if ps.dataF, err = openWithHeader(filepath.Join(dir, "data.gomdb"), dataMagic, uint32(pageRecSize)); err != nil {
+		return nil, nil, err
+	}
+	if ps.walF, err = openWithHeader(filepath.Join(dir, "wal.gomdb"), walMagic, 0); err != nil {
+		ps.dataF.Close()
+		return nil, nil, err
+	}
+	img, err := ps.recover()
+	if err != nil {
+		ps.Abandon()
+		return nil, nil, err
+	}
+	return ps, img, nil
+}
+
+// Dir returns the directory the store lives in.
+func (ps *PageStore) Dir() string { return ps.dir }
+
+// openWithHeader opens path read-write, writing the 16-byte header if the
+// file is fresh and verifying magic and version otherwise.
+func openWithHeader(path, magic string, extra uint32) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		hdr := make([]byte, fileHeaderSize)
+		copy(hdr, magic)
+		binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+		binary.LittleEndian.PutUint32(hdr[12:], extra)
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return f, nil
+	}
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, fileHeaderSize), hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: short header: %w", path, err)
+	}
+	if string(hdr[:8]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: bad magic %q (want %q)", path, hdr[:8], magic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != FormatVersion {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: format version %d, this build reads version %d", path, v, FormatVersion)
+	}
+	return f, nil
+}
+
+// FailNextCheckpointAfter arms the crash-mid-checkpoint injection: the next
+// checkpoint writes only the first n bytes of its WAL batch, fsyncs, and
+// reports ErrSimulatedCrash. If the batch turns out shorter than n the
+// checkpoint completes normally; either way the hook disarms.
+func (ps *PageStore) FailNextCheckpointAfter(n int64) { ps.failAfter = n }
+
+// SetTornWriteHook installs the per-page torn-write oracle consulted during
+// the data-file apply (see PageStore.torn).
+func (ps *PageStore) SetTornWriteHook(fn func(PageID) bool) { ps.torn = fn }
+
+// pageRecord encodes the data-file record for page id.
+func pageRecord(id PageID, data *[PageSize]byte) []byte {
+	rec := make([]byte, pageRecSize)
+	copy(rec, data[:])
+	binary.LittleEndian.PutUint32(rec[PageSize:], uint32(id))
+	crc := crc32.Checksum(rec[:PageSize+4], castagnoli)
+	binary.LittleEndian.PutUint32(rec[PageSize+4:], crc)
+	return rec
+}
+
+// walRecord encodes one WAL record.
+func walRecord(kind byte, payload []byte) []byte {
+	rec := make([]byte, 5+len(payload)+4)
+	rec[0] = kind
+	binary.LittleEndian.PutUint32(rec[1:], uint32(len(payload)))
+	copy(rec[5:], payload)
+	crc := crc32.Checksum(rec[:5+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(rec[5+len(payload):], crc)
+	return rec
+}
+
+// Checkpoint atomically advances the durable state: pages (the ids dirty
+// since the last checkpoint) are snapshotted through read, logged to the WAL
+// together with meta, applied to the data file, and committed. On success the
+// durable state is exactly the caller's current state; on error (including
+// the injected ErrSimulatedCrash) the store must be abandoned and reopened —
+// recovery then yields either the previous or, if the WAL batch committed,
+// the new checkpoint.
+func (ps *PageStore) Checkpoint(pages []PageID, read func(PageID, *[PageSize]byte) error, meta []byte) error {
+	if ps.closed {
+		return errors.New("storage: checkpoint on closed page store")
+	}
+	// Assemble the WAL batch: every page record, the meta record, commit.
+	var batch []byte
+	images := make(map[PageID]*[PageSize]byte, len(pages))
+	for _, id := range pages {
+		var buf [PageSize]byte
+		if err := read(id, &buf); err != nil {
+			return fmt.Errorf("storage: checkpoint snapshot of page %d: %w", id, err)
+		}
+		img := buf
+		images[id] = &img
+		payload := make([]byte, 4+PageSize)
+		binary.LittleEndian.PutUint32(payload, uint32(id))
+		copy(payload[4:], buf[:])
+		batch = append(batch, walRecord(walPageRec, payload)...)
+	}
+	batch = append(batch, walRecord(walMetaRec, meta)...)
+	var commitPayload [4]byte
+	binary.LittleEndian.PutUint32(commitPayload[:], uint32(len(pages)))
+	batch = append(batch, walRecord(walCommitRec, commitPayload[:])...)
+
+	// Step 1: append the batch, honoring the injected crash point.
+	if fa := ps.failAfter; fa >= 0 {
+		ps.failAfter = -1
+		if fa < int64(len(batch)) {
+			if _, err := ps.walF.WriteAt(batch[:fa], ps.walEnd); err != nil {
+				return err
+			}
+			if err := ps.walF.Sync(); err != nil {
+				return err
+			}
+			ps.walEnd += fa
+			return fmt.Errorf("storage: checkpoint WAL append cut off after %d bytes: %w", fa, ErrSimulatedCrash)
+		}
+	}
+	if _, err := ps.walF.WriteAt(batch, ps.walEnd); err != nil {
+		return err
+	}
+	if err := ps.walF.Sync(); err != nil {
+		return err
+	}
+	ps.walEnd += int64(len(batch))
+
+	// Steps 2-4.
+	return ps.applyCommitted(pages, images, meta)
+}
+
+// applyCommitted performs checkpoint steps 2-4 (data-file apply, meta
+// replace, WAL truncate) for a batch that is already committed in the WAL.
+func (ps *PageStore) applyCommitted(order []PageID, images map[PageID]*[PageSize]byte, meta []byte) error {
+	for _, id := range order {
+		rec := pageRecord(id, images[id])
+		off := fileHeaderSize + int64(id-1)*pageRecSize
+		if ps.torn != nil && ps.torn(id) {
+			if _, err := ps.dataF.WriteAt(rec[:pageRecSize/2], off); err != nil {
+				return err
+			}
+			if err := ps.dataF.Sync(); err != nil {
+				return err
+			}
+			return fmt.Errorf("storage: torn write of page %d during checkpoint apply: %w", id, ErrSimulatedCrash)
+		}
+		if _, err := ps.dataF.WriteAt(rec, off); err != nil {
+			return err
+		}
+	}
+	if err := ps.dataF.Sync(); err != nil {
+		return err
+	}
+	if err := ps.writeMetaFile(meta); err != nil {
+		return err
+	}
+	if err := ps.walF.Truncate(fileHeaderSize); err != nil {
+		return err
+	}
+	if err := ps.walF.Sync(); err != nil {
+		return err
+	}
+	ps.walEnd = fileHeaderSize
+	return nil
+}
+
+// writeMetaFile atomically replaces meta.gomdb (tmp + rename).
+func (ps *PageStore) writeMetaFile(meta []byte) error {
+	buf := make([]byte, fileHeaderSize+4+len(meta)+4)
+	copy(buf, metaMagic)
+	binary.LittleEndian.PutUint32(buf[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[fileHeaderSize:], uint32(len(meta)))
+	copy(buf[fileHeaderSize+4:], meta)
+	crc := crc32.Checksum(meta, castagnoli)
+	binary.LittleEndian.PutUint32(buf[fileHeaderSize+4+len(meta):], crc)
+	tmp := filepath.Join(ps.dir, "meta.gomdb.tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(ps.dir, "meta.gomdb"))
+}
+
+// readMetaFile reads and validates meta.gomdb; a missing file returns
+// (nil, false, nil).
+func (ps *PageStore) readMetaFile() ([]byte, bool, error) {
+	buf, err := os.ReadFile(filepath.Join(ps.dir, "meta.gomdb"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if len(buf) < fileHeaderSize+8 {
+		return nil, false, fmt.Errorf("storage: meta.gomdb truncated (%d bytes)", len(buf))
+	}
+	if string(buf[:8]) != metaMagic {
+		return nil, false, fmt.Errorf("storage: meta.gomdb: bad magic %q", buf[:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != FormatVersion {
+		return nil, false, fmt.Errorf("storage: meta.gomdb: format version %d, this build reads version %d", v, FormatVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(buf[fileHeaderSize:]))
+	if len(buf) < fileHeaderSize+4+n+4 {
+		return nil, false, fmt.Errorf("storage: meta.gomdb truncated (blob wants %d bytes)", n)
+	}
+	blob := buf[fileHeaderSize+4 : fileHeaderSize+4+n]
+	want := binary.LittleEndian.Uint32(buf[fileHeaderSize+4+n:])
+	if crc32.Checksum(blob, castagnoli) != want {
+		return nil, false, errors.New("storage: meta.gomdb: checksum mismatch")
+	}
+	out := make([]byte, n)
+	copy(out, blob)
+	return out, true, nil
+}
+
+// scanWAL parses the WAL, returning the page images and meta blob of all
+// committed batches (in append order, later batches overriding earlier ones)
+// and whether an uncommitted/torn tail was found. Only records up to the last
+// valid commit record count.
+func (ps *PageStore) scanWAL() (pages map[PageID]*[PageSize]byte, order []PageID, meta []byte, tail bool, err error) {
+	st, err := ps.walF.Stat()
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	size := st.Size()
+	buf := make([]byte, size-fileHeaderSize)
+	if len(buf) > 0 {
+		if _, err := io.ReadFull(io.NewSectionReader(ps.walF, fileHeaderSize, size-fileHeaderSize), buf); err != nil {
+			return nil, nil, nil, false, err
+		}
+	}
+	committed := make(map[PageID]*[PageSize]byte)
+	var committedOrder []PageID
+	var committedMeta []byte
+	// One batch in flight.
+	batch := make(map[PageID]*[PageSize]byte)
+	var batchOrder []PageID
+	var batchMeta []byte
+	off := 0
+	for {
+		if off == len(buf) {
+			break
+		}
+		if off+5 > len(buf) {
+			tail = true
+			break
+		}
+		kind := buf[off]
+		n := int(binary.LittleEndian.Uint32(buf[off+1:]))
+		if kind < walPageRec || kind > walCommitRec || off+5+n+4 > len(buf) {
+			tail = true
+			break
+		}
+		payload := buf[off+5 : off+5+n]
+		want := binary.LittleEndian.Uint32(buf[off+5+n:])
+		if crc32.Checksum(buf[off:off+5+n], castagnoli) != want {
+			tail = true
+			break
+		}
+		switch kind {
+		case walPageRec:
+			if n != 4+PageSize {
+				tail = true
+			} else {
+				id := PageID(binary.LittleEndian.Uint32(payload))
+				img := new([PageSize]byte)
+				copy(img[:], payload[4:])
+				if _, seen := batch[id]; !seen {
+					batchOrder = append(batchOrder, id)
+				}
+				batch[id] = img
+			}
+		case walMetaRec:
+			batchMeta = append([]byte(nil), payload...)
+		case walCommitRec:
+			for _, id := range batchOrder {
+				if _, seen := committed[id]; !seen {
+					committedOrder = append(committedOrder, id)
+				}
+				committed[id] = batch[id]
+			}
+			if batchMeta != nil {
+				committedMeta = batchMeta
+			}
+			batch = make(map[PageID]*[PageSize]byte)
+			batchOrder = nil
+			batchMeta = nil
+		}
+		if tail {
+			break
+		}
+		off += 5 + n + 4
+	}
+	if len(batch) > 0 || batchMeta != nil {
+		tail = true // records after the last commit: an unfinished batch
+	}
+	return committed, committedOrder, committedMeta, tail, nil
+}
+
+// recover implements the OpenPageStore recovery path; see the type comment.
+func (ps *PageStore) recover() (*RecoveredImage, error) {
+	img := &RecoveredImage{Pages: make(map[PageID]*[PageSize]byte)}
+
+	metaBlob, haveMeta, err := ps.readMetaFile()
+	if err != nil {
+		return nil, err
+	}
+	walPages, walOrder, walMeta, tail, err := ps.scanWAL()
+	if err != nil {
+		return nil, err
+	}
+	img.WALTailDiscarded = tail
+
+	// Validate every data-file record.
+	st, err := ps.dataF.Stat()
+	if err != nil {
+		return nil, err
+	}
+	numRecs := (st.Size() - fileHeaderSize) / pageRecSize
+	torn := make(map[PageID]bool)
+	rec := make([]byte, pageRecSize)
+	for i := int64(1); i <= numRecs; i++ {
+		off := fileHeaderSize + (i-1)*pageRecSize
+		if _, err := io.ReadFull(io.NewSectionReader(ps.dataF, off, pageRecSize), rec); err != nil {
+			torn[PageID(i)] = true
+			continue
+		}
+		id := PageID(binary.LittleEndian.Uint32(rec[PageSize:]))
+		if id == 0 {
+			continue // never written
+		}
+		if id != PageID(i) ||
+			crc32.Checksum(rec[:PageSize+4], castagnoli) != binary.LittleEndian.Uint32(rec[PageSize+4:]) {
+			torn[PageID(i)] = true
+			continue
+		}
+		p := new([PageSize]byte)
+		copy(p[:], rec[:PageSize])
+		img.Pages[id] = p
+	}
+	// A trailing partial record (file size not a multiple of pageRecSize) is
+	// a torn append of the next page id.
+	if rem := (st.Size() - fileHeaderSize) % pageRecSize; rem > 0 {
+		torn[PageID(numRecs+1)] = true
+	}
+
+	if len(walPages) > 0 || walMeta != nil {
+		// A committed batch outlived the crash: its apply (or meta replace or
+		// WAL truncate) did not finish. Replay it — the WAL copy supersedes
+		// whatever the data file holds, including records a torn write
+		// corrupted — and finish the interrupted checkpoint so the store is
+		// clean again.
+		for id, p := range walPages {
+			if torn[id] {
+				img.TornPagesRepaired++
+				delete(torn, id)
+			}
+			img.Pages[id] = p
+			img.WALPagesReplayed++
+		}
+		if walMeta != nil {
+			metaBlob, haveMeta = walMeta, true
+		}
+		if !haveMeta {
+			return nil, errors.New("storage: committed WAL batch without any metadata record or meta file")
+		}
+		hook := ps.torn
+		ps.torn = nil // recovery re-applies without re-injecting tears
+		err := ps.applyCommitted(walOrder, walPages, metaBlob)
+		ps.torn = hook
+		if err != nil {
+			return nil, fmt.Errorf("storage: finishing interrupted checkpoint: %w", err)
+		}
+	} else {
+		ps.walEnd = fileHeaderSize
+		if tail {
+			// Only an uncommitted tail: discard it so the next checkpoint
+			// appends to a clean log.
+			if err := ps.walF.Truncate(fileHeaderSize); err != nil {
+				return nil, err
+			}
+			if err := ps.walF.Sync(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Any record still torn was not healed by the WAL. That is only legal if
+	// the metadata does not reference it (e.g. a record of a long-freed page);
+	// the engine validates its live page set against img.Pages.
+	for id := range torn {
+		delete(img.Pages, id)
+	}
+
+	img.Exists = haveMeta
+	img.Meta = metaBlob
+	return img, nil
+}
+
+// Close closes the store's files. It does NOT checkpoint; callers that want
+// the current state durable checkpoint first (gomdb's Close does).
+func (ps *PageStore) Close() error {
+	if ps.closed {
+		return nil
+	}
+	ps.closed = true
+	err1 := ps.dataF.Close()
+	err2 := ps.walF.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Abandon closes the underlying files without any syncing or checkpointing —
+// the programmatic equivalent of the process dying. The on-disk state remains
+// whatever the last fsync established; reopening the directory runs recovery.
+func (ps *PageStore) Abandon() {
+	if ps.closed {
+		return
+	}
+	ps.closed = true
+	ps.dataF.Close()
+	ps.walF.Close()
+}
