@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates check-determinism repro repro-short examples sim sim-crash sim-long cover clean
+.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc check-determinism repro repro-short examples sim sim-crash sim-long cover clean
 
 all: build vet test
 
@@ -38,6 +38,13 @@ bench-throughput:
 # worker-pool sweep (writes BENCH_updates.json).
 bench-updates:
 	$(GO) run ./cmd/gombench -figure updates
+
+# Writer interference: reader ops/sec with a background writer holding the
+# engine, MVCC snapshot reads vs. the DisableMVCC RWMutex baseline (merges
+# the writer_interference section into BENCH_throughput.json).
+bench-mvcc:
+	$(GO) test -run '^$$' -bench 'ParallelForwardWithWriter' -cpu 1,2,4,8 -benchtime=200ms .
+	$(GO) run ./cmd/gombench -figure mvcc
 
 # The simulated figures must not depend on scheduling, core count, or worker
 # pools: regenerate the short-scale suite and compare it (modulo wall-time

@@ -25,13 +25,13 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates) or 'all'")
+	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc) or 'all'")
 	short := flag.Bool("short", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cuboids := flag.Int("cuboids", 0, "override Cuboid database size (default 8000, paper scale)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	plot := flag.Bool("plot", false, "additionally render an ASCII log-scale plot")
-	out := flag.String("out", "", "output path for -figure throughput/updates (default BENCH_<figure>.json)")
+	out := flag.String("out", "", "output path for -figure throughput/updates/mvcc (default BENCH_throughput.json for both throughput and mvcc)")
 	flag.Parse()
 
 	if *list {
@@ -40,6 +40,7 @@ func main() {
 		}
 		fmt.Println("throughput")
 		fmt.Println("updates")
+		fmt.Println("mvcc")
 		return
 	}
 	sc := bench.FullScale()
@@ -60,6 +61,9 @@ func main() {
 		return
 	case "updates":
 		runUpdates(sc, jsonOut(*out, "BENCH_updates.json"), *csv, *plot)
+		return
+	case "mvcc":
+		runMVCC(sc, jsonOut(*out, "BENCH_throughput.json"), *csv, *plot)
 		return
 	}
 
@@ -134,12 +138,43 @@ func runUpdates(sc bench.Scale, out string, csv, plot bool) {
 	fmt.Printf("  (updates completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
 }
 
-// runThroughput runs the wall-clock suite and writes the JSON report.
+// runThroughput runs the wall-clock suite (quiescent mixes plus the
+// writer-interference section) and writes the JSON report.
 func runThroughput(sc bench.Scale, out string, csv, plot bool) {
 	t0 := time.Now()
 	rep, fig, err := bench.Throughput(sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gombench: throughput: %v\n", err)
+		os.Exit(1)
+	}
+	irep, ifig, err := bench.WriterInterference(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: throughput: %v\n", err)
+		os.Exit(1)
+	}
+	rep.WriterInterference = irep
+	for _, f := range []*bench.Figure{fig, ifig} {
+		if csv {
+			f.PrintCSV(os.Stdout)
+		} else {
+			f.Print(os.Stdout)
+		}
+		if plot {
+			f.PrintPlot(os.Stdout)
+		}
+	}
+	writeJSON(rep, out, "throughput")
+	fmt.Printf("  (throughput completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
+}
+
+// runMVCC runs only the writer-interference suite and merges it into the
+// existing throughput report (or writes a fresh report holding just that
+// section when none exists yet).
+func runMVCC(sc bench.Scale, out string, csv, plot bool) {
+	t0 := time.Now()
+	irep, fig, err := bench.WriterInterference(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: mvcc: %v\n", err)
 		os.Exit(1)
 	}
 	if csv {
@@ -150,6 +185,14 @@ func runThroughput(sc bench.Scale, out string, csv, plot bool) {
 	if plot {
 		fig.PrintPlot(os.Stdout)
 	}
-	writeJSON(rep, out, "throughput")
-	fmt.Printf("  (throughput completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
+	rep := &bench.ThroughputReport{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "gombench: mvcc: existing %s is not a throughput report: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	rep.WriterInterference = irep
+	writeJSON(rep, out, "mvcc")
+	fmt.Printf("  (mvcc completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
 }

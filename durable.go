@@ -103,6 +103,17 @@ func OpenAt(cfg Config) (*Database, error) {
 	db.Disk.EnableDurability()
 	ps.SetTornWriteHook(db.Disk.CheckTornWrite)
 	db.store = ps
+	// A panic below — typically a DefineSchema callback using the MustDefine*
+	// helpers, or a recovery assertion — must not escape with the store still
+	// open: that leaks the file descriptors and the directory lock, so the
+	// same path can never be reopened in-process. Close the store first, then
+	// let the panic continue.
+	defer func() {
+		if r := recover(); r != nil {
+			ps.Abandon()
+			panic(r)
+		}
+	}()
 	if cfg.DefineSchema != nil {
 		if err := cfg.DefineSchema(db); err != nil {
 			ps.Abandon()
@@ -120,7 +131,7 @@ func OpenAt(cfg Config) (*Database, error) {
 	// all), so a crash right after open recovers to exactly this state.
 	db.lockWrite()
 	err = db.checkpointLocked()
-	db.mu.Unlock()
+	db.unlockWrite()
 	if err != nil {
 		ps.Abandon()
 		return nil, err
@@ -233,15 +244,15 @@ func dedupSorted(ids []storage.PageID) []storage.PageID {
 // combined flush point + checkpoint).
 func (db *Database) Checkpoint() error {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	return db.checkpointLocked()
 }
 
 // Close flushes, checkpoints, and closes the durable store. On an in-memory
 // database it is a no-op. The database must not be used after Close.
 func (db *Database) Close() error {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	if db.store == nil {
 		return nil
 	}
@@ -262,8 +273,8 @@ func (db *Database) Close() error {
 // established; reopening the directory runs recovery. A no-op on an
 // in-memory database. The simulation harness uses it for crash-restart ops.
 func (db *Database) Crash() {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	if db.store != nil {
 		db.store.Abandon()
 		db.store = nil
@@ -276,7 +287,7 @@ func (db *Database) Crash() {
 // shorter). A no-op on an in-memory database. Testing/simulation only.
 func (db *Database) TestingFailNextCheckpoint(n int64) {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	if db.store != nil {
 		db.store.FailNextCheckpointAfter(n)
 	}

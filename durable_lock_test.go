@@ -1,0 +1,136 @@
+package gomdb_test
+
+// Regression tests for the durable-open resource bugs: a panic escaping
+// OpenAt (typically a DefineSchema callback using the MustDefine* helpers)
+// used to leave the page store's file descriptors open and — now that the
+// store holds a directory flock — would leave the directory locked forever,
+// and two concurrent opens of one directory used to interleave WAL writes
+// silently.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// countFDs returns the number of open file descriptors of this process.
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd: %v", err)
+	}
+	return len(ents)
+}
+
+// TestOpenPanicReleasesStore drives a panic out of the DefineSchema callback
+// and verifies the half-opened page store was torn down: no leaked file
+// descriptors, and the directory reopens cleanly (the flock was released).
+func TestOpenPanicReleasesStore(t *testing.T) {
+	dir := t.TempDir()
+	before := countFDs(t)
+
+	cfg := gomdb.DefaultConfig()
+	cfg.Path = dir
+	cfg.DefineSchema = func(db *gomdb.Database) error {
+		// The MustDefine* idiom: schema errors surface as panics.
+		db.MustDefineType(gomdb.NewTupleType("Dup", gomdb.Attr("X", "float")))
+		db.MustDefineType(gomdb.NewTupleType("Dup", gomdb.Attr("X", "float")))
+		return nil
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the DefineSchema panic to propagate")
+			}
+		}()
+		gomdb.Open(cfg)
+	}()
+
+	if after := countFDs(t); after != before {
+		t.Fatalf("file descriptors leaked across panicking open: %d -> %d", before, after)
+	}
+	// The directory lock must be free again: a well-formed open succeeds.
+	db, err := gomdb.OpenAt(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("reopen after panic: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryErrorReleasesStore injects a recovery fault (a schema
+// fingerprint mismatch) and verifies the failed open released the store so a
+// corrected open succeeds. This was the original shape of the bug: an error
+// between OpenPageStore and the baseline checkpoint must abandon the store.
+func TestRecoveryErrorReleasesStore(t *testing.T) {
+	dir := t.TempDir()
+	db, err := gomdb.OpenAt(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fixtures.PopulateGeometry(db, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := countFDs(t)
+	bad := gomdb.DefaultConfig()
+	bad.Path = dir
+	bad.DefineSchema = func(db *gomdb.Database) error {
+		return db.DefineType(gomdb.NewTupleType("Unrelated", gomdb.Attr("X", "float")))
+	}
+	if _, err := gomdb.OpenAt(bad); err == nil {
+		t.Fatal("open with mismatched schema succeeded")
+	} else if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if after := countFDs(t); after != before {
+		t.Fatalf("file descriptors leaked across failed recovery: %d -> %d", before, after)
+	}
+	db2, err := gomdb.OpenAt(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("corrected reopen: %v", err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectoryLockExcludesSecondOpen verifies the store's flock: while one
+// database holds a directory, a second open of the same directory is refused
+// instead of silently sharing the WAL; Close and Crash both release it.
+func TestDirectoryLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := gomdb.OpenAt(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gomdb.OpenAt(durableConfig(dir)); err == nil {
+		t.Fatal("second open of a held directory succeeded")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := gomdb.OpenAt(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("open after Close: %v", err)
+	}
+	db2.Crash()
+	db3, err := gomdb.OpenAt(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("open after Crash: %v", err)
+	}
+	if err := db3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

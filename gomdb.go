@@ -25,6 +25,7 @@ import (
 
 	"gomdb/internal/core"
 	"gomdb/internal/lang"
+	"gomdb/internal/mvcc"
 	"gomdb/internal/object"
 	"gomdb/internal/query"
 	"gomdb/internal/schema"
@@ -178,6 +179,14 @@ type Config struct {
 	// materialize. Required when Path is set and the directory holds an
 	// existing database.
 	DefineSchema func(*Database) error
+	// DisableMVCC turns off the versioned snapshot read path: a
+	// read-classified operation that finds the engine write-locked blocks on
+	// the reader/writer lock instead of answering from a pinned snapshot —
+	// the pre-MVCC behaviour. The switch exists as the contended baseline of
+	// the writer-interference benchmark and for bisecting; leave it false
+	// otherwise. Simulated cost accounting is identical either way: snapshot
+	// reads charge a throwaway clock, never the database's.
+	DisableMVCC bool
 }
 
 // DefaultConfig returns the paper's measurement configuration.
@@ -197,14 +206,18 @@ func DefaultConfig() Config {
 // reader/writer lock guards the engine: schema definitions, object creation
 // and deletion, elementary updates, materialization, dematerialization, and
 // any statement that may mutate GMR state run exclusively; provably
-// side-effect-free work — forward queries against complete and fully valid
-// GMRs, backward and retrieval queries, consistency audits, attribute reads
-// — runs shared. Classification is static and charge-free (schema metadata
-// only), so a single-threaded program observes bit-identical simulated cost
-// accounting with or without concurrent-safety in play. The embedded field
-// pointers (Engine, GMRs, ...) remain exported for single-threaded tooling
-// such as the benchmark driver; concurrent clients must go through Database
-// methods.
+// side-effect-free work — forward queries, backward and retrieval queries,
+// consistency audits, attribute reads — runs shared when the lock is free.
+// When it is not, read-classified operations do not wait for the writer:
+// they pin the current stable version and answer from an MVCC snapshot (see
+// DESIGN.md, "MVCC snapshot reads"), so a long update batch no longer stalls
+// the read side. Config.DisableMVCC restores the blocking behaviour.
+// Classification is static and charge-free (schema metadata only), and
+// snapshot reads charge a throwaway clock, so a single-threaded program
+// observes bit-identical simulated cost accounting with or without
+// concurrent-safety in play. The embedded field pointers (Engine, GMRs, ...)
+// remain exported for single-threaded tooling such as the benchmark driver;
+// concurrent clients must go through Database methods.
 type Database struct {
 	// mu is the engine-wide reader/writer lock. Go's sync.RWMutex is
 	// write-preferring: a blocked writer stops later readers, so update
@@ -219,6 +232,12 @@ type Database struct {
 	Engine  *schema.Engine
 	GMRs    *core.Manager
 	Queries *query.Executor
+
+	// mvccSt is the version state shared by the MVCC snapshot read path
+	// (nil when Config.DisableMVCC is set): the stable version, the reader
+	// pin registry, and the barrier taken by the few operations that cannot
+	// be versioned. See internal/mvcc.
+	mvccSt *mvcc.State
 
 	// store is the durable page store (nil for an in-memory database); see
 	// durable.go.
@@ -264,7 +283,7 @@ func newDatabase(cfg Config) *Database {
 	en := schema.NewEngine(sch, objs, clock)
 	mgr := core.NewManager(en, pool)
 	mgr.SetRematWorkers(cfg.RematWorkers)
-	return &Database{
+	db := &Database{
 		Clock:   clock,
 		Disk:    disk,
 		Pool:    pool,
@@ -274,6 +293,14 @@ func newDatabase(cfg Config) *Database {
 		GMRs:    mgr,
 		Queries: query.NewExecutor(en, mgr),
 	}
+	if !cfg.DisableMVCC {
+		st := mvcc.NewState()
+		db.mvccSt = st
+		pool.SetMVCC(st)
+		objs.SetMVCC(st)
+		mgr.SetMVCC(st)
+	}
+	return db
 }
 
 // lockWrite acquires the exclusive engine lock for a write-classified
@@ -287,31 +314,117 @@ func (db *Database) lockWrite() {
 	db.mu.Lock()
 }
 
+// unlockWrite ends a write-classified operation: the mutated state is
+// published as the new stable version, pre-image captures no pinned reader
+// can still reach are reclaimed, and the exclusive lock is released.
+// Publishing even when the operation changed nothing is harmless — a capture
+// tagged with an older stable version stays valid for every reader at or
+// below it.
+func (db *Database) unlockWrite() {
+	if db.mvccSt != nil {
+		floor := db.mvccSt.Publish()
+		db.Pool.ReclaimVersions(floor)
+		db.Objects.ReclaimVersions(floor)
+		db.GMRs.ReclaimEntryCaptures(floor)
+	}
+	db.mu.Unlock()
+}
+
+// lockBarrier acquires the exclusive lock AND the reader barrier, for the
+// few operations the capture protocol does not cover: schema DDL (the
+// registry maps are mutated in place, unversioned), materialization and
+// dematerialization (the GMR catalog and the schema rewrite), and durable
+// store teardown (Close, Crash). New snapshot pins block and active ones
+// drain before the operation proceeds, so it has the engine entirely to
+// itself. Snapshot readers never take db.mu, so draining them while holding
+// it cannot deadlock.
+func (db *Database) lockBarrier() {
+	db.mu.Lock()
+	if db.mvccSt != nil {
+		db.mvccSt.BeginBarrier()
+	}
+}
+
+// unlockBarrier publishes, reclaims (trivially: the barrier guarantees no
+// pins, so every capture goes), lifts the barrier, and unlocks.
+func (db *Database) unlockBarrier() {
+	if db.mvccSt != nil {
+		floor := db.mvccSt.Publish()
+		db.Pool.ReclaimVersions(floor)
+		db.Objects.ReclaimVersions(floor)
+		db.GMRs.ReclaimEntryCaptures(floor)
+		db.mvccSt.EndBarrier()
+	}
+	db.mu.Unlock()
+}
+
 // Query parses and executes a GOMql statement; $name parameters are bound
 // from params (pass nil when the query has none). Retrieve statements whose
 // plan is provably read-only execute under the shared lock when every GMR is
 // quiescent; materialize statements and statements the classifier cannot
-// prove side-effect free execute exclusively.
+// prove side effect free execute exclusively. A read-only statement that
+// finds the engine write-locked does not wait for the writer: it pins the
+// current stable version and answers from an MVCC snapshot (unless
+// Config.DisableMVCC).
 func (db *Database) Query(src string, params map[string]Value) (*QueryResult, error) {
 	q, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	if db.GMRs.Quiescent() && db.Queries.ReadOnlyPlan(q) {
-		defer db.mu.RUnlock()
+	if db.mvccSt == nil {
+		db.mu.RLock()
+		if db.GMRs.Quiescent() && db.Queries.ReadOnlyPlan(q) {
+			defer db.mu.RUnlock()
+			return db.Queries.RunQuery(q, params)
+		}
+		db.mu.RUnlock()
+		db.lockWrite()
+		defer db.unlockWrite()
 		return db.Queries.RunQuery(q, params)
 	}
-	db.mu.RUnlock()
-	db.lockWrite()
-	defer db.mu.Unlock()
+	var readOnly bool
+	if db.mu.TryRLock() {
+		// Uncontended: the historical shared fast path, charge-identical to
+		// the pre-MVCC engine for single-threaded programs (TryRLock cannot
+		// fail without a concurrent writer).
+		readOnly = db.Queries.ReadOnlyPlan(q)
+		if readOnly && db.GMRs.Quiescent() {
+			defer db.mu.RUnlock()
+			return db.Queries.RunQuery(q, params)
+		}
+		db.mu.RUnlock()
+	} else {
+		// A writer holds (or is waiting for) the engine. Pin the stable
+		// version before classifying — a pin excludes barrier operations, so
+		// the schema metadata the classifier reads cannot change underneath
+		// it — and answer read-only plans from the snapshot.
+		ver, release := db.mvccSt.Pin()
+		readOnly = db.Queries.ReadOnlyPlan(q)
+		if readOnly {
+			defer release()
+			return db.Queries.Snapshot(db.GMRs.SnapshotAt(ver)).RunQuery(q, params)
+		}
+		release()
+	}
+	if readOnly {
+		// Read-only but not quiescent: the run may force rematerializations,
+		// which the capture protocol covers, so the plain exclusive lock
+		// suffices.
+		db.lockWrite()
+		defer db.unlockWrite()
+		return db.Queries.RunQuery(q, params)
+	}
+	// The plan may materialize (the GOMql materialize statement) — a GMR
+	// catalog and schema mutation the capture protocol does not version.
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	return db.Queries.RunQuery(q, params)
 }
 
 // DefineType registers a type with its public clause.
 func (db *Database) DefineType(t *Type, publicNames ...string) error {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	return db.Schema.DefineType(t, publicNames...)
 }
 
@@ -325,8 +438,8 @@ func (db *Database) MustDefineType(t *Type, publicNames ...string) {
 
 // DefineOp attaches an operation to a type.
 func (db *Database) DefineOp(typeName, opName string, fn *Function) error {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	return db.Schema.DefineOp(typeName, opName, fn)
 }
 
@@ -339,8 +452,8 @@ func (db *Database) MustDefineOp(typeName, opName string, fn *Function) {
 
 // DefineFunc registers a free function.
 func (db *Database) DefineFunc(fn *Function) error {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	return db.Schema.DefineFunc(fn)
 }
 
@@ -354,8 +467,8 @@ func (db *Database) DefineFunc(fn *Function) error {
 //
 // sideEffectFree marks the function materializable.
 func (db *Database) DefineOpSrc(typeName, src string, sideEffectFree bool) error {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	_, err := db.Schema.DefineOpSrc(typeName, src, sideEffectFree)
 	return err
 }
@@ -363,8 +476,8 @@ func (db *Database) DefineOpSrc(typeName, src string, sideEffectFree bool) error
 // DefineFuncSrc parses and registers a textual free function (or, with the
 // qualified "define Type.op" form, a type-associated operation).
 func (db *Database) DefineFuncSrc(src string, sideEffectFree bool) error {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	_, err := db.Schema.DefineFuncSrc(src, sideEffectFree)
 	return err
 }
@@ -373,7 +486,7 @@ func (db *Database) DefineFuncSrc(src string, sideEffectFree bool) error {
 // flattened inherited layout.
 func (db *Database) New(typeName string, attrs ...Value) (OID, error) {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	return db.Engine.Create(typeName, attrs)
 }
 
@@ -389,26 +502,36 @@ func (db *Database) MustNew(typeName string, attrs ...Value) OID {
 // NewSet creates a set- or list-structured instance.
 func (db *Database) NewSet(typeName string, elems ...Value) (OID, error) {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	return db.Engine.CreateCollection(typeName, elems)
 }
 
 // Delete removes an object (running forget_object hooks first).
 func (db *Database) Delete(oid OID) error {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	return db.Engine.Delete(oid)
 }
 
 // Set performs the elementary update oid.set_attr(v).
 func (db *Database) Set(oid OID, attr string, v Value) error {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	return db.Engine.SetAttrByName(oid, attr, v)
 }
 
-// GetAttr reads attribute attr of oid.
+// GetAttr reads attribute attr of oid. When a writer holds the engine the
+// read is answered from an MVCC snapshot instead of waiting.
 func (db *Database) GetAttr(oid OID, attr string) (Value, error) {
+	if db.mvccSt != nil {
+		if db.mu.TryRLock() {
+			defer db.mu.RUnlock()
+			return db.Engine.ReadAttr(Ref(oid), attr)
+		}
+		ver, release := db.mvccSt.Pin()
+		defer release()
+		return db.GMRs.SnapshotAt(ver).Engine().ReadAttr(Ref(oid), attr)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.Engine.ReadAttr(Ref(oid), attr)
@@ -417,14 +540,14 @@ func (db *Database) GetAttr(oid OID, attr string) (Value, error) {
 // Insert performs the elementary update set.insert(elem).
 func (db *Database) Insert(set OID, elem Value) error {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	return db.Engine.InsertElem(Ref(set), elem)
 }
 
 // Remove performs the elementary update set.remove(elem).
 func (db *Database) Remove(set OID, elem Value) error {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	return db.Engine.RemoveElem(Ref(set), elem)
 }
 
@@ -432,16 +555,41 @@ func (db *Database) Remove(set OID, elem Value) error {
 // answered from their GMR (forward query) when possible. A call to a
 // side-effect-free function runs under the shared lock when every GMR is
 // quiescent (complete and fully valid) — concurrent callers then hit the
-// materialized results in parallel; all other calls run exclusively.
+// materialized results in parallel. When a writer holds the engine, a
+// side-effect-free call does not wait: it pins the current stable version
+// and answers from an MVCC snapshot (quiescence does not matter there — the
+// snapshot recomputes entries that were invalid at its version without
+// storing anything). All other calls run exclusively.
 func (db *Database) Call(fn string, args ...Value) (Value, error) {
-	db.mu.RLock()
-	if db.readOnlyCall(fn) {
-		defer db.mu.RUnlock()
+	if db.mvccSt == nil {
+		db.mu.RLock()
+		if db.readOnlyCall(fn) {
+			defer db.mu.RUnlock()
+			return db.Engine.Invoke(fn, args...)
+		}
+		db.mu.RUnlock()
+		db.lockWrite()
+		defer db.unlockWrite()
 		return db.Engine.Invoke(fn, args...)
 	}
-	db.mu.RUnlock()
+	if db.mu.TryRLock() {
+		if db.readOnlyCall(fn) {
+			defer db.mu.RUnlock()
+			return db.Engine.Invoke(fn, args...)
+		}
+		db.mu.RUnlock()
+	} else {
+		// Pin before classifying: a pin excludes barrier operations, so the
+		// schema metadata sideEffectFreeCall reads cannot change underneath.
+		ver, release := db.mvccSt.Pin()
+		if db.sideEffectFreeCall(fn) {
+			defer release()
+			return db.GMRs.SnapshotAt(ver).Call(fn, args...)
+		}
+		release()
+	}
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	return db.Engine.Invoke(fn, args...)
 }
 
@@ -453,7 +601,7 @@ func (db *Database) Call(fn string, args ...Value) (Value, error) {
 // before the lock is released.
 func (db *Database) Flush() error {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	err := db.GMRs.Flush()
 	if cerr := db.checkpointLocked(); err == nil {
 		err = cerr
@@ -517,7 +665,7 @@ func (tx *Tx) Call(fn string, args ...Value) (Value, error) {
 // database the end of the batch is also a checkpoint point.
 func (db *Database) Batch(fn func(*Tx) error) error {
 	db.lockWrite()
-	defer db.mu.Unlock()
+	defer db.unlockWrite()
 	err := fn(&Tx{db: db})
 	if ferr := db.GMRs.Flush(); err == nil {
 		err = ferr
@@ -529,18 +677,23 @@ func (db *Database) Batch(fn func(*Tx) error) error {
 }
 
 // readOnlyCall reports whether invoking name cannot mutate engine or GMR
-// state: the GMR manager is quiescent (so a forward query answers from valid
-// entries or computes without storing) and every function the name can
-// dispatch to is declared side-effect free with no update hook installed.
-// Side-effect freedom is transitive by contract — a side-effect-free body
-// invokes only side-effect-free operations — so checking the entry points
-// suffices. The classification reads schema metadata only: no object loads,
-// no simulated-clock charges, so single-threaded cost accounting is
-// unchanged. Caller holds at least the read lock.
+// state under the live engine: the GMR manager is quiescent (so a forward
+// query answers from valid entries or computes without storing) and the call
+// is side-effect free. Caller holds at least the read lock.
 func (db *Database) readOnlyCall(name string) bool {
-	if !db.GMRs.Quiescent() {
-		return false
-	}
+	return db.GMRs.Quiescent() && db.sideEffectFreeCall(name)
+}
+
+// sideEffectFreeCall reports whether every function name can dispatch to is
+// declared side-effect free with no update hook installed. Side-effect
+// freedom is transitive by contract — a side-effect-free body invokes only
+// side-effect-free operations — so checking the entry points suffices. The
+// classification reads schema metadata only: no object loads, no
+// simulated-clock charges, so single-threaded cost accounting is unchanged.
+// It is the whole admission test for the snapshot read path (quiescence is a
+// live-engine concern). Caller holds the read lock or a snapshot pin; both
+// exclude schema DDL.
+func (db *Database) sideEffectFreeCall(name string) bool {
 	if i := strings.IndexByte(name, '.'); i >= 0 {
 		declType, opName := name[:i], name[i+1:]
 		// Dynamic dispatch may land on any subtype's override; all of them
@@ -579,8 +732,8 @@ var ErrInjectedFault = storage.ErrInjectedFault
 // AtomicArgs set) are refused: their predicates are function values that
 // cannot be persisted, so they could not be rebuilt on recovery.
 func (db *Database) Materialize(opts MaterializeOptions) (*GMR, error) {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	if db.store != nil && (opts.Restriction != nil || len(opts.AtomicArgs) > 0) {
 		return nil, errRestrictedDurable
 	}
@@ -597,25 +750,54 @@ func (db *Database) Materialize(opts MaterializeOptions) (*GMR, error) {
 // Retrieve answers a tabular GMR query (one FieldSpec per argument and
 // result column), using the GMR's multidimensional index when present.
 // Quiescent GMRs answer under the shared lock; otherwise the retrieval may
-// rematerialize invalid entries and runs exclusively.
+// rematerialize invalid entries and runs exclusively. When a writer holds
+// the engine the retrieval is answered from an MVCC snapshot instead of
+// waiting (invalid columns are recomputed at the snapshot version, not
+// repaired in place).
 func (db *Database) Retrieve(gmrName string, spec []FieldSpec) ([]Row, error) {
-	db.mu.RLock()
-	if db.GMRs.Quiescent() {
-		defer db.mu.RUnlock()
+	if db.mvccSt == nil {
+		db.mu.RLock()
+		if db.GMRs.Quiescent() {
+			defer db.mu.RUnlock()
+			return db.GMRs.Retrieve(gmrName, spec)
+		}
+		db.mu.RUnlock()
+		db.lockWrite()
+		defer db.unlockWrite()
 		return db.GMRs.Retrieve(gmrName, spec)
 	}
-	db.mu.RUnlock()
-	db.lockWrite()
-	defer db.mu.Unlock()
-	return db.GMRs.Retrieve(gmrName, spec)
+	if db.mu.TryRLock() {
+		if db.GMRs.Quiescent() {
+			defer db.mu.RUnlock()
+			return db.GMRs.Retrieve(gmrName, spec)
+		}
+		db.mu.RUnlock()
+		db.lockWrite()
+		defer db.unlockWrite()
+		return db.GMRs.Retrieve(gmrName, spec)
+	}
+	ver, release := db.mvccSt.Pin()
+	defer release()
+	return db.GMRs.SnapshotAt(ver).Retrieve(gmrName, spec)
 }
 
 // CheckConsistency audits a GMR against Definition 3.2 (and, with
 // checkComplete, Definition 3.4/6.1): every valid entry must match a fresh
 // recomputation within relative tolerance tol.
 // The audit only recomputes and compares (invalid entries are counted, not
-// repaired), so it always runs under the shared lock.
+// repaired), so it always runs under the shared lock — or, when a writer
+// holds the engine, against an MVCC snapshot, verifying Definition 3.2
+// congruence at the pinned version.
 func (db *Database) CheckConsistency(gmrName string, tol float64, checkComplete bool) (*ConsistencyReport, error) {
+	if db.mvccSt != nil {
+		if db.mu.TryRLock() {
+			defer db.mu.RUnlock()
+			return db.GMRs.CheckConsistency(gmrName, tol, checkComplete)
+		}
+		ver, release := db.mvccSt.Pin()
+		defer release()
+		return db.GMRs.SnapshotAt(ver).CheckConsistency(gmrName, tol, checkComplete)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.GMRs.CheckConsistency(gmrName, tol, checkComplete)
@@ -631,8 +813,8 @@ func (db *Database) SetTrace(fn func(TraceEvent)) { db.GMRs.SetTrace(fn) }
 // Dematerialize drops a GMR and undoes its schema rewrite. On a durable
 // database the drop is a checkpoint point.
 func (db *Database) Dematerialize(name string) error {
-	db.lockWrite()
-	defer db.mu.Unlock()
+	db.lockBarrier()
+	defer db.unlockBarrier()
 	if err := db.GMRs.Drop(name); err != nil {
 		return err
 	}
@@ -640,7 +822,18 @@ func (db *Database) Dematerialize(name string) error {
 }
 
 // Extension returns the OIDs of all instances of typeName (and subtypes).
+// When a writer holds the engine the extension is reconstructed from an MVCC
+// snapshot instead of waiting.
 func (db *Database) Extension(typeName string) []OID {
+	if db.mvccSt != nil {
+		if db.mu.TryRLock() {
+			defer db.mu.RUnlock()
+			return db.Objects.Extension(typeName)
+		}
+		ver, release := db.mvccSt.Pin()
+		defer release()
+		return db.Objects.ExtensionVersioned(typeName, ver)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.Objects.Extension(typeName)

@@ -1,0 +1,228 @@
+package bench
+
+// The writer-interference suite: wall-clock reader throughput while one
+// writer continuously updates the object base. This is the benchmark behind
+// the MVCC snapshot read path — before it, a read arriving while a writer
+// held the engine's exclusive lock queued behind it (and Go's
+// write-preferring RWMutex then queued every later reader too), so reader
+// throughput flatlined for the duration of every write burst. With snapshot
+// reads, a reader that cannot take the shared lock pins the last published
+// version and answers from the capture overlays without blocking.
+//
+// Two configurations run the identical workload:
+//
+//   - snapshot: the default engine (MVCC snapshot reads enabled)
+//   - rwmutex:  Config.DisableMVCC — the historical blocking read path
+//
+// Reported reader rates are aggregate wall-clock ops/sec. The simulated
+// clock is not consulted; like the rest of the throughput suite this never
+// perturbs the figure experiments.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// InterferencePoint is one measurement: reader goroutine count, the
+// aggregate reader rate sustained next to the writer, and the writer's own
+// rate (the writer must not starve either).
+type InterferencePoint struct {
+	ReaderGoroutines int     `json:"reader_goroutines"`
+	ReaderOps        int64   `json:"reader_ops"`
+	ReaderOpsPerSec  float64 `json:"reader_ops_per_sec"`
+	WriterOps        int64   `json:"writer_ops"`
+	WriterOpsPerSec  float64 `json:"writer_ops_per_sec"`
+}
+
+// InterferenceConfig is one engine configuration with its measurements.
+type InterferenceConfig struct {
+	Name        string              `json:"name"`
+	DisableMVCC bool                `json:"disable_mvcc"`
+	Points      []InterferencePoint `json:"points"`
+}
+
+// InterferenceReport is the writer_interference section of
+// BENCH_throughput.json.
+type InterferenceReport struct {
+	Harness    string               `json:"harness"`
+	GoVersion  string               `json:"go_version"`
+	NumCPU     int                  `json:"num_cpu"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Cuboids    int                  `json:"cuboids"`
+	DurationMs int64                `json:"duration_ms_per_point"`
+	Goroutines []int                `json:"reader_goroutine_counts"`
+	Configs    []InterferenceConfig `json:"configs"`
+	Notes      string               `json:"notes"`
+}
+
+// interferenceGoroutines are the measured reader concurrency levels.
+var interferenceGoroutines = []int{1, 2, 4, 8}
+
+// interferenceDB builds the warmed database one configuration measures
+// against: geometry schema, n cuboids, a complete immediately-maintained
+// <<volume,weight>> GMR (so every vertex write rematerializes under the
+// exclusive lock — the longest write sections the engine produces).
+func interferenceDB(n int, disableMVCC bool) (*gomdb.Database, *fixtures.Geometry, error) {
+	db := gomdb.Open(gomdb.Config{BufferPages: 8192, DisableMVCC: disableMVCC})
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		return nil, nil, err
+	}
+	g, err := fixtures.PopulateGeometry(db, n, cuboidSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:    []string{"Cuboid.volume", "Cuboid.weight"},
+		Complete: true,
+		Mode:     gomdb.ModeObjDep,
+		Strategy: gomdb.Immediate,
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, oid := range g.Cuboids {
+		if _, err := db.Call("Cuboid.volume", gomdb.Ref(oid)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return db, g, nil
+}
+
+// writerLoop is the background writer: an endless stream of vertex moves,
+// each of which invalidates and immediately rematerializes the cuboid's GMR
+// entry while holding the exclusive lock.
+func writerLoop(db *gomdb.Database, g *fixtures.Geometry, stop *atomic.Bool, ops *atomic.Int64, errs chan<- error) {
+	rng := rand.New(rand.NewSource(7))
+	n := int64(0)
+	for !stop.Load() {
+		oid := g.Cuboids[rng.Intn(len(g.Cuboids))]
+		attr := fmt.Sprintf("V%d", 1+rng.Intn(8))
+		vref, err := db.GetAttr(oid, attr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		if err := db.Set(vref.R, "X", gomdb.Float(rng.Float64()*100)); err != nil {
+			errs <- err
+			return
+		}
+		n++
+	}
+	ops.Add(n)
+}
+
+// measureInterference runs `readers` reader goroutines for roughly d of wall
+// time with the writer running throughout.
+func measureInterference(db *gomdb.Database, g *fixtures.Geometry, readers int, d time.Duration) (InterferencePoint, error) {
+	var stop atomic.Bool
+	var readerOps, writerOps atomic.Int64
+	errs := make(chan error, readers+1)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		writerLoop(db, g, &stop, &writerOps, errs)
+	}()
+	start := time.Now()
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := int64(0)
+			for !stop.Load() {
+				oid := g.Cuboids[rng.Intn(len(g.Cuboids))]
+				if _, err := db.Call("Cuboid.volume", gomdb.Ref(oid)); err != nil {
+					errs <- err
+					return
+				}
+				n++
+			}
+			readerOps.Add(n)
+		}(int64(2000 + i))
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return InterferencePoint{}, err
+	}
+	return InterferencePoint{
+		ReaderGoroutines: readers,
+		ReaderOps:        readerOps.Load(),
+		ReaderOpsPerSec:  float64(readerOps.Load()) / elapsed.Seconds(),
+		WriterOps:        writerOps.Load(),
+		WriterOpsPerSec:  float64(writerOps.Load()) / elapsed.Seconds(),
+	}, nil
+}
+
+// WriterInterference runs the suite and returns the report plus a Figure
+// (X = reader goroutines, one series per configuration, Y = reader ops/sec
+// with the writer running).
+func WriterInterference(sc Scale) (*InterferenceReport, *Figure, error) {
+	n := 800
+	d := 250 * time.Millisecond
+	if sc.OpsDivisor > 1 { // -short
+		n = 200
+		d = 60 * time.Millisecond
+	}
+	configs := []struct {
+		name        string
+		disableMVCC bool
+	}{
+		{"snapshot", false},
+		{"rwmutex", true},
+	}
+	rep := &InterferenceReport{
+		Harness:    "gombench -figure mvcc",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Cuboids:    n,
+		DurationMs: d.Milliseconds(),
+		Goroutines: interferenceGoroutines,
+		Notes: "Aggregate wall-clock reader ops/sec while one writer continuously moves vertices " +
+			"(each move rematerializes <<volume,weight>> under the exclusive lock). snapshot is the " +
+			"default engine (MVCC snapshot reads); rwmutex is Config.DisableMVCC, where readers queue " +
+			"behind the writer on a write-preferring RWMutex. Simulated-clock figures are unaffected.",
+	}
+	fig := &Figure{
+		ID:     "mvcc",
+		Title:  "Reader throughput under writer interference",
+		XLabel: "reader goroutines",
+		YLabel: "reader ops/sec",
+	}
+	for _, gr := range interferenceGoroutines {
+		fig.X = append(fig.X, float64(gr))
+	}
+	for _, cfg := range configs {
+		db, g, err := interferenceDB(n, cfg.disableMVCC)
+		if err != nil {
+			return nil, nil, fmt.Errorf("interference %s: %w", cfg.name, err)
+		}
+		ic := InterferenceConfig{Name: cfg.name, DisableMVCC: cfg.disableMVCC}
+		for _, gr := range interferenceGoroutines {
+			pt, err := measureInterference(db, g, gr, d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("interference %s x%d: %w", cfg.name, gr, err)
+			}
+			ic.Points = append(ic.Points, pt)
+		}
+		rep.Configs = append(rep.Configs, ic)
+		s := Series{Name: cfg.name}
+		for _, pt := range ic.Points {
+			s.Points = append(s.Points, pt.ReaderOpsPerSec)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return rep, fig, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// performance assertions are skipped under it: instrumentation serializes
+// the hot paths enough to invert real throughput relationships.
+const raceEnabled = true

@@ -294,12 +294,28 @@ func encodeEntry(e *entry) []byte {
 }
 
 // insertEntry adds a new entry to the extension, heap, and indexes.
+//
+// Like every entry mutator it bumps the memo epoch *after* the mutation
+// (via defer): bumping first opens a window where a concurrent memo-enabled
+// reader loads the fresh epoch, reads the pre-mutation entry, and caches
+// the stale value under an epoch that stays current — a persistent stale
+// hit. Bumping last means the worst a racing reader can do is cache the new
+// value under the old epoch, which never answers a lookup. The mutators
+// also run under the manager's snapshot mutex so pinned MVCC readers see
+// entry state change atomically (see snapshot.go).
 func (g *GMR) insertEntry(e *entry) error {
-	g.mgr.BumpWriteEpoch()
+	defer g.mgr.BumpWriteEpoch()
+	g.mgr.snapMu.Lock()
+	defer g.mgr.snapMu.Unlock()
+	return g.insertEntryLocked(e)
+}
+
+func (g *GMR) insertEntryLocked(e *entry) error {
 	k := argKey(e.Args)
 	if _, dup := g.entries[k]; dup {
 		return fmt.Errorf("core: duplicate GMR entry for %v in %s", e.Args, g.Name)
 	}
+	g.mgr.captureEntry(g, k, nil)
 	// A full cache frees a slot before the newcomer goes in: the eviction
 	// sweep then only judges entries by accesses since the previous sweep,
 	// and the fresh entry keeps its reference bit until the next one.
@@ -409,7 +425,11 @@ func (g *GMR) markInvalid(k string, i int) error {
 	if !e.Valid[i] {
 		return nil
 	}
-	g.mgr.BumpWriteEpoch()
+	// Epoch bump deferred past the mutation — see insertEntry.
+	defer g.mgr.BumpWriteEpoch()
+	g.mgr.snapMu.Lock()
+	defer g.mgr.snapMu.Unlock()
+	g.mgr.captureEntry(g, k, e)
 	e.Valid[i] = false
 	g.invalid[i][k] = true
 	return g.rewrite(e)
@@ -420,7 +440,11 @@ func (g *GMR) markInvalid(k string, i int) error {
 // is how a forward force, a column revalidation, and the flush apply phase
 // all keep the deferred queue consistent through a single point.
 func (g *GMR) setResult(e *entry, i int, v object.Value) error {
-	g.mgr.BumpWriteEpoch()
+	// Epoch bump deferred past the mutation — see insertEntry.
+	defer g.mgr.BumpWriteEpoch()
+	g.mgr.snapMu.Lock()
+	defer g.mgr.snapMu.Unlock()
+	g.mgr.captureEntry(g, argKey(e.Args), e)
 	if err := g.mdsDelete(e); err != nil {
 		return err
 	}
@@ -465,11 +489,21 @@ func (g *GMR) touch(e *entry) error {
 // indexes. RRR entries pointing at it become blind references that are
 // lazily cleaned (Section 4.2).
 func (g *GMR) removeEntry(k string) error {
+	// Epoch bump deferred past the mutation — see insertEntry.
+	defer g.mgr.BumpWriteEpoch()
+	g.mgr.snapMu.Lock()
+	defer g.mgr.snapMu.Unlock()
+	return g.removeEntryLocked(k)
+}
+
+// removeEntryLocked is removeEntry's body; split out because evictOldest
+// runs inside insertEntry's locked region and must not re-acquire snapMu.
+func (g *GMR) removeEntryLocked(k string) error {
 	e, ok := g.entries[k]
 	if !ok {
 		return nil
 	}
-	g.mgr.BumpWriteEpoch()
+	g.mgr.captureEntry(g, k, e)
 	if err := g.mdsDelete(e); err != nil {
 		return err
 	}
@@ -528,7 +562,9 @@ func (g *GMR) evictOldest() {
 			g.order[len(g.order)-1] = k
 			continue
 		}
-		_ = g.removeEntry(k)
+		// Called from insertEntry's locked region: use the lock-free body
+		// (the insert's deferred epoch bump covers the eviction too).
+		_ = g.removeEntryLocked(k)
 		return
 	}
 }

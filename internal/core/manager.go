@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"gomdb/internal/btree"
 	"gomdb/internal/lang"
+	"gomdb/internal/mvcc"
 	"gomdb/internal/object"
 	"gomdb/internal/pred"
 	"gomdb/internal/schema"
@@ -81,6 +83,21 @@ type Manager struct {
 	// is tagged with.
 	memo       *memoCache
 	writeEpoch atomic.Uint64
+
+	// testEpochHook, when set, runs synchronously after every write-epoch
+	// bump. Test-only: it lets the memo-ordering regression test inject a
+	// concurrent reader deterministically at the exact bump point.
+	testEpochHook func()
+
+	// MVCC snapshot-read state (see snapshot.go). snapSt is the shared
+	// version source; entryVers holds copy-on-write pre-images of GMR
+	// entries keyed by (GMR name, argument key); snapMu serializes the
+	// entry mutators against pinned snapshot readers reconstructing entry
+	// state. snapMu is always locked by the mutators (cheap, uncontended
+	// without MVCC); captures are only taken once snapSt is attached.
+	snapSt    *mvcc.State
+	snapMu    sync.RWMutex
+	entryVers map[string]map[string][]entryCapture
 
 	// pending is the coalescing queue of deferred rematerializations, keyed
 	// by (GMR, entry, column) so repeated invalidations of one result fold
@@ -184,7 +201,8 @@ func (m *Manager) GMRFor(fid string) (*GMR, bool) {
 //
 //	range c: Cuboid materialize c.volume, c.weight [where p]
 func (m *Manager) Materialize(opts Options) (*GMR, error) {
-	m.BumpWriteEpoch()
+	// Bumped after the mutation completes — see GMR.insertEntry.
+	defer m.BumpWriteEpoch()
 	if len(opts.Funcs) == 0 {
 		return nil, errors.New("core: materialize needs at least one function")
 	}
@@ -323,7 +341,7 @@ func isNumericType(t string) bool {
 // Drop deletes a GMR: its extension, its RRR tuples and ObjDepFct marks, and
 // the hook rewrites — restoring the unmodified schema.
 func (m *Manager) Drop(name string) error {
-	m.BumpWriteEpoch()
+	defer m.BumpWriteEpoch()
 	g, ok := m.gmrs[name]
 	if !ok {
 		return fmt.Errorf("core: no GMR %q", name)
@@ -384,6 +402,13 @@ func (m *Manager) populate(g *GMR) error {
 // argCombinations enumerates the cross product of the argument domains,
 // optionally pinning position fixedPos to fixedVal (used by new_object).
 func (m *Manager) argCombinations(g *GMR, fixedPos int, fixedVal object.Value) ([][]object.Value, error) {
+	return m.argCombinationsVia(m.Objs.Extension, g, fixedPos, fixedVal)
+}
+
+// argCombinationsVia is argCombinations parameterized over the extension
+// reader, so the MVCC snapshot completeness audit can enumerate the domains
+// at a pinned version (snapshot.go).
+func (m *Manager) argCombinationsVia(ext func(string) []object.OID, g *GMR, fixedPos int, fixedVal object.Value) ([][]object.Value, error) {
 	domains := make([][]object.Value, len(g.ArgTypes))
 	for i, t := range g.ArgTypes {
 		if i == fixedPos {
@@ -401,7 +426,7 @@ func (m *Manager) argCombinations(g *GMR, fixedPos int, fixedVal object.Value) (
 			}
 			continue
 		}
-		for _, oid := range m.Objs.Extension(t) {
+		for _, oid := range ext(t) {
 			domains[i] = append(domains[i], object.Ref(oid))
 		}
 	}
@@ -833,7 +858,7 @@ func (m *Manager) predicateUpdate(t Tuple) error {
 // NewObject is GMR_Manager.new_object(o, t) (Section 4.2): extends every
 // complete GMR with entries for all argument combinations containing o.
 func (m *Manager) NewObject(o *object.Obj) error {
-	m.BumpWriteEpoch()
+	defer m.BumpWriteEpoch()
 	atomic.AddInt64(&m.Stats.NewObjects, 1)
 	m.emit("new_object", "", "", o.OID)
 	for _, name := range m.GMRs() {
@@ -867,7 +892,7 @@ func (m *Manager) NewObject(o *object.Obj) error {
 // on. RRR tuples of *other* objects that still reference the removed
 // entries become blind references, cleaned lazily on their next access.
 func (m *Manager) ForgetObject(o *object.Obj) error {
-	m.BumpWriteEpoch()
+	defer m.BumpWriteEpoch()
 	atomic.AddInt64(&m.Stats.ForgottenObjects, 1)
 	m.emit("forget_object", "", "", o.OID)
 	for _, name := range m.GMRs() {
@@ -907,7 +932,7 @@ func (m *Manager) hasEntriesWithArg(oid object.OID) bool {
 // invalidated before the benchmark was started — this causes the RRR and
 // the sets ObjDepFct to be empty with respect to <<volume>>").
 func (m *Manager) InvalidateAll(name string) error {
-	m.BumpWriteEpoch()
+	defer m.BumpWriteEpoch()
 	g, ok := m.gmrs[name]
 	if !ok {
 		return fmt.Errorf("core: no GMR %q", name)
@@ -943,7 +968,7 @@ func (m *Manager) InvalidateAll(name string) error {
 // background sweep lazy rematerialization performs "as soon as the load ...
 // falls below a predetermined threshold".
 func (m *Manager) Revalidate(name string) error {
-	m.BumpWriteEpoch()
+	defer m.BumpWriteEpoch()
 	g, ok := m.gmrs[name]
 	if !ok {
 		return fmt.Errorf("core: no GMR %q", name)

@@ -107,7 +107,22 @@ func (c *memoCache) Len() int {
 // a write; the manager's own mutation entry points call it as well so that
 // single-threaded tooling driving the manager directly keeps the cache
 // coherent.
-func (m *Manager) BumpWriteEpoch() { m.writeEpoch.Add(1) }
+// The mutation entry points bump *after* publishing their mutation (not
+// before), so a reader that raced the mutation can only have cached the
+// fresh value under the already-stale previous epoch — never a stale value
+// under the current one.
+func (m *Manager) BumpWriteEpoch() {
+	m.writeEpoch.Add(1)
+	if m.testEpochHook != nil {
+		m.testEpochHook()
+	}
+}
+
+// TestingSetEpochBumpHook installs (or clears, with nil) a callback run
+// synchronously after every write-epoch bump. Test-only: the memo-ordering
+// regression test uses it to interleave a reader at the bump point
+// deterministically.
+func (m *Manager) TestingSetEpochBumpHook(fn func()) { m.testEpochHook = fn }
 
 // WriteEpoch returns the current write epoch; used by tests.
 func (m *Manager) WriteEpoch() uint64 { return m.writeEpoch.Load() }

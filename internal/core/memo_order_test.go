@@ -1,0 +1,130 @@
+package core
+
+// White-box regression test for the memo-epoch ordering bug: every GMR
+// mutation entry point must publish its mutation *before* bumping the write
+// epoch. The buggy order (bump, then mutate) left a window where a concurrent
+// Forward loaded the fresh epoch, read the not-yet-invalidated entry, and
+// memoized the stale result under the new epoch — a stale value the cache
+// then served forever.
+//
+// The facade-level test (memo_epoch_test.go) cannot isolate this: a vertex
+// move through Database.Set bumps twice (markInvalid, then the RRR tuple
+// removal), and the second bump incidentally retires a memo poisoned at the
+// first. This test lives inside package core so it can drive one markInvalid
+// directly — the minimal single-bump mutation — with a reader interleaved at
+// the exact bump point via the test hook.
+
+import (
+	"testing"
+
+	"gomdb/internal/object"
+	"gomdb/internal/schema"
+	"gomdb/internal/storage"
+)
+
+// newBareManager wires a Manager without the Database facade (which package
+// core cannot import).
+func newBareManager(t *testing.T) (*Manager, *schema.Engine, *object.Manager) {
+	t.Helper()
+	clock := storage.NewClock()
+	disk := storage.NewDisk(clock)
+	pool := storage.NewPoolShards(disk, 256, 4)
+	sch := schema.New()
+	objs := object.NewManager(sch.Reg, pool, clock)
+	en := schema.NewEngine(sch, objs, clock)
+	m := NewManager(en, pool)
+
+	if err := sch.DefineType(object.NewTupleType("R",
+		object.AttrDef{Name: "Width", Type: "float", Public: true},
+		object.AttrDef{Name: "Height", Type: "float", Public: true},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sch.DefineOpSrc("R",
+		"define area: float is return self.Width * self.Height end", true); err != nil {
+		t.Fatal(err)
+	}
+	return m, en, objs
+}
+
+// TestMemoEpochSingleBumpOrdering interleaves a memo-caching reader at the
+// write-epoch bump of one markInvalid. With the fixed order
+// (mutate-then-bump) the reader finds the entry already invalid, recomputes,
+// and the cache stays coherent. With the buggy order (bump-then-mutate) the
+// reader races ahead of the invalidation, caches the stale result under the
+// new epoch, and the final Forward serves it — this test fails on that code.
+func TestMemoEpochSingleBumpOrdering(t *testing.T) {
+	m, en, objs := newBareManager(t)
+
+	oid, err := en.Create("R", []object.Value{object.Float(3), object.Float(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Materialize(Options{
+		Funcs:     []string{"R.area"},
+		Complete:  true,
+		Strategy:  Lazy,
+		MemoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	args := []object.Value{object.Ref(oid)}
+	// Warm the memo cache under the current epoch.
+	if v, err := m.Forward("R.area", args); err != nil {
+		t.Fatal(err)
+	} else if v.F != 6 {
+		t.Fatalf("warm Forward = %v, want 6", v)
+	}
+
+	// The racing reader: runs synchronously at the first epoch bump, exactly
+	// where a concurrent goroutine could observe the new epoch.
+	var raced bool
+	var racedVal object.Value
+	var racedErr error
+	m.TestingSetEpochBumpHook(func() {
+		if raced {
+			return // rematerialization inside the raced read bumps again
+		}
+		raced = true
+		racedVal, racedErr = m.Forward("R.area", args)
+	})
+	defer m.TestingSetEpochBumpHook(nil)
+
+	// One update, reduced to its single GMR mutation: write the new attribute
+	// value, then invalidate the dependent entry — the same publish/invalidate
+	// pair the engine's update hooks perform, without the RRR maintenance
+	// whose extra bump would mask the ordering.
+	o, err := objs.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Attrs[0] = object.Float(10) // Width: 3 -> 10
+	if err := objs.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.markInvalid(argKey(args), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.TestingSetEpochBumpHook(nil)
+
+	if !raced {
+		t.Fatal("epoch bump hook never fired")
+	}
+	if racedErr != nil {
+		t.Fatalf("raced Forward: %v", racedErr)
+	}
+	// The raced reader ran after the bump; the invalidation must already be
+	// visible to it, so it recomputes against the new attribute value.
+	if racedVal.F != 20 {
+		t.Fatalf("raced Forward = %v, want 20 (stale read: invalidation not yet published at bump)", racedVal)
+	}
+	// And nothing stale may survive in the memo cache: the post-update value
+	// must be served from here on.
+	if v, err := m.Forward("R.area", args); err != nil {
+		t.Fatal(err)
+	} else if v.F != 20 {
+		t.Fatalf("post-update Forward = %v, want 20 (memo cache poisoned with stale result)", v)
+	}
+}

@@ -167,8 +167,22 @@ func (m *Manager) CheckConsistency(name string, tol float64, checkComplete bool)
 	return rep, nil
 }
 
-// resultsEquivalent compares a stored result with a fresh recomputation.
+// resultsEquivalent compares a stored result with a fresh recomputation,
+// expanding result-object references through the live (charged) read path.
 func (m *Manager) resultsEquivalent(stored, fresh object.Value, tol float64) bool {
+	get := func(oid object.OID) (*object.Obj, error) {
+		if !m.Objs.Exists(oid) {
+			return nil, fmt.Errorf("core: no object %v", oid)
+		}
+		return m.Objs.Get(oid)
+	}
+	return m.valuesEquivalent(get, stored, fresh, tol)
+}
+
+// valuesEquivalent is resultsEquivalent parameterized over the object
+// getter, so the MVCC snapshot audit can expand references at a pinned
+// version (snapshot.go) while the live audit keeps its charged reads.
+func (m *Manager) valuesEquivalent(get func(object.OID) (*object.Obj, error), stored, fresh object.Value, tol float64) bool {
 	if stored.Equal(fresh) {
 		return true
 	}
@@ -181,21 +195,22 @@ func (m *Manager) resultsEquivalent(stored, fresh object.Value, tol float64) boo
 	}
 	// Complex results: canonical expansion.
 	seen := map[object.OID]bool{}
-	return m.canonValue(stored, 0, seen) == m.canonValue(fresh, 0, map[object.OID]bool{})
+	return m.canonValue(get, stored, 0, seen) == m.canonValue(get, fresh, 0, map[object.OID]bool{})
 }
 
-// canonValue renders a value with result-object references expanded so a
-// stored result object and a transient recomputation compare structurally.
-func (m *Manager) canonValue(v object.Value, depth int, seen map[object.OID]bool) string {
+// canonValue renders a value with result-object references expanded (via
+// get) so a stored result object and a transient recomputation compare
+// structurally.
+func (m *Manager) canonValue(get func(object.OID) (*object.Obj, error), v object.Value, depth int, seen map[object.OID]bool) string {
 	if depth > 6 {
 		return v.String()
 	}
 	switch v.Kind {
 	case object.KRef:
-		if v.R == object.NilOID || seen[v.R] || !m.Objs.Exists(v.R) {
+		if v.R == object.NilOID || seen[v.R] {
 			return v.String()
 		}
-		o, err := m.Objs.Get(v.R)
+		o, err := get(v.R)
 		if err != nil {
 			return v.String()
 		}
@@ -203,26 +218,26 @@ func (m *Manager) canonValue(v object.Value, depth int, seen map[object.OID]bool
 		defer delete(seen, v.R)
 		t := m.Sch.Reg.Lookup(o.Type)
 		if len(o.Elems) > 0 || (t != nil && t.Kind != object.TupleType) {
-			return m.canonValue(object.Value{Kind: object.KSet, Elems: o.Elems}, depth, seen)
+			return m.canonValue(get, object.Value{Kind: object.KSet, Elems: o.Elems}, depth, seen)
 		}
-		return m.canonValue(object.Value{Kind: object.KTuple, TupleType: o.Type, Elems: o.Attrs}, depth, seen)
+		return m.canonValue(get, object.Value{Kind: object.KTuple, TupleType: o.Type, Elems: o.Attrs}, depth, seen)
 	case object.KSet:
 		parts := make([]string, len(v.Elems))
 		for i, e := range v.Elems {
-			parts[i] = m.canonValue(e, depth+1, seen)
+			parts[i] = m.canonValue(get, e, depth+1, seen)
 		}
 		sortStrings(parts)
 		return "{" + joinStrings(parts, ";") + "}"
 	case object.KList:
 		parts := make([]string, len(v.Elems))
 		for i, e := range v.Elems {
-			parts[i] = m.canonValue(e, depth+1, seen)
+			parts[i] = m.canonValue(get, e, depth+1, seen)
 		}
 		return "<" + joinStrings(parts, ";") + ">"
 	case object.KTuple:
 		parts := make([]string, len(v.Elems))
 		for i, e := range v.Elems {
-			parts[i] = m.canonValue(e, depth+1, seen)
+			parts[i] = m.canonValue(get, e, depth+1, seen)
 		}
 		return v.TupleType + "[" + joinStrings(parts, ";") + "]"
 	default:

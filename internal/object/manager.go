@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gomdb/internal/mvcc"
 	"gomdb/internal/storage"
 )
 
@@ -101,6 +102,30 @@ type Manager struct {
 	Reads int64
 	// Writes counts Put calls.
 	Writes int64
+
+	// MVCC snapshot-read state. Writers capture pre-images of the OID
+	// directory and the extents under verMu before mutating them; pinned
+	// readers reconstruct both at their version under verMu.RLock, with the
+	// record bytes served by the storage layer's page overlay. Charged
+	// accessors skip verMu entirely: they run either under the exclusive
+	// Database lock or with no writer present.
+	st      *mvcc.State
+	verMu   sync.RWMutex
+	ridVers map[OID][]ridCapture
+	extVers map[string][]extCapture
+}
+
+// ridCapture is a pre-image of one OID-directory entry as of publish ver.
+type ridCapture struct {
+	ver     uint64
+	rid     storage.RID
+	present bool
+}
+
+// extCapture is a pre-image of one type extent's membership as of ver.
+type extCapture struct {
+	ver   uint64
+	order []OID
 }
 
 // NewManager returns an object manager storing objects via pool.
@@ -115,6 +140,134 @@ func NewManager(reg *Registry, pool *storage.BufferPool, clock *storage.Clock) *
 		layouts: make(map[string][]AttrDef),
 		attrIdx: make(map[string]map[string]int),
 	}
+}
+
+// SetMVCC attaches the shared MVCC version state, enabling pre-image
+// capture on directory and extent mutations.
+func (m *Manager) SetMVCC(st *mvcc.State) {
+	m.st = st
+	m.ridVers = make(map[OID][]ridCapture)
+	m.extVers = make(map[string][]extCapture)
+}
+
+// captureRID records the pre-image of oid's directory entry for the current
+// epoch. Caller holds verMu.
+func (m *Manager) captureRID(oid OID, stable uint64) {
+	caps := m.ridVers[oid]
+	if n := len(caps); n > 0 && caps[n-1].ver == stable {
+		return
+	}
+	rid, ok := m.rids[oid]
+	m.ridVers[oid] = append(caps, ridCapture{ver: stable, rid: rid, present: ok})
+}
+
+// captureExt records the pre-image of a type extent's membership for the
+// current epoch. Caller holds verMu.
+func (m *Manager) captureExt(typeName string, stable uint64) {
+	caps := m.extVers[typeName]
+	if n := len(caps); n > 0 && caps[n-1].ver == stable {
+		return
+	}
+	var order []OID
+	if ext := m.extents[typeName]; ext != nil {
+		order = append([]OID(nil), ext.order...)
+	}
+	m.extVers[typeName] = append(caps, extCapture{ver: stable, order: order})
+}
+
+// GetVersioned reads and decodes the object with the given OID as of MVCC
+// version ver — charge-free, safe concurrently with a writer. It returns a
+// dangling-reference error when the object did not exist at ver.
+func (m *Manager) GetVersioned(oid OID, ver uint64) (*Obj, error) {
+	m.verMu.RLock()
+	rid, present := m.rids[oid]
+	caps := m.ridVers[oid]
+	for _, c := range caps {
+		if c.ver >= ver {
+			rid, present = c.rid, c.present
+			break
+		}
+	}
+	m.verMu.RUnlock()
+	if !present {
+		return nil, fmt.Errorf("object: dangling reference %v", oid)
+	}
+	rec, err := m.heap.ReadVersioned(rid, ver)
+	if err != nil {
+		return nil, err
+	}
+	return decodeObj(oid, rec)
+}
+
+// ExtensionVersioned returns the OIDs of all instances of typeName and its
+// subtypes as of MVCC version ver. The slice is a copy.
+func (m *Manager) ExtensionVersioned(typeName string, ver uint64) []OID {
+	var out []OID
+	m.verMu.RLock()
+	defer m.verMu.RUnlock()
+	for _, tn := range m.Reg.WithSubtypes(typeName) {
+		captured := false
+		for _, c := range m.extVers[tn] {
+			if c.ver >= ver {
+				out = append(out, c.order...)
+				captured = true
+				break
+			}
+		}
+		if !captured {
+			if ext := m.extents[tn]; ext != nil {
+				out = append(out, ext.order...)
+			}
+		}
+	}
+	return out
+}
+
+// ReclaimVersions drops directory and extent captures no pinned reader can
+// reach (tags below floor).
+func (m *Manager) ReclaimVersions(floor uint64) {
+	if m.st == nil {
+		return
+	}
+	m.verMu.Lock()
+	defer m.verMu.Unlock()
+	for oid, caps := range m.ridVers {
+		j := 0
+		for j < len(caps) && caps[j].ver < floor {
+			j++
+		}
+		if j == len(caps) {
+			delete(m.ridVers, oid)
+		} else if j > 0 {
+			m.ridVers[oid] = append([]ridCapture(nil), caps[j:]...)
+		}
+	}
+	for tn, caps := range m.extVers {
+		j := 0
+		for j < len(caps) && caps[j].ver < floor {
+			j++
+		}
+		if j == len(caps) {
+			delete(m.extVers, tn)
+		} else if j > 0 {
+			m.extVers[tn] = append([]extCapture(nil), caps[j:]...)
+		}
+	}
+}
+
+// VersionCaptureCount reports the number of retained directory and extent
+// pre-images (audits).
+func (m *Manager) VersionCaptureCount() int {
+	m.verMu.RLock()
+	defer m.verMu.RUnlock()
+	n := 0
+	for _, caps := range m.ridVers {
+		n += len(caps)
+	}
+	for _, caps := range m.extVers {
+		n += len(caps)
+	}
+	return n
 }
 
 // Layout returns the flattened (inheritance-resolved) attribute layout of a
@@ -197,6 +350,13 @@ func (m *Manager) store(o *Obj) (OID, error) {
 	if err != nil {
 		return NilOID, err
 	}
+	if m.st != nil {
+		m.verMu.Lock()
+		stable := m.st.Stable()
+		m.captureRID(o.OID, stable)
+		m.captureExt(o.Type, stable)
+		defer m.verMu.Unlock()
+	}
 	m.rids[o.OID] = rid
 	ext := m.extents[o.Type]
 	if ext == nil {
@@ -272,7 +432,14 @@ func (m *Manager) Put(o *Obj) error {
 		return err
 	}
 	if newRID != rid {
-		m.rids[o.OID] = newRID
+		if m.st != nil {
+			m.verMu.Lock()
+			m.captureRID(o.OID, m.st.Stable())
+			m.rids[o.OID] = newRID
+			m.verMu.Unlock()
+		} else {
+			m.rids[o.OID] = newRID
+		}
 	}
 	m.Writes++
 	return nil
@@ -290,6 +457,13 @@ func (m *Manager) Delete(oid OID) error {
 	}
 	if err := m.heap.Delete(rid); err != nil {
 		return err
+	}
+	if m.st != nil {
+		m.verMu.Lock()
+		stable := m.st.Stable()
+		m.captureRID(oid, stable)
+		m.captureExt(o.Type, stable)
+		defer m.verMu.Unlock()
 	}
 	delete(m.rids, oid)
 	if ext := m.extents[o.Type]; ext != nil {

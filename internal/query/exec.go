@@ -15,6 +15,13 @@ type Executor struct {
 	En  *schema.Engine
 	Mgr *core.Manager
 
+	// Snap, when set, pins the executor to an MVCC snapshot: En is the
+	// snapshot's engine (object reads resolve at the pinned version,
+	// materialized calls route to the snapshot's forward path) and backward
+	// GMR retrievals reconstruct at the version instead of consulting — and
+	// possibly rematerializing — the live GMR. Set via Snapshot.
+	Snap *core.Snapshot
+
 	// Defaults for the materialize statement.
 	DefaultStrategy core.Strategy
 	DefaultMode     core.HookMode
@@ -35,6 +42,19 @@ type Executor struct {
 // configuration (immediate rematerialization, ObjDepFct marking).
 func NewExecutor(en *schema.Engine, mgr *core.Manager) *Executor {
 	return &Executor{En: en, Mgr: mgr, DefaultStrategy: core.Immediate, DefaultMode: core.ModeObjDep}
+}
+
+// Snapshot returns a copy of the executor bound to snap: every object and
+// GMR read resolves at the snapshot's pinned version, and nothing the copy
+// does mutates engine or GMR state. The caller must only run plans that
+// ReadOnlyPlan accepts (a materialize or mutation statement fails with
+// schema.ErrShadowMutation).
+func (ex *Executor) Snapshot(snap *core.Snapshot) *Executor {
+	cp := *ex
+	cp.En = snap.Engine()
+	cp.Snap = snap
+	cp.rangeTypes = nil
+	return &cp
 }
 
 // Result is a query result: column labels and rows of values.
@@ -132,7 +152,7 @@ func (ex *Executor) runRetrieve(q *Query, params map[string]object.Value) (*Resu
 			return emitRow(b)
 		}
 		r := q.Ranges[i]
-		for _, oid := range ex.En.Objs.Extension(r.Type) {
+		for _, oid := range ex.En.ExtensionOf(r.Type) {
 			b[r.Var] = object.Ref(oid)
 			if err := rec(i+1, b); err != nil {
 				return err
@@ -281,7 +301,7 @@ func (ex *Executor) step(cur object.Value, curType, seg string) (object.Value, s
 	case object.KRef:
 		dispatch := curType
 		if dispatch == "" || ex.En.Sch.Reg.HasSubtypes(dispatch) {
-			o, err := ex.En.Objs.Get(cur.R)
+			o, err := ex.En.GetObject(cur.R)
 			if err != nil {
 				return object.Null(), "", err
 			}
@@ -310,7 +330,7 @@ func (ex *Executor) step(cur object.Value, curType, seg string) (object.Value, s
 func (ex *Executor) invoke(fn string, args []object.Value) (object.Value, error) {
 	if !strings.Contains(fn, ".") {
 		if _, ok := ex.En.Sch.ResolveStatic(fn); !ok && len(args) > 0 && args[0].Kind == object.KRef {
-			o, err := ex.En.Objs.Get(args[0].R)
+			o, err := ex.En.GetObject(args[0].R)
 			if err != nil {
 				return object.Null(), err
 			}

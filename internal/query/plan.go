@@ -153,7 +153,13 @@ func (ex *Executor) tryBackward(q *Query, params map[string]object.Value, emitRo
 		}
 	}
 	w := windows[bestKey]
-	matches, err := ex.Mgr.Backward(bestFid, w.lb, w.ub)
+	var matches []core.Match
+	var err error
+	if ex.Snap != nil {
+		matches, err = ex.Snap.Backward(bestFid, w.lb, w.ub)
+	} else {
+		matches, err = ex.Mgr.Backward(bestFid, w.lb, w.ub)
+	}
 	if err != nil {
 		if err == core.ErrIncomplete || strings.Contains(err.Error(), "not complete") {
 			return false, nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"gomdb/internal/object"
+	"gomdb/internal/storage"
 )
 
 // ErrShadowMutation is returned when an evaluation running in a shadow engine
@@ -20,6 +21,13 @@ var ErrShadowMutation = errors.New("schema: mutation attempted during shadow eva
 // drain is identical to a serial one (see DESIGN.md, "Update path").
 type shadowTrace struct {
 	oids []object.OID
+
+	// versioned marks an MVCC snapshot clone (SnapshotAt): object reads are
+	// served at the pinned version through the copy-on-write overlays, and
+	// no trace is recorded (nothing replays it — snapshot reads are
+	// charge-free by design and stay so).
+	versioned bool
+	ver       uint64
 }
 
 // Shadow returns a read-only evaluation clone of the engine. The clone shares
@@ -43,6 +51,31 @@ func (en *Engine) Shadow() *Engine {
 	}
 }
 
+// SnapshotAt returns a read-only evaluation clone bound to MVCC version
+// ver. Like Shadow it refuses mutations with ErrShadowMutation, but its
+// object reads resolve through the versioned overlays (safe concurrently
+// with a writer) and its simulated charges land on the caller-supplied
+// throwaway clock, so a pinned reader never perturbs the engine's clock.
+// The interceptor is cleared; the caller installs a snapshot-aware one.
+func (en *Engine) SnapshotAt(ver uint64, clock *storage.Clock) *Engine {
+	return &Engine{
+		Sch:    en.Sch,
+		Objs:   en.Objs,
+		Clock:  clock,
+		Hooks:  en.Hooks,
+		shadow: &shadowTrace{versioned: true, ver: ver},
+	}
+}
+
+// SnapshotVersion returns the pinned MVCC version of a SnapshotAt clone and
+// whether the engine is one.
+func (en *Engine) SnapshotVersion() (uint64, bool) {
+	if en.shadow == nil || !en.shadow.versioned {
+		return 0, false
+	}
+	return en.shadow.ver, true
+}
+
 // IsShadow reports whether the engine is a shadow clone.
 func (en *Engine) IsShadow() bool { return en.shadow != nil }
 
@@ -64,6 +97,24 @@ func (en *Engine) TraceObject(oid object.OID) {
 	}
 }
 
+// GetObject fetches an object through the engine's evaluation read path:
+// charged on a normal engine, snapshot/versioned on a shadow clone. Callers
+// outside the package (the query executor) use it so the same code runs
+// against live and pinned-snapshot engines.
+func (en *Engine) GetObject(oid object.OID) (*object.Obj, error) {
+	return en.getObject(oid)
+}
+
+// ExtensionOf returns the extension of typeName through the engine's read
+// path: a versioned snapshot clone reads it as of its pinned version, any
+// other engine reads the live extent directly.
+func (en *Engine) ExtensionOf(typeName string) []object.OID {
+	if en.shadow != nil && en.shadow.versioned {
+		return en.Objs.ExtensionVersioned(typeName, en.shadow.ver)
+	}
+	return en.Objs.Extension(typeName)
+}
+
 // getObject is the single object-fetch point of the evaluation path. A normal
 // engine reads through the buffer pool, charging the simulated clock; a
 // shadow engine reads a charge-free snapshot and records the access for later
@@ -71,6 +122,9 @@ func (en *Engine) TraceObject(oid object.OID) {
 func (en *Engine) getObject(oid object.OID) (*object.Obj, error) {
 	if en.shadow == nil {
 		return en.Objs.Get(oid)
+	}
+	if en.shadow.versioned {
+		return en.Objs.GetVersioned(oid, en.shadow.ver)
 	}
 	o, err := en.Objs.GetSnapshot(oid)
 	if err != nil {

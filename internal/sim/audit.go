@@ -33,6 +33,10 @@ const auditTol = 1e-9
 //     point; a leaked pin would eventually wedge the pool.
 //  4. Deferred-queue emptiness — after a flush the pending queue must be
 //     empty, or Flush is silently dropping work.
+//  5. MVCC quiescence — no snapshot pin is active at a quiescent point, and
+//     every version capture has been reclaimed (the flush preceding the audit
+//     published a version with no pinned reader below it, so the overlays
+//     must be empty; a surviving capture is a reclamation leak).
 func Audit(db *gomdb.Database) []string {
 	var out []string
 	if n := db.GMRs.PendingLen(); n != 0 {
@@ -40,6 +44,16 @@ func Audit(db *gomdb.Database) []string {
 	}
 	if n := db.Pool.PinnedCount(); n != 0 {
 		out = append(out, fmt.Sprintf("pin leak: %d frames pinned at quiescent point", n))
+	}
+	if st := db.MVCCStats(); st.Enabled {
+		if st.ActivePins != 0 {
+			out = append(out, fmt.Sprintf("mvcc: %d snapshot pins active at quiescent point", st.ActivePins))
+		}
+		if st.PageCaptures != 0 || st.ObjectCaptures != 0 || st.EntryCaptures != 0 {
+			out = append(out, fmt.Sprintf(
+				"mvcc: captures leaked at quiescent point (pages=%d objects=%d entries=%d)",
+				st.PageCaptures, st.ObjectCaptures, st.EntryCaptures))
+		}
 	}
 	for _, name := range db.GMRs.GMRs() {
 		g, ok := db.GMRs.Get(name)

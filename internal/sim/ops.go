@@ -63,6 +63,14 @@ const (
 	// recovery (flush + rebuild of every materialized GMR) so the next audit
 	// must pass.
 	OpFaultClear OpKind = "fault-clear"
+	// OpSnapRead pins an MVCC snapshot view and reads through it: a forward
+	// call of S on cuboid X%live at the pinned version, the Cuboid extension,
+	// and — when catalog entry X%len(catalog) is materialized and no fault
+	// window is open — a Definition 3.2 congruence audit of that GMR at the
+	// pinned version. The pin must be fully released afterwards (a leaked pin
+	// is a violation), and snapshot reads charge a throwaway clock, so plans
+	// with and without snap-read ops produce identical cost snapshots.
+	OpSnapRead OpKind = "snap-read"
 	// OpCrash kills and reopens a durable database (a no-op on in-memory
 	// runs). S selects the crash point: "now" crashes between operations;
 	// "mid-batch" cuts the WAL append of the end-of-batch checkpoint after N
@@ -218,8 +226,11 @@ func genOp(rng *rand.Rand) Op {
 		return Op{Kind: OpGC}
 	case w < 92:
 		return Op{Kind: OpDemat, X: rng.Intn(len(catalog))}
-	case w < 96:
+	case w < 95:
 		return Op{Kind: OpMat, X: rng.Intn(len(catalog))}
+	case w < 98:
+		return Op{Kind: OpSnapRead, X: rng.Intn(1 << 16), N: rng.Intn(2),
+			S: forwardFuncs[rng.Intn(len(forwardFuncs))]}
 	default:
 		return Op{Kind: OpAudit}
 	}

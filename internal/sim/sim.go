@@ -405,6 +405,8 @@ func (w *world) apply(op Op) (string, *Violation) {
 			return "skipped (faults armed)", nil
 		}
 		return w.applyAudit()
+	case OpSnapRead:
+		return w.applySnapRead(op)
 	case OpFault:
 		w.db.Disk.SetFaultPlan(storage.FaultPlan{Rules: op.Rule})
 		w.faultsOpen = true
@@ -572,6 +574,63 @@ func (w *world) applyBatch(op Op) string {
 		out += " ERR " + err.Error()
 	}
 	return out
+}
+
+// applySnapRead pins a snapshot view, reads through it, and optionally audits
+// one materialized GMR for Definition 3.2 congruence at the pinned version.
+// Read errors are workload outcomes (a fault window may be open); a stale
+// snapshot result or a leaked pin is a violation. All view reads charge a
+// throwaway clock, so this op never perturbs the run's cost snapshot.
+func (w *world) applySnapRead(op Op) (string, *Violation) {
+	view, err := w.db.SnapshotView()
+	if err != nil {
+		return "ERR " + err.Error(), nil
+	}
+	defer view.Release()
+	// The pinned version itself stays out of the trace: durable runs publish
+	// extra versions (checkpoints), and trace parity across the durability
+	// axis is part of the determinism contract.
+	parts := []string{"pinned"}
+
+	if oid, ok := w.cuboid(op.X); ok {
+		args := []gomdb.Value{gomdb.Ref(oid)}
+		if op.S == "Cuboid.distance" {
+			args = append(args, gomdb.Ref(w.robots[op.N%len(w.robots)]))
+		}
+		if v, err := view.Call(op.S, args...); err != nil {
+			parts = append(parts, op.S+" ERR "+err.Error())
+		} else {
+			parts = append(parts, fmt.Sprintf("%s(%s)=%s", op.S, oid, v))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("ext=%d", len(view.Extension("Cuboid"))))
+
+	// Congruence at the pinned version for one materialized catalog entry.
+	// Skipped inside fault windows, like OpAudit: invariants may legitimately
+	// be broken until the window's recovery. Completeness is not checked —
+	// mid-plan the extension moves with every create/delete; congruence of
+	// the stored results is the snapshot-level invariant.
+	ci := op.X % len(catalog)
+	if w.matted[ci] && !w.faultsOpen {
+		spec := catalog[ci]
+		rep, err := view.CheckConsistency(spec.Name, auditTol, false)
+		switch {
+		case err != nil:
+			parts = append(parts, "audit "+spec.Name+" ERR "+err.Error())
+		case rep.Err() != nil:
+			return strings.Join(parts, " "),
+				&Violation{Msgs: []string{"snapshot audit " + spec.Name + ": " + rep.Err().Error()}}
+		default:
+			parts = append(parts, "audit "+spec.Name+" ok")
+		}
+	}
+
+	view.Release()
+	if n := w.db.MVCCStats().ActivePins; n != 0 {
+		return strings.Join(parts, " "),
+			&Violation{Msgs: []string{fmt.Sprintf("snapshot pin leak: %d active after release", n)}}
+	}
+	return strings.Join(parts, " "), nil
 }
 
 // applyFaultClear closes the fault window: disarm injection, then recover —

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -244,5 +245,80 @@ func TestReplayCommittedArtifacts(t *testing.T) {
 				t.Fatalf("artifact records a clean run but replay violates: %s", res.Violation)
 			}
 		})
+	}
+}
+
+// TestSnapshotReadsDontPerturbCharges pins the MVCC cost contract: snapshot
+// reads charge a throwaway clock, so a plan runs to the same trace (snap-read
+// lines aside) and the byte-identical Clock snapshot with its snap-read ops
+// stripped. The generated plan must actually contain snap-reads, or the
+// comparison is vacuous.
+func TestSnapshotReadsDontPerturbCharges(t *testing.T) {
+	for _, strat := range []string{"immediate", "lazy", "deferred"} {
+		strat := strat
+		t.Run(strat, func(t *testing.T) {
+			t.Parallel()
+			plan := Generate(1234, GenOptions{Ops: 140})
+			snaps := 0
+			stripped := Plan{Seed: plan.Seed, Init: plan.Init}
+			for _, op := range plan.Ops {
+				if op.Kind == OpSnapRead {
+					snaps++
+					continue
+				}
+				stripped.Ops = append(stripped.Ops, op)
+			}
+			if snaps == 0 {
+				t.Fatal("plan contains no snap-read ops; the comparison is vacuous")
+			}
+			cfg := EngineConfig{Strategy: strat, Memo: true}
+			full := requireClean(t, cfg, plan)
+			base := requireClean(t, cfg, stripped)
+			if full.Clock != base.Clock {
+				t.Fatalf("snapshot reads perturbed the cost snapshot:\nwith:    %+v\nwithout: %+v",
+					full.Clock, base.Clock)
+			}
+			// The non-snap portion of the trace must be identical op for op
+			// (indices shift when ops are stripped, so compare kind+detail).
+			var fullOps []string
+			for _, line := range full.Trace {
+				if len(line) > 5 && !strings.HasPrefix(line[5:], string(OpSnapRead)) {
+					fullOps = append(fullOps, line[5:])
+				}
+			}
+			for i, line := range base.Trace {
+				if i >= len(fullOps) || fullOps[i] != line[5:] {
+					t.Fatalf("trace diverges at stripped op %d:\nwith:    %s\nwithout: %s",
+						i, fullOps[i], line[5:])
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotReadsUnderFaultsAndCrashes: snap-read ops must coexist with
+// scripted fault windows and crash-restart points — reads may fail inside a
+// window (tolerated, recorded), pins never leak across a crash, and every
+// post-recovery audit still passes.
+func TestSnapshotReadsUnderFaultsAndCrashes(t *testing.T) {
+	dir := t.TempDir()
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
+	snaps := 0
+	for seed := int64(900); seed < 900+seeds; seed++ {
+		plan := Generate(seed, GenOptions{Ops: 100, Faults: true, Crashes: true})
+		for _, op := range plan.Ops {
+			if op.Kind == OpSnapRead {
+				snaps++
+			}
+		}
+		cfg := EngineConfig{Strategy: "lazy", Memo: true, Durable: true,
+			CrashDir: filepath.Join(dir, fmt.Sprintf("seed%d", seed))}
+		requireClean(t, cfg, plan)
+	}
+	if snaps == 0 {
+		t.Fatal("no snap-read ops across any fault/crash plan; coverage is vacuous")
 	}
 }

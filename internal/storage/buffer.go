@@ -110,6 +110,10 @@ type BufferPool struct {
 	// requiring a physical read; read them through HitStats.
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// pv, when non-nil, is the MVCC copy-on-write page overlay (see
+	// pageversions.go) attached by SetMVCC.
+	pv *pageVersions
 }
 
 // NewPool returns a buffer pool over disk with capacity frames and the
@@ -360,8 +364,11 @@ func (bp *BufferPool) Flush() error {
 // deferred-rematerialization workers: they evaluate concurrently against a
 // stable snapshot while the simulated charges of their reads are replayed
 // serially (and therefore deterministically) afterwards. Callers must
-// guarantee that no writer runs concurrently; the GMR manager's flush holds
-// the Database write lock for the whole drain.
+// guarantee that no writer mutates the page bytes concurrently: the GMR
+// manager's flush holds the Database write lock for the whole drain, and
+// the MVCC read path wraps this call in the page's stripe lock
+// (ReadVersioned), which excludes MutatePage writers. The disk fall-through
+// serializes on missMu because the Disk itself has no interior lock.
 func (bp *BufferPool) ReadSnapshot(id PageID, dst *[PageSize]byte) error {
 	sh := bp.shardFor(id)
 	sh.mu.Lock()
@@ -371,6 +378,8 @@ func (bp *BufferPool) ReadSnapshot(id PageID, dst *[PageSize]byte) error {
 		return nil
 	}
 	sh.mu.Unlock()
+	bp.missMu.Lock()
+	defer bp.missMu.Unlock()
 	return bp.disk.readSnapshot(id, dst)
 }
 

@@ -118,17 +118,22 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		if err != nil {
 			return RID{}, err
 		}
-		p := slotted{&f.Data}
-		p.initIfNeeded()
-		if p.freeSpace() >= len(rec)+insertSlack {
-			p.compact()
-			if slot, ok := p.insert(rec); ok {
-				if err := h.unpinDirty(id); err != nil {
-					return RID{}, err
-				}
-				h.count++
-				return RID{Page: id, Slot: slot}, nil
+		var slot uint16
+		inserted := false
+		h.pool.MutatePage(f, func() {
+			p := slotted{&f.Data}
+			p.initIfNeeded()
+			if p.freeSpace() >= len(rec)+insertSlack {
+				p.compact()
+				slot, inserted = p.insert(rec)
 			}
+		})
+		if inserted {
+			if err := h.unpinDirty(id); err != nil {
+				return RID{}, err
+			}
+			h.count++
+			return RID{Page: id, Slot: slot}, nil
 		}
 		if err := h.pool.Unpin(id, false); err != nil {
 			return RID{}, err
@@ -138,9 +143,13 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
-	p := slotted{&f.Data}
-	p.initIfNeeded()
-	slot, ok := p.insert(rec)
+	var slot uint16
+	var ok bool
+	h.pool.MutatePage(f, func() {
+		p := slotted{&f.Data}
+		p.initIfNeeded()
+		slot, ok = p.insert(rec)
+	})
 	if !ok {
 		if err := h.pool.Unpin(f.ID(), false); err != nil {
 			return RID{}, err
@@ -197,6 +206,25 @@ func (h *HeapFile) ReadSnapshot(rid RID) ([]byte, error) {
 	return out, nil
 }
 
+// ReadVersioned returns a copy of the record stored at rid as of MVCC
+// version ver — charge-free like ReadSnapshot, but safe concurrently with a
+// writer: the page state is reconstructed from the copy-on-write page
+// overlay (see BufferPool.ReadVersioned).
+func (h *HeapFile) ReadVersioned(rid RID, ver uint64) ([]byte, error) {
+	var page [PageSize]byte
+	if err := h.pool.ReadVersioned(rid.Page, ver, &page); err != nil {
+		return nil, err
+	}
+	p := slotted{&page}
+	data, ok := p.read(rid.Slot)
+	if !ok {
+		return nil, fmt.Errorf("storage: no record at %v in %s", rid, h.name)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
 // Update rewrites the record at rid. If the new record no longer fits on its
 // page the record moves and the new RID is returned; the caller must update
 // any mapping it keeps.
@@ -208,15 +236,22 @@ func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
-	p := slotted{&f.Data}
-	if p.update(rid.Slot, rec) {
+	updated := false
+	h.pool.MutatePage(f, func() {
+		p := slotted{&f.Data}
+		if p.update(rid.Slot, rec) {
+			updated = true
+			return
+		}
+		// Does not fit: delete here, insert elsewhere (below).
+		p.del(rid.Slot)
+	})
+	if updated {
 		if err := h.unpinDirty(rid.Page); err != nil {
 			return RID{}, err
 		}
 		return rid, nil
 	}
-	// Does not fit: delete here, insert elsewhere.
-	p.del(rid.Slot)
 	if err := h.unpinDirty(rid.Page); err != nil {
 		return RID{}, err
 	}
@@ -230,8 +265,11 @@ func (h *HeapFile) Delete(rid RID) error {
 	if err != nil {
 		return err
 	}
-	p := slotted{&f.Data}
-	ok := p.del(rid.Slot)
+	var ok bool
+	h.pool.MutatePage(f, func() {
+		p := slotted{&f.Data}
+		ok = p.del(rid.Slot)
+	})
 	if !ok {
 		if err := h.pool.Unpin(rid.Page, false); err != nil {
 			return err

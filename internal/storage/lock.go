@@ -1,0 +1,34 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive, non-blocking flock on a LOCK file inside dir.
+// A second opener — another process, or a second OpenPageStore in this one —
+// gets an immediate error instead of silently interleaving WAL writes with
+// the first. The lock is advisory and tied to the returned descriptor, so
+// it vanishes with the process however it dies; a stale LOCK file from a
+// crash is harmless.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases a lock taken by lockDir. Closing the descriptor drops
+// the flock.
+func unlockDir(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

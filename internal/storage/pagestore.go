@@ -45,6 +45,10 @@ type PageStore struct {
 	dir   string
 	dataF *os.File
 	walF  *os.File
+	// lockF holds an exclusive flock on LOCK for the store's lifetime so two
+	// processes (or two Opens in one process) cannot write the same
+	// directory concurrently. Released by Close and Abandon.
+	lockF *os.File
 
 	// walEnd is the append offset of the WAL (header-only after a completed
 	// checkpoint).
@@ -126,11 +130,16 @@ func OpenPageStore(dir string) (*PageStore, *RecoveredImage, error) {
 	}
 	ps := &PageStore{dir: dir, failAfter: -1}
 	var err error
+	if ps.lockF, err = lockDir(dir); err != nil {
+		return nil, nil, err
+	}
 	if ps.dataF, err = openWithHeader(filepath.Join(dir, "data.gomdb"), dataMagic, uint32(pageRecSize)); err != nil {
+		unlockDir(ps.lockF)
 		return nil, nil, err
 	}
 	if ps.walF, err = openWithHeader(filepath.Join(dir, "wal.gomdb"), walMagic, 0); err != nil {
 		ps.dataF.Close()
+		unlockDir(ps.lockF)
 		return nil, nil, err
 	}
 	img, err := ps.recover()
@@ -552,6 +561,7 @@ func (ps *PageStore) Close() error {
 	ps.closed = true
 	err1 := ps.dataF.Close()
 	err2 := ps.walF.Close()
+	unlockDir(ps.lockF)
 	if err1 != nil {
 		return err1
 	}
@@ -568,4 +578,5 @@ func (ps *PageStore) Abandon() {
 	ps.closed = true
 	ps.dataF.Close()
 	ps.walF.Close()
+	unlockDir(ps.lockF)
 }

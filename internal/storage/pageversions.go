@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+
+	"gomdb/internal/mvcc"
+)
+
+// pageVersions is the copy-on-write page overlay of the MVCC snapshot read
+// path. Writers (which run one at a time, under the exclusive Database
+// lock) capture a page's pre-image the first time they mutate it in the
+// current epoch, tagged with the current stable version; pinned readers
+// reconstruct the page state at their version from the captures, falling
+// through to the live page when no capture covers it.
+//
+// The overlay is striped by page id. A stripe's RWMutex serializes the
+// writer's capture-and-mutate regions (MutatePage) against readers copying
+// the live bytes (ReadVersioned): without it a reader could see a torn,
+// half-compacted slotted page. Lock order: stripe mutex before any pool
+// shard mutex or missMu (MutatePage runs after Pin has released the shard
+// mutex; ReadVersioned acquires pool locks while holding the stripe lock).
+type pageVersions struct {
+	st      *mvcc.State
+	stripes [64]pvStripe
+}
+
+type pvStripe struct {
+	mu sync.RWMutex
+	m  map[PageID][]pageCapture
+}
+
+// pageCapture is one pre-image: the page bytes as of publish ver. Captures
+// for a page are kept sorted by ascending ver.
+type pageCapture struct {
+	ver  uint64
+	data [PageSize]byte
+}
+
+func newPageVersions(st *mvcc.State) *pageVersions {
+	pv := &pageVersions{st: st}
+	for i := range pv.stripes {
+		pv.stripes[i].m = make(map[PageID][]pageCapture)
+	}
+	return pv
+}
+
+func (pv *pageVersions) stripe(id PageID) *pvStripe {
+	return &pv.stripes[uint64(id)%uint64(len(pv.stripes))]
+}
+
+// mutate runs fn (the caller's in-place mutation of f.Data) under the
+// page's stripe write lock, capturing the pre-image first if this is the
+// page's first mutation of the current epoch.
+func (pv *pageVersions) mutate(f *Frame, fn func()) {
+	s := pv.stripe(f.id)
+	stable := pv.st.Stable()
+	s.mu.Lock()
+	caps := s.m[f.id]
+	if n := len(caps); n == 0 || caps[n-1].ver < stable {
+		caps = append(caps, pageCapture{ver: stable, data: f.Data})
+		s.m[f.id] = caps
+	}
+	fn()
+	s.mu.Unlock()
+}
+
+// readAt copies the state of page id as of version ver into dst: the
+// capture with the smallest tag >= ver when one exists, the live page
+// otherwise (nothing has mutated it since ver). The live fall-through runs
+// under the stripe read lock so a concurrent capture-and-mutate cannot
+// tear it.
+func (pv *pageVersions) readAt(bp *BufferPool, id PageID, ver uint64, dst *[PageSize]byte) error {
+	s := pv.stripe(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	caps := s.m[id]
+	i := sort.Search(len(caps), func(i int) bool { return caps[i].ver >= ver })
+	if i < len(caps) {
+		*dst = caps[i].data
+		return nil
+	}
+	return bp.ReadSnapshot(id, dst)
+}
+
+// dropBelow reclaims every capture tagged below floor — no pinned reader
+// can reach them. Called from the facade's publish point.
+func (pv *pageVersions) dropBelow(floor uint64) {
+	for i := range pv.stripes {
+		s := &pv.stripes[i]
+		s.mu.Lock()
+		for id, caps := range s.m {
+			j := 0
+			for j < len(caps) && caps[j].ver < floor {
+				j++
+			}
+			if j == len(caps) {
+				delete(s.m, id)
+			} else if j > 0 {
+				s.m[id] = append([]pageCapture(nil), caps[j:]...)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// captureCount returns the total number of live page captures (audits).
+func (pv *pageVersions) captureCount() int {
+	n := 0
+	for i := range pv.stripes {
+		s := &pv.stripes[i]
+		s.mu.RLock()
+		for _, caps := range s.m {
+			n += len(caps)
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// SetMVCC attaches the shared version state to the pool, enabling the
+// copy-on-write page overlay. Must be called before any concurrent use.
+func (bp *BufferPool) SetMVCC(st *mvcc.State) {
+	if st == nil {
+		bp.pv = nil
+		return
+	}
+	bp.pv = newPageVersions(st)
+}
+
+// MutatePage runs fn, which mutates f.Data in place, under the MVCC page
+// overlay's capture-and-mutate protocol. Without MVCC state attached it
+// simply runs fn. The caller must hold the frame pinned.
+func (bp *BufferPool) MutatePage(f *Frame, fn func()) {
+	if bp.pv == nil {
+		fn()
+		return
+	}
+	bp.pv.mutate(f, fn)
+}
+
+// ReadVersioned copies the state of page id as of version ver into dst.
+// It charges nothing, like ReadSnapshot, but unlike ReadSnapshot it is safe
+// concurrently with a writer that mutates pages through MutatePage.
+func (bp *BufferPool) ReadVersioned(id PageID, ver uint64, dst *[PageSize]byte) error {
+	if bp.pv == nil {
+		return bp.ReadSnapshot(id, dst)
+	}
+	return bp.pv.readAt(bp, id, ver, dst)
+}
+
+// ReclaimVersions drops page captures no pinned reader can reach (tags
+// below floor).
+func (bp *BufferPool) ReclaimVersions(floor uint64) {
+	if bp.pv != nil {
+		bp.pv.dropBelow(floor)
+	}
+}
+
+// VersionCaptureCount reports the number of retained page pre-images.
+func (bp *BufferPool) VersionCaptureCount() int {
+	if bp.pv == nil {
+		return 0
+	}
+	return bp.pv.captureCount()
+}

@@ -99,3 +99,75 @@ func TestMemoSurvivesIrrelevantWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMemoEpochBumpOrderedAfterMutation exercises the epoch discipline
+// through the full facade: a memoized forward lookup interleaved at each
+// epoch bump of a vertex-move update must end with a coherent cache and a
+// fresh result. The isolating regression for the ordering bug itself is
+// TestMemoEpochSingleBumpOrdering in internal/core — a facade-level update
+// bumps more than once (invalidation, then RRR maintenance), so the later
+// bumps retire a memo entry poisoned at the first and this test alone cannot
+// distinguish the buggy order; it documents the end-to-end behaviour and
+// guards the consistency audit after the interleaving.
+func TestMemoEpochBumpOrderedAfterMutation(t *testing.T) {
+	db := gomdb.Open(gomdb.DefaultConfig())
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fixtures.PopulateGeometry(db, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Cuboid.volume"}, Complete: true,
+		Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep, MemoCache: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Cuboids[0]
+	before, err := db.Call("Cuboid.volume", gomdb.Ref(c)) // warm the memo
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var raced int32
+	db.GMRs.TestingSetEpochBumpHook(func() {
+		// One racing read at the first bump; ignore nested bumps caused by
+		// the raced lookup itself rematerializing.
+		if !atomic.CompareAndSwapInt32(&raced, 0, 1) {
+			return
+		}
+		_, _ = db.GMRs.Forward("Cuboid.volume", []gomdb.Value{gomdb.Ref(c)})
+	})
+	// A relevant update: move a vertex the volume depends on. Lazy strategy
+	// keeps this to a single mutation point (one markInvalid), so the hook
+	// fires in exactly the window the race needs.
+	v, err := db.GetAttr(c, "V2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Set(v.R, "X", gomdb.Float(50.5)); err != nil {
+		t.Fatal(err)
+	}
+	db.GMRs.TestingSetEpochBumpHook(nil)
+	if atomic.LoadInt32(&raced) == 0 {
+		t.Fatal("the relevant update never bumped the epoch")
+	}
+
+	after, err := db.Call("Cuboid.volume", gomdb.Ref(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := before.AsFloat()
+	fa, _ := after.AsFloat()
+	if fa == fb {
+		t.Fatalf("stale memoized volume %v served after the update", fa)
+	}
+	rep, err := db.CheckConsistency("<<Cuboid.volume>>", 1e-6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

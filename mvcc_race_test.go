@@ -1,0 +1,165 @@
+package gomdb_test
+
+// Race stress for the snapshot read path: unsynchronized reader goroutines
+// drive every read surface while one writer updates attributes, runs batches,
+// and periodically tears the GMR down and rebuilds it (barrier operations).
+// Run under -race this covers the TOCTOU window the snapshot path closed —
+// the seed classified Query read-only under the shared lock, dropped it, and
+// re-ran under the exclusive lock against state that may have changed in
+// between — as well as the capture/reclaim protocol itself.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gomdb"
+)
+
+// materializedRectangleDBLazy is materializedRectangleDB with the lazy
+// strategy and the memo cache enabled, so the stress covers invalid-entry
+// rematerialization and the epoch-tagged memo as well.
+func materializedRectangleDBLazy(t *testing.T, n int) (*gomdb.Database, []gomdb.OID, string) {
+	t.Helper()
+	db := rectangleDB(t)
+	for i := 1; i <= n; i++ {
+		db.MustNew("Rectangle", gomdb.Float(float64(i)), gomdb.Float(2))
+	}
+	g, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Rectangle.area"}, Complete: true,
+		Strategy: gomdb.Lazy, MemoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, db.Extension("Rectangle"), g.Name
+}
+
+func TestSnapshotReadersRaceWriters(t *testing.T) {
+	const n = 8
+	db, oids, gmrName := materializedRectangleDBLazy(t, n)
+
+	const writerIters = 150
+	var stop atomic.Bool
+	errs := make(chan error, 16)
+	report := func(err error) {
+		if err != nil {
+			select {
+			case errs <- err:
+			default:
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Readers: every surface, no locking discipline of their own. Values are
+	// checked for shape (area = Width*Height with Height fixed at 2), not for
+	// a particular version — any published version is admissible.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				oid := oids[(r+i)%n]
+				switch i % 4 {
+				case 0:
+					v, err := db.Call("Rectangle.area", gomdb.Ref(oid))
+					if err != nil {
+						report(fmt.Errorf("reader Call: %w", err))
+						return
+					}
+					if f, _ := v.AsFloat(); f <= 0 || f != float64(int(f)) || int(f)%2 != 0 {
+						report(fmt.Errorf("reader Call = %v, not an even positive width*2", v))
+						return
+					}
+				case 1:
+					if _, err := db.GetAttr(oid, "Width"); err != nil {
+						report(fmt.Errorf("reader GetAttr: %w", err))
+						return
+					}
+				case 2:
+					if got := len(db.Extension("Rectangle")); got != n {
+						report(fmt.Errorf("reader Extension = %d, want %d", got, n))
+						return
+					}
+				case 3:
+					qr, err := db.Query(`range r: Rectangle retrieve r.Width where r.area >= 0.0`, nil)
+					if err != nil {
+						report(fmt.Errorf("reader Query: %w", err))
+						return
+					}
+					if len(qr.Rows) != n {
+						report(fmt.Errorf("reader Query rows = %d, want %d", len(qr.Rows), n))
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writer: point updates, batches, and periodic dematerialize/materialize
+	// pairs so readers race true barrier operations too.
+	go func() {
+		defer stop.Store(true)
+		for i := 0; i < writerIters; i++ {
+			oid := oids[i%n]
+			switch {
+			case i%50 == 49:
+				if err := db.Dematerialize(gmrName); err != nil {
+					report(fmt.Errorf("writer Dematerialize: %w", err))
+					return
+				}
+				if _, err := db.Materialize(gomdb.MaterializeOptions{
+					Funcs: []string{"Rectangle.area"}, Complete: true,
+					Strategy: gomdb.Lazy, MemoCache: true,
+				}); err != nil {
+					report(fmt.Errorf("writer Materialize: %w", err))
+					return
+				}
+			case i%10 == 9:
+				if err := db.Batch(func(tx *gomdb.Tx) error {
+					for j := 0; j < 3; j++ {
+						w := float64((i+j)%5 + 1)
+						if err := tx.Set(oids[(i+j)%n], "Width", gomdb.Float(w)); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					report(fmt.Errorf("writer Batch: %w", err))
+					return
+				}
+			default:
+				w := float64(i%5 + 1)
+				if err := db.Set(oid, "Width", gomdb.Float(w)); err != nil {
+					report(fmt.Errorf("writer Set: %w", err))
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiesced: no pins may remain, captures must be reclaimed by the last
+	// publish, and the rebuilt GMR must satisfy Definition 3.2.
+	st := db.MVCCStats()
+	if st.ActivePins != 0 {
+		t.Fatalf("%d pins leaked", st.ActivePins)
+	}
+	if st.PageCaptures != 0 || st.ObjectCaptures != 0 || st.EntryCaptures != 0 {
+		t.Fatalf("captures leaked after quiescence: %+v", st)
+	}
+	rep, err := db.CheckConsistency(gmrName, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("post-race audit: %v", err)
+	}
+}

@@ -146,3 +146,79 @@ func BenchmarkParallelQueryMix(b *testing.B) {
 		}
 	})
 }
+
+// withWriter runs the forward-lookup benchmark with one background writer
+// continuously moving vertices (each move invalidates and immediately
+// rematerializes the GMR entry under the exclusive lock). disableMVCC
+// selects the historical blocking read path; the default engine answers the
+// contended reads from MVCC snapshots instead.
+func forwardParallelWithWriter(b *testing.B, disableMVCC bool) {
+	db := gomdb.Open(gomdb.Config{BufferPages: 8192, DisableMVCC: disableMVCC})
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		b.Fatal(err)
+	}
+	g, err := fixtures.PopulateGeometry(db, 500, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Funcs:    []string{"Cuboid.volume", "Cuboid.weight"},
+		Complete: true,
+		Mode:     gomdb.ModeObjDep,
+		Strategy: gomdb.Immediate,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for _, oid := range g.Cuboids {
+		if _, err := db.Call("Cuboid.volume", gomdb.Ref(oid)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			oid := g.Cuboids[rng.Intn(len(g.Cuboids))]
+			attr := []string{"V1", "V2", "V3", "V4", "V5", "V6", "V7", "V8"}[rng.Intn(8)]
+			vref, err := db.GetAttr(oid, attr)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := db.Set(vref.R, "X", gomdb.Float(rng.Float64()*100)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seq.Add(1)))
+		for pb.Next() {
+			if _, err := db.Call("Cuboid.volume", gomdb.Ref(g.Cuboids[rng.Intn(len(g.Cuboids))])); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+}
+
+// BenchmarkParallelForwardWithWriter measures reader latency under writer
+// interference on the default engine: contended reads take the MVCC
+// snapshot path instead of queueing behind the writer.
+func BenchmarkParallelForwardWithWriter(b *testing.B) { forwardParallelWithWriter(b, false) }
+
+// BenchmarkParallelForwardWithWriterRWMutex is the blocking baseline
+// (Config.DisableMVCC): every reader waits for the writer's RWMutex.
+func BenchmarkParallelForwardWithWriterRWMutex(b *testing.B) { forwardParallelWithWriter(b, true) }
