@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc check-determinism repro repro-short examples sim sim-crash sim-long cover clean
+.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc bench-cluster check-determinism repro repro-short examples sim sim-crash sim-long cover clean
 
 all: build vet test
 
@@ -38,6 +38,19 @@ bench-throughput:
 # worker-pool sweep (writes BENCH_updates.json).
 bench-updates:
 	$(GO) run ./cmd/gombench -figure updates
+
+# Trace-driven clustering: PhysReads and buffer miss rate on three
+# deliberately-scattered bases, before and after db.Recluster() relocates
+# objects along the forward-trace affinity order (writes BENCH_cluster.json;
+# full scale is the committed report, `make bench-cluster SHORT=-short` for a
+# quick smoke that leaves the committed JSON alone).
+SHORT ?=
+bench-cluster:
+ifeq ($(SHORT),)
+	$(GO) run ./cmd/gombench -figure cluster
+else
+	$(GO) run ./cmd/gombench -figure cluster $(SHORT) -out /tmp/BENCH_cluster_short.json
+endif
 
 # Writer interference: reader ops/sec with a background writer holding the
 # engine, MVCC snapshot reads vs. the DisableMVCC RWMutex baseline (merges

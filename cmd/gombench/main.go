@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc) or 'all'")
+	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc, cluster) or 'all'")
 	short := flag.Bool("short", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cuboids := flag.Int("cuboids", 0, "override Cuboid database size (default 8000, paper scale)")
@@ -41,6 +41,7 @@ func main() {
 		fmt.Println("throughput")
 		fmt.Println("updates")
 		fmt.Println("mvcc")
+		fmt.Println("cluster")
 		return
 	}
 	sc := bench.FullScale()
@@ -64,6 +65,9 @@ func main() {
 		return
 	case "mvcc":
 		runMVCC(sc, jsonOut(*out, "BENCH_throughput.json"), *csv, *plot)
+		return
+	case "cluster":
+		runCluster(sc, jsonOut(*out, "BENCH_cluster.json"), *csv, *plot)
 		return
 	}
 
@@ -136,6 +140,33 @@ func runUpdates(sc bench.Scale, out string, csv, plot bool) {
 	}
 	writeJSON(rep, out, "updates")
 	fmt.Printf("  (updates completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
+}
+
+// runCluster runs the trace-driven clustering suite and writes the JSON
+// report.
+func runCluster(sc bench.Scale, out string, csv, plot bool) {
+	t0 := time.Now()
+	rep, fig, err := bench.Cluster(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: cluster: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fig.PrintCSV(os.Stdout)
+	} else {
+		fig.Print(os.Stdout)
+	}
+	if plot {
+		fig.PrintPlot(os.Stdout)
+	}
+	for _, m := range rep.Mixes {
+		fmt.Printf("  %-18s reads %6d -> %6d (%.1f%% reduction), miss rate %.3f -> %.3f, moved %d/%d, identical=%v\n",
+			m.Name, m.Scattered.PhysReads, m.Clustered.PhysReads, 100*m.ReadReduction,
+			m.Scattered.BufferMissRate, m.Clustered.BufferMissRate,
+			m.Recluster.Moved, m.Recluster.Objects, m.ResultsIdentical)
+	}
+	writeJSON(rep, out, "cluster")
+	fmt.Printf("  (cluster completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
 }
 
 // runThroughput runs the wall-clock suite (quiescent mixes plus the

@@ -15,7 +15,10 @@
 //
 // With -durable each run executes against a file-backed store; -crashes
 // additionally inserts crash-restart points (crash mid-batch, mid-flush,
-// mid-materialize, torn page write) into every plan. A violating durable run
+// mid-materialize, torn page write) into every plan. -recluster inserts
+// trace-driven reclustering passes (after fault/crash injection, so they can
+// land inside fault windows and next to crash points); the directory ↔ heap
+// auditor then verifies every relocation left the base intact. A violating durable run
 // is re-executed with its store pinned under -out, so the on-disk state that
 // fed recovery ships alongside the shrunk reproducer.
 //
@@ -45,6 +48,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "buffer pool lock-stripe count (0 = default)")
 		workers  = flag.Int("workers", 0, "deferred-flush worker count (0 = GOMAXPROCS)")
 		faults   = flag.Bool("faults", false, "insert scripted fault windows into each plan")
+		recl     = flag.Bool("recluster", false, "insert trace-driven reclustering passes into each plan")
+		nomvcc   = flag.Bool("nomvcc", false, "disable the MVCC snapshot read path")
 		durable  = flag.Bool("durable", false, "run against a file-backed store (checkpoints + WAL + recovery)")
 		crashes  = flag.Bool("crashes", false, "insert crash-restart points into each plan (implies -durable)")
 		broken   = flag.Bool("broken", false, "arm the deliberately-broken invalidation path (audits must fail)")
@@ -70,7 +75,7 @@ func main() {
 		configs = append(configs, sim.EngineConfig{
 			Strategy: s, Memo: *memo, SecondChance: *sc, UseMDS: *mds,
 			BufferShards: *shards, RematWorkers: *workers, Broken: *broken,
-			Durable: *durable,
+			Durable: *durable, DisableMVCC: *nomvcc,
 		})
 	}
 
@@ -82,7 +87,7 @@ func main() {
 	failures := 0
 	for _, cfg := range configs {
 		for s := first; s < first+count; s++ {
-			plan := sim.Generate(s, sim.GenOptions{Ops: *ops, Faults: *faults, Crashes: *crashes})
+			plan := sim.Generate(s, sim.GenOptions{Ops: *ops, Faults: *faults, Crashes: *crashes, Recluster: *recl})
 			res := sim.Run(cfg, plan)
 			status := "ok"
 			if res.Violation != nil {

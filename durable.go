@@ -241,8 +241,19 @@ func dedupSorted(ids []storage.PageID) []storage.PageID {
 
 // Checkpoint makes the current state durable immediately; a no-op on an
 // in-memory database. It does not flush the deferred queue (use Flush for a
-// combined flush point + checkpoint).
+// combined flush point + checkpoint). With Config.ReclusterOnCheckpoint set,
+// a trace-driven reclustering pass runs first (under the reader barrier
+// relocation requires), so the checkpoint commits the clustered layout and
+// recovery replays to it.
 func (db *Database) Checkpoint() error {
+	if db.reclusterOnCkpt {
+		db.lockBarrier()
+		defer db.unlockBarrier()
+		if _, err := db.reclusterLocked(); err != nil {
+			return err
+		}
+		return db.checkpointLocked()
+	}
 	db.lockWrite()
 	defer db.unlockWrite()
 	return db.checkpointLocked()

@@ -179,6 +179,13 @@ type Config struct {
 	// materialize. Required when Path is set and the directory holds an
 	// existing database.
 	DefineSchema func(*Database) error
+	// ReclusterOnCheckpoint runs a trace-driven reclustering pass (see
+	// Database.Recluster) at every explicit Checkpoint call, before the state
+	// is made durable — so the checkpoint commits the clustered layout and
+	// crash recovery replays to it. Flush/Batch/Materialize checkpoint points
+	// are NOT recluster points: they run under the plain write lock, and
+	// relocation needs the reader barrier. Off by default.
+	ReclusterOnCheckpoint bool
 	// DisableMVCC turns off the versioned snapshot read path: a
 	// read-classified operation that finds the engine write-locked blocks on
 	// the reader/writer lock instead of answering from a pinned snapshot —
@@ -239,6 +246,9 @@ type Database struct {
 	// be versioned. See internal/mvcc.
 	mvccSt *mvcc.State
 
+	// reclusterOnCkpt mirrors Config.ReclusterOnCheckpoint.
+	reclusterOnCkpt bool
+
 	// store is the durable page store (nil for an in-memory database); see
 	// durable.go.
 	store *storage.PageStore
@@ -292,6 +302,8 @@ func newDatabase(cfg Config) *Database {
 		Engine:  en,
 		GMRs:    mgr,
 		Queries: query.NewExecutor(en, mgr),
+
+		reclusterOnCkpt: cfg.ReclusterOnCheckpoint,
 	}
 	if !cfg.DisableMVCC {
 		st := mvcc.NewState()

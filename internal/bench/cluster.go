@@ -1,0 +1,439 @@
+package bench
+
+// The clustering suite: how much physical I/O does trace-driven object
+// clustering (Database.Recluster) save on rematerialization sweeps? Three
+// object bases are built with deliberately poor initial layout, a GMR is
+// materialized over each (recording forward traces), and the same
+// invalidate-everything-then-recompute-everything sweep is measured before
+// and after one reclustering pass. Results must be value-identical across
+// the relocation — OIDs are the engine's only names, so a placement change
+// can never change an answer — and the interesting output is the drop in
+// simulated physical reads and the buffer miss rate.
+//
+// Each measurement is the SECOND of two identical sweeps: the first
+// (unmeasured) pass recomputes every entry and leaves the buffer pool in the
+// steady state an identical sweep produces, so the before/after comparison
+// is not polluted by whatever the populate or relocation phases happened to
+// leave resident.
+//
+// `gombench -figure cluster` writes the results to BENCH_cluster.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// clusterSeed fixes every workload of the suite.
+const clusterSeed = 1733
+
+// ClusterPass is one measured rematerialization sweep.
+type ClusterPass struct {
+	PhysReads  int64   `json:"phys_reads"`
+	PhysWrites int64   `json:"phys_writes"`
+	SimSeconds float64 `json:"sim_seconds"`
+	// BufferMissRate is misses/(hits+misses) of the buffer pool during the
+	// sweep.
+	BufferMissRate float64 `json:"buffer_miss_rate"`
+}
+
+// ClusterMix is one object base: the same sweep measured before and after
+// reclustering.
+type ClusterMix struct {
+	Name    string `json:"name"`
+	Objects int    `json:"objects"`
+	// HeapPages and BufferPages size the working set against the pool: the
+	// pool holds a quarter of the object heap, so rematerialization sweeps
+	// must go to disk and the layout decides how often.
+	HeapPages   int `json:"heap_pages"`
+	BufferPages int `json:"buffer_pages"`
+	// Calls is the number of forward calls per sweep.
+	Calls     int         `json:"calls"`
+	Scattered ClusterPass `json:"scattered"`
+	Clustered ClusterPass `json:"clustered"`
+	// ReadReduction is 1 - clustered.PhysReads/scattered.PhysReads.
+	ReadReduction float64 `json:"read_reduction"`
+	// ResultsIdentical asserts the sweep returned bit-identical values
+	// before and after the relocation.
+	ResultsIdentical bool                   `json:"results_identical"`
+	Recluster        *gomdb.ReclusterReport `json:"recluster"`
+}
+
+// ClusterReport is the JSON document gombench writes to BENCH_cluster.json.
+type ClusterReport struct {
+	Harness   string       `json:"harness"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Mixes     []ClusterMix `json:"mixes"`
+	Notes     string       `json:"notes"`
+}
+
+// clusterSweep recomputes every entry of the mix's GMR in canonical order
+// and returns the results.
+type clusterSweep func() ([]float64, error)
+
+// clusterBase is one built object base ready for measurement.
+type clusterBase struct {
+	db      *gomdb.Database
+	gmr     string
+	objects int
+	calls   int
+	sweep   clusterSweep
+}
+
+// sortedOIDs returns a sorted copy — every sweep walks its entries in OID
+// order, the canonical order the clustered layout is laid out for.
+func sortedOIDs(oids []gomdb.OID) []gomdb.OID {
+	out := append([]gomdb.OID(nil), oids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// callSweep builds a sweep that calls each listed function on each object.
+func callSweep(db *gomdb.Database, oids []gomdb.OID, fns ...string) clusterSweep {
+	sorted := sortedOIDs(oids)
+	return func() ([]float64, error) {
+		out := make([]float64, 0, len(sorted)*len(fns))
+		for _, oid := range sorted {
+			for _, fn := range fns {
+				v, err := db.Call(fn, gomdb.Ref(oid))
+				if err != nil {
+					return nil, fmt.Errorf("%s(%s): %w", fn, oid, err)
+				}
+				out = append(out, v.F)
+			}
+		}
+		return out, nil
+	}
+}
+
+// measureSweep runs one measured rematerialization sweep: invalidate every
+// entry, run an unmeasured normalization pass (recompute + steady-state the
+// pool), invalidate again, then measure the recomputation sweep.
+func measureSweep(b *clusterBase) (ClusterPass, []float64, error) {
+	if err := b.db.GMRs.InvalidateAll(b.gmr); err != nil {
+		return ClusterPass{}, nil, err
+	}
+	if _, err := b.sweep(); err != nil {
+		return ClusterPass{}, nil, err
+	}
+	if err := b.db.GMRs.InvalidateAll(b.gmr); err != nil {
+		return ClusterPass{}, nil, err
+	}
+	h0, m0 := b.db.Pool.HitStats()
+	start := b.db.Clock.Snapshot()
+	vals, err := b.sweep()
+	if err != nil {
+		return ClusterPass{}, nil, err
+	}
+	d := b.db.Clock.Sub(start)
+	h1, m1 := b.db.Pool.HitStats()
+	pass := ClusterPass{
+		PhysReads:  d.PhysReads,
+		PhysWrites: d.PhysWrites,
+		SimSeconds: d.SimSeconds(),
+	}
+	if dh, dm := h1-h0, m1-m0; dh+dm > 0 {
+		pass.BufferMissRate = float64(dm) / float64(dh+dm)
+	}
+	return pass, vals, nil
+}
+
+// runClusterMix builds one base twice — a probe build to learn the object
+// heap's size, then the measured build with a buffer pool holding a quarter
+// of it — and measures the sweep before and after reclustering.
+func runClusterMix(name string, build func(bufferPages int) (*clusterBase, error)) (ClusterMix, error) {
+	probe, err := build(0)
+	if err != nil {
+		return ClusterMix{}, fmt.Errorf("cluster %s (probe): %w", name, err)
+	}
+	heapPages := probe.db.Objects.HeapPages()
+	pool := heapPages / 4
+	if pool < 12 {
+		pool = 12
+	}
+	b, err := build(pool)
+	if err != nil {
+		return ClusterMix{}, fmt.Errorf("cluster %s: %w", name, err)
+	}
+	mix := ClusterMix{
+		Name: name, Objects: b.db.Objects.NumObjects(), Calls: b.calls,
+		HeapPages: heapPages, BufferPages: pool,
+	}
+	scattered, before, err := measureSweep(b)
+	if err != nil {
+		return ClusterMix{}, fmt.Errorf("cluster %s (scattered): %w", name, err)
+	}
+	mix.Scattered = scattered
+	rep, err := b.db.Recluster()
+	if err != nil {
+		return ClusterMix{}, fmt.Errorf("cluster %s (recluster): %w", name, err)
+	}
+	mix.Recluster = rep
+	clustered, after, err := measureSweep(b)
+	if err != nil {
+		return ClusterMix{}, fmt.Errorf("cluster %s (clustered): %w", name, err)
+	}
+	mix.Clustered = clustered
+	mix.ResultsIdentical = reflect.DeepEqual(before, after)
+	if scattered.PhysReads > 0 {
+		mix.ReadReduction = 1 - float64(clustered.PhysReads)/float64(scattered.PhysReads)
+	}
+	return mix, nil
+}
+
+// buildScatteredCuboids builds the cuboid mix with a shuffled populate: the
+// 8n boundary vertices are created in one globally shuffled order, so the
+// eight vertices one volume computation reads land on eight unrelated pages
+// anywhere in the heap. (A merely column-major order would not do: a sweep
+// in cuboid order advances eight sequential streams that a handful of buffer
+// frames absorb.) The paper's cuboid-at-a-time populate
+// (fixtures.PopulateGeometry) would hand the clustering pass a near-optimal
+// layout for free; this one makes it earn the reduction.
+func buildScatteredCuboids(n, bufferPages int) (*clusterBase, error) {
+	cfg := gomdb.DefaultConfig()
+	cfg.BufferPages = bufferPages
+	db := gomdb.Open(cfg)
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(clusterSeed))
+	mats := make([]gomdb.OID, len(fixtures.Materials))
+	for i, m := range fixtures.Materials {
+		oid, err := db.New("Material", gomdb.Str(m.Name), gomdb.Float(m.SpecWeight))
+		if err != nil {
+			return nil, err
+		}
+		mats[i] = oid
+	}
+	type box struct{ ox, oy, oz, l, w, h float64 }
+	boxes := make([]box, n)
+	for i := range boxes {
+		boxes[i] = box{
+			ox: rng.Float64() * 100, oy: rng.Float64() * 100, oz: rng.Float64() * 100,
+			l: 1 + rng.Float64()*9, w: 1 + rng.Float64()*9, h: 1 + rng.Float64()*9,
+		}
+	}
+	// Standard corner order (fixtures.NewCuboid): V2 = V1 + l·x̂, V4 = V1 +
+	// w·ŷ, V5 = V1 + h·ẑ.
+	corner := func(b box, c int) (x, y, z float64) {
+		dx := []float64{0, b.l, b.l, 0, 0, b.l, b.l, 0}
+		dy := []float64{0, 0, b.w, b.w, 0, 0, b.w, b.w}
+		dz := []float64{0, 0, 0, 0, b.h, b.h, b.h, b.h}
+		return b.ox + dx[c], b.oy + dy[c], b.oz + dz[c]
+	}
+	verts := make([][]gomdb.OID, 8)
+	for c := range verts {
+		verts[c] = make([]gomdb.OID, n)
+	}
+	type slot struct{ i, c int }
+	slots := make([]slot, 0, 8*n)
+	for i := 0; i < n; i++ {
+		for c := 0; c < 8; c++ {
+			slots = append(slots, slot{i, c})
+		}
+	}
+	rng.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
+	for _, s := range slots {
+		x, y, z := corner(boxes[s.i], s.c)
+		oid, err := db.New("Vertex", gomdb.Float(x), gomdb.Float(y), gomdb.Float(z))
+		if err != nil {
+			return nil, err
+		}
+		verts[s.c][s.i] = oid
+	}
+	cuboids := make([]gomdb.OID, n)
+	for i := 0; i < n; i++ {
+		attrs := make([]gomdb.Value, 0, 11)
+		for c := 0; c < 8; c++ {
+			attrs = append(attrs, gomdb.Ref(verts[c][i]))
+		}
+		attrs = append(attrs,
+			gomdb.Ref(mats[rng.Intn(len(mats))]),
+			gomdb.Float(10+rng.Float64()*90),
+			gomdb.Int(int64(i+1)))
+		oid, err := db.New("Cuboid", attrs...)
+		if err != nil {
+			return nil, err
+		}
+		cuboids[i] = oid
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Name: "Gcl", Funcs: []string{"Cuboid.volume", "Cuboid.weight"},
+		Complete: true, Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		return nil, err
+	}
+	return &clusterBase{
+		db: db, gmr: "Gcl", objects: db.Objects.NumObjects(),
+		calls: 2 * n, sweep: callSweep(db, cuboids, "Cuboid.volume", "Cuboid.weight"),
+	}, nil
+}
+
+// buildCompanyRanking builds the company mix with an interleaved populate:
+// all projects first, then every job of every employee created round-robin
+// (employee 1's first job, employee 2's first job, ..., employee 1's second
+// job, ...), then the employees. One ranking computation therefore reads a
+// job history spread nEmps records apart across the whole job region, plus
+// project objects laid down long before. (fixtures.PopulateCompany creates
+// each employee's history contiguously — a layout the clustering pass could
+// barely improve on.)
+func buildCompanyRanking(nEmps, projects, jobsPerEmp, bufferPages int) (*clusterBase, error) {
+	cfg := gomdb.DefaultConfig()
+	cfg.BufferPages = bufferPages
+	db := gomdb.Open(cfg)
+	if err := fixtures.DefineCompany(db); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(clusterSeed))
+	projs := make([]gomdb.OID, projects)
+	for i := range projs {
+		progSet, err := db.NewSet("Employees")
+		if err != nil {
+			return nil, err
+		}
+		oid, err := db.New("Project",
+			gomdb.Str(fmt.Sprintf("P%04d", i+1)),
+			gomdb.Float(float64(rng.Intn(2001)-1000)),
+			gomdb.Int(int64(1000+rng.Intn(99000))),
+			gomdb.Ref(progSet))
+		if err != nil {
+			return nil, err
+		}
+		projs[i] = oid
+	}
+	jobs := make([][]gomdb.Value, nEmps)
+	for r := 0; r < jobsPerEmp; r++ {
+		for e := 0; e < nEmps; e++ {
+			job, err := db.New("Job",
+				gomdb.Ref(projs[rng.Intn(len(projs))]),
+				gomdb.Int(int64(100+rng.Intn(9900))),
+				gomdb.Bool(rng.Intn(2) == 0),
+				gomdb.Bool(rng.Intn(2) == 0))
+			if err != nil {
+				return nil, err
+			}
+			jobs[e] = append(jobs[e], gomdb.Ref(job))
+		}
+	}
+	emps := make([]gomdb.OID, nEmps)
+	for e := range emps {
+		hist, err := db.NewSet("Jobs", jobs[e]...)
+		if err != nil {
+			return nil, err
+		}
+		oid, err := db.New("Employee",
+			gomdb.Str(fmt.Sprintf("E%05d", e+1)),
+			gomdb.Int(int64(e+1)),
+			gomdb.Float(30000+float64(rng.Intn(70000))),
+			gomdb.Ref(hist))
+		if err != nil {
+			return nil, err
+		}
+		emps[e] = oid
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Name: "Grk", Funcs: []string{"Employee.ranking"},
+		Complete: true, Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		return nil, err
+	}
+	return &clusterBase{
+		db: db, gmr: "Grk", objects: db.Objects.NumObjects(),
+		calls: nEmps, sweep: callSweep(db, emps, "Employee.ranking"),
+	}, nil
+}
+
+// buildRandomSets builds the random-graph mix: a seeded random bipartite
+// graph of Workpieces sets over cuboids — each set holds k cuboids drawn
+// uniformly from the whole base, so a total_volume computation reads members
+// scattered across the entire heap. The placement the clustering pass finds
+// here is one no populate order could produce.
+func buildRandomSets(n, nSets, perSet, bufferPages int) (*clusterBase, error) {
+	cfg := gomdb.DefaultConfig()
+	cfg.BufferPages = bufferPages
+	db := gomdb.Open(cfg)
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		return nil, err
+	}
+	g, err := fixtures.PopulateGeometry(db, n, clusterSeed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(clusterSeed + 1))
+	sets := make([]gomdb.OID, nSets)
+	for i := range sets {
+		refs := make([]gomdb.Value, perSet)
+		for j := range refs {
+			refs[j] = gomdb.Ref(g.Cuboids[rng.Intn(len(g.Cuboids))])
+		}
+		oid, err := db.NewSet("Workpieces", refs...)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = oid
+	}
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Name: "Gtv", Funcs: []string{"Workpieces.total_volume"},
+		Complete: true, Strategy: gomdb.Lazy, Mode: gomdb.ModeObjDep,
+	}); err != nil {
+		return nil, err
+	}
+	return &clusterBase{
+		db: db, gmr: "Gtv", objects: db.Objects.NumObjects(),
+		calls: nSets, sweep: callSweep(db, sets, "Workpieces.total_volume"),
+	}, nil
+}
+
+// Cluster runs the clustering suite and returns the report plus a Figure
+// (X = mix index, one series per layout, Y = physical reads per sweep).
+func Cluster(sc Scale) (*ClusterReport, *Figure, error) {
+	nCuboids, emps, projs, jobs := 2000, 400, 200, 6
+	nRand, nSets, perSet := 600, 150, 8
+	if sc.OpsDivisor > 1 { // -short
+		nCuboids, emps, projs, jobs = 400, 80, 60, 4
+		nRand, nSets, perSet = 200, 60, 6
+	}
+	rep := &ClusterReport{
+		Harness:   "gombench -figure cluster",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Notes: "Physical reads and buffer miss rate of an invalidate-all + recompute-all sweep over each GMR, " +
+			"before (scattered) and after (clustered) one Database.Recluster pass driven by the forward traces " +
+			"the materializations recorded. Each measurement is the second of two identical sweeps, so the pool " +
+			"enters it in the steady state of that layout. Sweep results are asserted value-identical across the " +
+			"relocation (results_identical).",
+	}
+	type build struct {
+		name string
+		run  func(bufferPages int) (*clusterBase, error)
+	}
+	builds := []build{
+		{"cuboid-scattered", func(bp int) (*clusterBase, error) { return buildScatteredCuboids(nCuboids, bp) }},
+		{"company-ranking", func(bp int) (*clusterBase, error) { return buildCompanyRanking(emps, projs, jobs, bp) }},
+		{"random-sets", func(bp int) (*clusterBase, error) { return buildRandomSets(nRand, nSets, perSet, bp) }},
+	}
+	fig := &Figure{
+		ID:     "cluster",
+		Title:  "Trace-driven clustering: rematerialization sweep cost by layout",
+		XLabel: "mix#",
+		YLabel: "physical reads per sweep",
+		Series: []Series{{Name: "Scattered"}, {Name: "Clustered"}},
+	}
+	for i, b := range builds {
+		mix, err := runClusterMix(b.name, b.run)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Mixes = append(rep.Mixes, mix)
+		fig.X = append(fig.X, float64(i+1))
+		fig.Series[0].Points = append(fig.Series[0].Points, float64(mix.Scattered.PhysReads))
+		fig.Series[1].Points = append(fig.Series[1].Points, float64(mix.Clustered.PhysReads))
+	}
+	return rep, fig, nil
+}

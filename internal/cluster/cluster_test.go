@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"gomdb/internal/object"
+)
+
+func oids(ids ...uint64) []object.OID {
+	out := make([]object.OID, len(ids))
+	for i, id := range ids {
+		out[i] = object.OID(id)
+	}
+	return out
+}
+
+func TestComputeChainsCoAccessedObjects(t *testing.T) {
+	// Two traces sharing structure: 1-2-3 is read together twice, 4-5 once.
+	// Object 9 is live but never traced (cold); 7 is traced alone.
+	live := oids(1, 2, 3, 4, 5, 7, 9)
+	traces := [][]object.OID{
+		oids(1, 2, 3),
+		oids(1, 2, 3),
+		oids(4, 5),
+		oids(7),
+	}
+	p := Compute(traces, live)
+	if got, want := p.Order, oids(1, 2, 3, 4, 5, 7, 9); !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if p.HotObjects != 6 || p.Chains != 2 || p.Traces != 4 {
+		t.Fatalf("stats = %+v", p)
+	}
+	// The hottest chain (1-2-3, heat 6) leads; the cold object is last.
+	if p.Order[0] != 1 || p.Order[len(p.Order)-1] != 9 {
+		t.Fatalf("tiering wrong: %v", p.Order)
+	}
+}
+
+func TestComputeEveryLiveObjectExactlyOnce(t *testing.T) {
+	live := oids(1, 2, 3, 4, 5, 6, 7, 8)
+	traces := [][]object.OID{
+		oids(3, 1, 4, 1, 5), // repeats within a trace
+		oids(2, 6, 2),
+		oids(8, 3),
+		oids(42, 3), // 42 is dead — filtered out
+	}
+	p := Compute(traces, live)
+	if len(p.Order) != len(live) {
+		t.Fatalf("order has %d entries, want %d", len(p.Order), len(live))
+	}
+	seen := make(map[object.OID]bool)
+	for _, oid := range p.Order {
+		if seen[oid] {
+			t.Fatalf("object %v placed twice: %v", oid, p.Order)
+		}
+		seen[oid] = true
+	}
+	for _, oid := range live {
+		if !seen[oid] {
+			t.Fatalf("live object %v missing from order", oid)
+		}
+	}
+}
+
+func TestComputeChainsNeverFork(t *testing.T) {
+	// Object 2 co-accessed with 1, 3, and 4: only its two heaviest
+	// neighbours may flank it.
+	traces := [][]object.OID{
+		oids(1, 2), oids(1, 2), oids(1, 2),
+		oids(2, 3), oids(2, 3),
+		oids(2, 4),
+	}
+	live := oids(1, 2, 3, 4)
+	p := Compute(traces, live)
+	// Heaviest edges: (1,2) w3 then (2,3) w2 form the chain 1-2-3; edge
+	// (2,4) is rejected (2 is full), so 4 stays a singleton.
+	if got, want := p.Order, oids(1, 2, 3, 4); !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if p.Chains != 1 {
+		t.Fatalf("chains = %d, want 1", p.Chains)
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	live := oids(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+	traces := [][]object.OID{
+		oids(5, 9, 1), oids(2, 7), oids(7, 2), oids(10, 11, 12),
+		oids(3, 8, 4), oids(12, 10), oids(6, 1, 5),
+	}
+	first := Compute(traces, live)
+	for i := 0; i < 50; i++ {
+		again := Compute(traces, live)
+		if !reflect.DeepEqual(first.Order, again.Order) {
+			t.Fatalf("run %d differs:\n%v\n%v", i, first.Order, again.Order)
+		}
+	}
+}
+
+func TestComputeEmptyTraces(t *testing.T) {
+	live := oids(4, 1, 9) // Compute preserves the given cold order
+	p := Compute(nil, live)
+	if !reflect.DeepEqual(p.Order, live) {
+		t.Fatalf("order = %v, want %v", p.Order, live)
+	}
+	if p.HotObjects != 0 || p.Chains != 0 || p.Edges != 0 || p.Traces != 0 {
+		t.Fatalf("stats = %+v", p)
+	}
+}

@@ -231,6 +231,9 @@ func (m *Manager) Flush() error {
 				}
 			}
 		}
+		// The shadow trace is the ordered forward trace (with repeats, which
+		// recordTrace collapses) — record it like the serial paths do.
+		m.recordTrace(g, wk.pk.key, wk.pk.col, wk.trace)
 		atomic.AddInt64(&m.Stats.FlushedItems, 1)
 	}
 	return nil

@@ -515,6 +515,7 @@ func (g *GMR) removeEntryLocked(k string) error {
 		g.mgr.clearPending(g.Name, k, i)
 	}
 	delete(g.entries, k)
+	g.mgr.clearEntryTraces(g, k)
 	for i, ok := range g.order {
 		if ok == k {
 			g.order = append(g.order[:i], g.order[i+1:]...)

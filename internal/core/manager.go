@@ -36,6 +36,13 @@ type Stats struct {
 	ForgottenObjects   int64
 	PredicateUpdates   int64
 
+	// Forward-trace accounting (see access_trace.go): every recorded trace
+	// bumps these, so benchmarks can see how much access history the
+	// clustering pass has to work with.
+	ForwardTraces int64 // forward computations whose access trace was recorded
+	TraceObjects  int64 // objects across recorded traces (first accesses only)
+	TracePages    int64 // distinct object-heap pages across recorded traces
+
 	// Deferred-rematerialization accounting (see deferred.go).
 	DeferredUpdates  int64 // invalidations routed to the pending queue
 	CoalescedUpdates int64 // deferred invalidations absorbed by an already-pending recomputation
@@ -99,6 +106,13 @@ type Manager struct {
 	snapMu    sync.RWMutex
 	entryVers map[string]map[string][]entryCapture
 
+	// accessTraces holds the ordered forward trace of each materialized
+	// result column; accessStats aggregates them per GMR (access_trace.go).
+	// Mutated only under the exclusive Database lock, like the extensions
+	// the traces describe.
+	accessTraces map[traceKey][]object.OID
+	accessStats  map[string]*AccessStats
+
 	// pending is the coalescing queue of deferred rematerializations, keyed
 	// by (GMR, entry, column) so repeated invalidations of one result fold
 	// into a single recomputation. Mutated only under the exclusive Database
@@ -151,20 +165,22 @@ func (m *Manager) Quiescent() bool {
 // functions to forward GMR queries.
 func NewManager(en *schema.Engine, pool *storage.BufferPool) *Manager {
 	m := &Manager{
-		En:        en,
-		Sch:       en.Sch,
-		Objs:      en.Objs,
-		Clock:     en.Clock,
-		Pool:      pool,
-		gmrs:      make(map[string]*GMR),
-		byFunc:    make(map[string]*GMR),
-		rrr:       NewRRR(pool),
-		ca:        newCATable(),
-		uninstall: make(map[string][]func()),
-		extractor: lang.NewExtractor(en.Sch, en.Sch),
-		Intern:    pred.NewInterner(),
-		memo:      newMemoCache(),
-		pending:   make(map[pendingKey]*pendingItem),
+		En:           en,
+		Sch:          en.Sch,
+		Objs:         en.Objs,
+		Clock:        en.Clock,
+		Pool:         pool,
+		gmrs:         make(map[string]*GMR),
+		byFunc:       make(map[string]*GMR),
+		rrr:          NewRRR(pool),
+		ca:           newCATable(),
+		uninstall:    make(map[string][]func()),
+		extractor:    lang.NewExtractor(en.Sch, en.Sch),
+		Intern:       pred.NewInterner(),
+		memo:         newMemoCache(),
+		pending:      make(map[pendingKey]*pendingItem),
+		accessTraces: make(map[traceKey][]object.OID),
+		accessStats:  make(map[string]*AccessStats),
 	}
 	en.SetInterceptor(m.intercept)
 	return m
@@ -370,6 +386,7 @@ func (m *Manager) Drop(name string) error {
 
 func (m *Manager) dropState(g *GMR) {
 	m.clearPendingGMR(g.Name)
+	m.dropTraces(g.Name)
 	for _, undo := range m.uninstall[g.Name] {
 		undo()
 	}
@@ -536,8 +553,9 @@ func (m *Manager) computeEntry(g *GMR, args []object.Value) error {
 	results := make([]object.Value, len(g.Funcs))
 	valid := make([]bool, len(g.Funcs))
 	accessedPer := make([]map[object.OID]struct{}, len(g.Funcs))
+	tracePer := make([][]object.OID, len(g.Funcs))
 	for i, fn := range g.Funcs {
-		v, accessed, err := m.En.EvalTracked(m.dispatch(fn, args), args)
+		v, accessed, trace, err := m.En.EvalTrackedOrdered(m.dispatch(fn, args), args)
 		if err != nil {
 			return fmt.Errorf("core: materializing %s: %w", fn.Name, err)
 		}
@@ -548,18 +566,21 @@ func (m *Manager) computeEntry(g *GMR, args []object.Value) error {
 		results[i] = v
 		valid[i] = true
 		accessedPer[i] = accessed
+		tracePer[i] = trace
 		atomic.AddInt64(&m.Stats.Rematerializations, 1)
 	}
 	e := &entry{Args: args, Results: results, Valid: valid}
 	if err := g.insertEntry(e); err != nil {
 		return err
 	}
+	k := argKey(args)
 	for i, fn := range g.Funcs {
 		for _, oid := range sortedOIDs(accessedPer[i]) {
 			if err := m.addRRR(oid, fn.Name, args); err != nil {
 				return err
 			}
 		}
+		m.recordTrace(g, k, i, tracePer[i])
 	}
 	return nil
 }
@@ -790,7 +811,7 @@ func (m *Manager) rematerializeTracked(g *GMR, e *entry, i int) (map[object.OID]
 // immediate strategy, lazy/deferred forcing, and the flush fallback path.
 func (m *Manager) rematerializeWith(g *GMR, e *entry, i int, triggers map[object.OID]struct{}) (map[object.OID]struct{}, error) {
 	fn := g.Funcs[i]
-	v, accessed, err := m.En.EvalTracked(m.dispatch(fn, e.Args), e.Args)
+	v, accessed, trace, err := m.En.EvalTrackedOrdered(m.dispatch(fn, e.Args), e.Args)
 	if err != nil {
 		return nil, fmt.Errorf("core: rematerializing %s: %w", fn.Name, err)
 	}
@@ -815,6 +836,7 @@ func (m *Manager) rematerializeWith(g *GMR, e *entry, i int, triggers map[object
 			}
 		}
 	}
+	m.recordTrace(g, argKey(e.Args), i, trace)
 	return accessed, nil
 }
 

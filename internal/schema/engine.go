@@ -31,7 +31,7 @@ type Engine struct {
 	// one to collect the objects a computation visits. Tracking only runs
 	// during (re)materialization, which executes under the exclusive
 	// Database lock, so the stack needs no further synchronization.
-	trackers []map[object.OID]struct{}
+	trackers []*accessTracker
 	// suspend > 0 disables tracking: inside a public operation of a
 	// strictly encapsulated type only the receiver is recorded, its
 	// subobjects are not (Section 5.3). Write-path-only, like trackers.
@@ -61,12 +61,20 @@ func (en *Engine) SetInterceptor(ic CallInterceptor) { en.interceptor = ic }
 // Charge implements lang.Runtime.
 func (en *Engine) Charge(n int64) { en.Clock.AddCPU(n) }
 
+// accessTracker records the objects a tracked evaluation visits: the set
+// feeds RRR maintenance, the first-access order feeds the clustering pass
+// (objects read together should live together, in the order they are read).
+type accessTracker struct {
+	set   map[object.OID]struct{}
+	order []object.OID
+}
+
 // PushTracker starts recording accessed objects; the returned set fills as
 // evaluation proceeds until PopTracker.
 func (en *Engine) PushTracker() map[object.OID]struct{} {
-	t := make(map[object.OID]struct{})
+	t := &accessTracker{set: make(map[object.OID]struct{})}
 	en.trackers = append(en.trackers, t)
-	return t
+	return t.set
 }
 
 // PopTracker stops the most recent tracker.
@@ -79,7 +87,10 @@ func (en *Engine) track(oid object.OID) {
 		return
 	}
 	for _, t := range en.trackers {
-		t[oid] = struct{}{}
+		if _, seen := t.set[oid]; !seen {
+			t.set[oid] = struct{}{}
+			t.order = append(t.order, oid)
+		}
 	}
 }
 
@@ -256,7 +267,18 @@ func (en *Engine) CallFunction(name string, args []object.Value) (object.Value, 
 // interception — the (re)materialization entry point. It returns the result
 // and the set of accessed objects for RRR maintenance.
 func (en *Engine) EvalTracked(fn *lang.Function, args []object.Value) (object.Value, map[object.OID]struct{}, error) {
-	tracker := en.PushTracker()
+	v, set, _, err := en.EvalTrackedOrdered(fn, args)
+	return v, set, err
+}
+
+// EvalTrackedOrdered is EvalTracked plus the forward trace: the accessed
+// objects in first-access order. The trace is the input to trace-driven
+// clustering — consecutive positions are objects the computation touched
+// back-to-back, so co-locating them turns the function's read pattern into
+// sequential page access.
+func (en *Engine) EvalTrackedOrdered(fn *lang.Function, args []object.Value) (object.Value, map[object.OID]struct{}, []object.OID, error) {
+	tracker := &accessTracker{set: make(map[object.OID]struct{})}
+	en.trackers = append(en.trackers, tracker)
 	en.noIntercept.Add(1)
 	// Track argument objects themselves: the paper's RRR examples include
 	// the argument objects (e.g. [id1, volume, <id1>]).
@@ -282,9 +304,9 @@ func (en *Engine) EvalTracked(fn *lang.Function, args []object.Value) (object.Va
 	en.noIntercept.Add(-1)
 	en.PopTracker()
 	if err != nil {
-		return object.Null(), nil, err
+		return object.Null(), nil, nil, err
 	}
-	return v, tracker, nil
+	return v, tracker.set, tracker.order, nil
 }
 
 // EvalRaw evaluates fn(args) without access tracking and without GMR

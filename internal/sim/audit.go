@@ -37,8 +37,13 @@ const auditTol = 1e-9
 //     every version capture has been reclaimed (the flush preceding the audit
 //     published a version with no pinned reader below it, so the overlays
 //     must be empty; a surviving capture is a reclamation leak).
+//  6. Directory ↔ heap correspondence — every directory entry resolves to
+//     exactly one live, decodable heap slot and every extent member has a
+//     directory entry (object.Manager.AuditDirectory). An aborted or buggy
+//     relocation would surface here as a dangling or shared slot.
 func Audit(db *gomdb.Database) []string {
 	var out []string
+	out = append(out, db.Objects.AuditDirectory()...)
 	if n := db.GMRs.PendingLen(); n != 0 {
 		out = append(out, fmt.Sprintf("deferred queue: %d items pending after flush", n))
 	}

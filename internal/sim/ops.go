@@ -71,6 +71,13 @@ const (
 	// is a violation), and snapshot reads charge a throwaway clock, so plans
 	// with and without snap-read ops produce identical cost snapshots.
 	OpSnapRead OpKind = "snap-read"
+	// OpRecluster runs the trace-driven reclustering pass (Database.Recluster):
+	// the object base is physically rewritten in affinity order and the OID
+	// directory remapped. Errors inside a fault window are workload outcomes
+	// (the relocation aborts all-or-nothing); outside one they are violations.
+	// Every subsequent audit additionally verifies the directory <-> heap
+	// correspondence, so a botched relocation cannot hide.
+	OpRecluster OpKind = "recluster"
 	// OpCrash kills and reopens a durable database (a no-op on in-memory
 	// runs). S selects the crash point: "now" crashes between operations;
 	// "mid-batch" cuts the WAL append of the end-of-batch checkpoint after N
@@ -144,6 +151,10 @@ type GenOptions struct {
 	// Crashes inserts 1-3 crash-restart points into the plan. Crash ops are
 	// no-ops unless the run's EngineConfig is Durable.
 	Crashes bool
+	// Recluster inserts 1-3 reclustering passes into the plan — after fault
+	// and crash injection, so passes can land inside fault windows and
+	// adjacent to crash points.
+	Recluster bool
 }
 
 // Generate derives a complete workload plan from seed. All randomness is
@@ -180,6 +191,9 @@ func Generate(seed int64, opt GenOptions) Plan {
 	}
 	if opt.Crashes {
 		injectCrashes(rng, &p)
+	}
+	if opt.Recluster {
+		injectReclusters(rng, &p)
 	}
 	return p
 }
@@ -297,6 +311,20 @@ func injectCrashes(rng *rand.Rand, p *Plan) {
 		at := rng.Intn(len(p.Ops) + 1)
 		op := genCrash(rng)
 		p.Ops = append(p.Ops[:at], append([]Op{op}, p.Ops[at:]...)...)
+	}
+}
+
+// injectReclusters inserts one to three reclustering passes at random
+// positions. It runs after fault/crash injection on purpose: a pass may land
+// inside an open fault window (the relocation must abort cleanly) or right
+// next to a crash point (recovery must come back in exactly one layout).
+// genOp's weights are untouched, so plans generated without the option are
+// byte-identical to what earlier generator versions produced.
+func injectReclusters(rng *rand.Rand, p *Plan) {
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		at := rng.Intn(len(p.Ops) + 1)
+		p.Ops = append(p.Ops[:at], append([]Op{{Kind: OpRecluster}}, p.Ops[at:]...)...)
 	}
 }
 

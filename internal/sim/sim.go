@@ -57,6 +57,10 @@ type EngineConfig struct {
 	// violations. Exists so the mutation smoke test can prove the auditors
 	// have teeth.
 	Broken bool `json:"broken,omitempty"`
+	// DisableMVCC turns off the versioned snapshot read path, so plans
+	// exercise the blocking reader/writer lock instead. Reclustering must
+	// hold its invariants in both modes.
+	DisableMVCC bool `json:"disableMVCC,omitempty"`
 	// Durable runs the plan against a file-backed database (gomdb.OpenAt):
 	// checkpoints become real I/O and OpCrash ops kill + reopen the store.
 	// The simulated Clock is unaffected by durability, so traces and cost
@@ -99,6 +103,9 @@ func (c EngineConfig) String() string {
 	}
 	if c.RematWorkers != 0 {
 		s += fmt.Sprintf("+workers%d", c.RematWorkers)
+	}
+	if c.DisableMVCC {
+		s += "+nomvcc"
 	}
 	if c.Durable {
 		s += "+durable"
@@ -175,6 +182,7 @@ func openSim(cfg EngineConfig, dir string) (*gomdb.Database, error) {
 		BufferPages:  cfg.BufferPages,
 		BufferShards: cfg.BufferShards,
 		RematWorkers: cfg.RematWorkers,
+		DisableMVCC:  cfg.DisableMVCC,
 	}
 	if dir == "" {
 		db := gomdb.Open(gc)
@@ -413,6 +421,15 @@ func (w *world) apply(op Op) (string, *Violation) {
 		return storage.FaultPlan{Rules: op.Rule}.String(), nil
 	case OpFaultClear:
 		return w.applyFaultClear()
+	case OpRecluster:
+		rep, err := w.db.Recluster()
+		if err != nil {
+			// Inside a fault window a relocation may abort; the abort is
+			// all-or-nothing, so the auditors — not error-freedom — judge it.
+			return "ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("moved %d/%d (hot=%d chains=%d traces=%d)",
+			rep.Moved, rep.Objects, rep.HotObjects, rep.Chains, rep.Traces), nil
 	case OpCrash:
 		return w.applyCrash(op)
 	}

@@ -296,6 +296,78 @@ func TestSnapshotReadsDontPerturbCharges(t *testing.T) {
 	}
 }
 
+// TestReclusterMatrix runs plans with injected reclustering passes across
+// the full strategy x durability x MVCC matrix. Every quiescent audit —
+// including the directory <-> heap correspondence auditor — must pass in
+// every cell, and at least one pass per cell must actually move objects, or
+// the coverage is vacuous.
+func TestReclusterMatrix(t *testing.T) {
+	for _, strat := range []string{"immediate", "lazy", "deferred"} {
+		for _, durable := range []bool{false, true} {
+			for _, nomvcc := range []bool{false, true} {
+				cfg := EngineConfig{Strategy: strat, Durable: durable, DisableMVCC: nomvcc}
+				t.Run(cfg.String(), func(t *testing.T) {
+					t.Parallel()
+					seeds := int64(3)
+					if testing.Short() {
+						seeds = 1
+					}
+					moved := false
+					for seed := int64(7000); seed < 7000+seeds; seed++ {
+						plan := Generate(seed, GenOptions{Ops: 90, Recluster: true})
+						reclusters := 0
+						for _, op := range plan.Ops {
+							if op.Kind == OpRecluster {
+								reclusters++
+							}
+						}
+						if reclusters == 0 {
+							t.Fatalf("seed %d: generator injected no recluster ops", seed)
+						}
+						res := requireClean(t, cfg, plan)
+						for _, line := range res.Trace {
+							if strings.Contains(line, string(OpRecluster)) && strings.Contains(line, "moved") &&
+								!strings.Contains(line, "moved 0/") {
+								moved = true
+							}
+						}
+					}
+					if !moved {
+						t.Fatal("no reclustering pass moved anything in any seed; coverage is vacuous")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReclusterUnderFaultsAndCrashes: reclustering passes must coexist with
+// fault windows (the relocation aborts all-or-nothing on an injected failure)
+// and crash-restart points (recovery comes back in exactly one layout). Every
+// post-recovery and quiescent audit must pass.
+func TestReclusterUnderFaultsAndCrashes(t *testing.T) {
+	dir := t.TempDir()
+	seeds := int64(5)
+	if testing.Short() {
+		seeds = 2
+	}
+	reclusters := 0
+	for seed := int64(7700); seed < 7700+seeds; seed++ {
+		plan := Generate(seed, GenOptions{Ops: 90, Faults: true, Crashes: true, Recluster: true})
+		for _, op := range plan.Ops {
+			if op.Kind == OpRecluster {
+				reclusters++
+			}
+		}
+		cfg := EngineConfig{Strategy: "lazy", Durable: true,
+			CrashDir: filepath.Join(dir, fmt.Sprintf("seed%d", seed))}
+		requireClean(t, cfg, plan)
+	}
+	if reclusters == 0 {
+		t.Fatal("no recluster ops across any fault/crash plan; coverage is vacuous")
+	}
+}
+
 // TestSnapshotReadsUnderFaultsAndCrashes: snap-read ops must coexist with
 // scripted fault windows and crash-restart points — reads may fail inside a
 // window (tolerated, recorded), pins never leak across a crash, and every

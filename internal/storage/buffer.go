@@ -315,6 +315,28 @@ func (bp *BufferPool) evictIfFull() error {
 	return nil
 }
 
+// FreePage drops page id from the pool (without write-back — the content is
+// being discarded, not persisted) and returns it to the disk's free list.
+// The page must be unpinned; callers run under the exclusive Database lock
+// (heap relocation holds the MVCC barrier), so no reader can race the drop.
+// Nothing is charged: deallocation is bookkeeping, not I/O.
+func (bp *BufferPool) FreePage(id PageID) error {
+	bp.missMu.Lock()
+	defer bp.missMu.Unlock()
+	sh := bp.shardFor(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
+		if f.pins.Load() > 0 {
+			sh.mu.Unlock()
+			return fmt.Errorf("storage: free of pinned page %d", id)
+		}
+		delete(sh.frames, id)
+		bp.count.Add(-1)
+	}
+	sh.mu.Unlock()
+	return bp.disk.Free(id)
+}
+
 // FlushPage forces page id to disk now and marks its frame clean — the
 // FORCE write policy applied to auxiliary structures (GMR extensions,
 // backward indexes, RRR) whose consistency a 1991-era system guaranteed by

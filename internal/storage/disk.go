@@ -112,11 +112,14 @@ type Disk struct {
 	next  PageID
 	clock *Clock
 
-	// free holds page ids below next that a recovery restore reclaimed
-	// (pages of dropped GMR/RRR/index incarnations). Kept sorted ascending
-	// and consumed front-first so allocation stays deterministic. Always
-	// empty on a database that never recovered.
-	free []PageID
+	// free holds the page ids below next that are currently unallocated:
+	// ids a recovery restore reclaimed (pages of dropped GMR/RRR/index
+	// incarnations) and ids returned through Free (pages a heap relocation
+	// or compaction released). Kept as coalesced extents sorted ascending
+	// by start and consumed lowest-id-first, so allocation stays
+	// deterministic and adjacent frees collapse into one extent instead of
+	// fragmenting the accounting forever.
+	free []freeExtent
 
 	// durDirty, non-nil only when durability is enabled, is the set of pages
 	// allocated or physically written since the last checkpoint — the pages
@@ -145,14 +148,26 @@ func (d *Disk) EnableDurability() {
 	}
 }
 
-// Allocate reserves a fresh zeroed page and returns its id, reusing ids a
-// recovery restore freed before growing the address space. Allocation itself
-// is not charged; the first write is.
+// freeExtent is a run of Len consecutive unallocated page ids starting at
+// Start. The free list keeps extents sorted and maximally coalesced: no two
+// extents touch or overlap.
+type freeExtent struct {
+	Start PageID
+	Len   PageID
+}
+
+// Allocate reserves a fresh zeroed page and returns its id, reusing freed ids
+// (recovery restores, heap relocations) lowest-first before growing the
+// address space. Allocation itself is not charged; the first write is.
 func (d *Disk) Allocate() PageID {
 	var id PageID
 	if len(d.free) > 0 {
-		id = d.free[0]
-		d.free = d.free[1:]
+		id = d.free[0].Start
+		d.free[0].Start++
+		d.free[0].Len--
+		if d.free[0].Len == 0 {
+			d.free = d.free[1:]
+		}
 	} else {
 		id = d.next
 		d.next++
@@ -163,6 +178,56 @@ func (d *Disk) Allocate() PageID {
 	}
 	return id
 }
+
+// Free returns an allocated page to the free list, coalescing it with
+// adjacent free extents. The page's content is discarded and the id becomes
+// eligible for reuse by the next Allocate; a freed page is also dropped from
+// the durable dirty set, so a checkpoint never tries to capture it. Freeing
+// is bookkeeping, not I/O — nothing is charged to the simulated clock.
+func (d *Disk) Free(id PageID) error {
+	if _, ok := d.pages[id]; !ok {
+		return fmt.Errorf("storage: free of unallocated page %d", id)
+	}
+	delete(d.pages, id)
+	if d.durDirty != nil {
+		delete(d.durDirty, id)
+	}
+	// Find the first extent starting after id, then merge with the
+	// neighbors when they touch.
+	i := sort.Search(len(d.free), func(i int) bool { return d.free[i].Start > id })
+	mergePrev := i > 0 && d.free[i-1].Start+d.free[i-1].Len == id
+	mergeNext := i < len(d.free) && id+1 == d.free[i].Start
+	switch {
+	case mergePrev && mergeNext:
+		d.free[i-1].Len += 1 + d.free[i].Len
+		d.free = append(d.free[:i], d.free[i+1:]...)
+	case mergePrev:
+		d.free[i-1].Len++
+	case mergeNext:
+		d.free[i].Start--
+		d.free[i].Len++
+	default:
+		d.free = append(d.free, freeExtent{})
+		copy(d.free[i+1:], d.free[i:])
+		d.free[i] = freeExtent{Start: id, Len: 1}
+	}
+	return nil
+}
+
+// FreePageCount returns the total number of unallocated page ids below next
+// — the reclaimed address space available for reuse.
+func (d *Disk) FreePageCount() int {
+	n := PageID(0)
+	for _, e := range d.free {
+		n += e.Len
+	}
+	return int(n)
+}
+
+// FreeExtentCount returns the number of maximal free extents. A delete-heavy
+// workload followed by compaction should leave few, large extents; the
+// fragmentation regression test pins this.
+func (d *Disk) FreeExtentCount() int { return len(d.free) }
 
 // NumPages returns the number of allocated pages.
 func (d *Disk) NumPages() int { return len(d.pages) }
@@ -251,10 +316,14 @@ func (d *Disk) Restore(img map[PageID]*[PageSize]byte, live []PageID, next PageI
 		*cp = *src
 		pages[id] = cp
 	}
-	var free []PageID
+	var free []freeExtent
 	for id := PageID(1); id < next; id++ {
 		if _, ok := pages[id]; !ok {
-			free = append(free, id)
+			if n := len(free); n > 0 && free[n-1].Start+free[n-1].Len == id {
+				free[n-1].Len++
+			} else {
+				free = append(free, freeExtent{Start: id, Len: 1})
+			}
 		}
 	}
 	d.pages = pages

@@ -283,6 +283,120 @@ func (h *HeapFile) Delete(rid RID) error {
 	return nil
 }
 
+// Relocate rewrites the file's records into fresh pages in exactly the given
+// order and returns the old-RID → new-RID mapping. order must name every
+// live record exactly once — relocation is a whole-file operation, so the
+// caller (the clustering pass) decides the complete placement. The move is
+// all-or-nothing: phase 1 reads every record through the charged buffer-pool
+// path (in order, so the simulated cost is deterministic); phase 2 packs the
+// records into freshly allocated pages with the same insertSlack headroom
+// the insert path leaves. Only after both phases succeed are the old pages
+// freed and the page list swapped; a fault in either phase aborts with the
+// file unchanged (phase-2 pages allocated so far are returned to the disk).
+func (h *HeapFile) Relocate(order []RID) (map[RID]RID, error) {
+	if len(order) != h.count {
+		return nil, fmt.Errorf("storage: relocate order names %d records, %s holds %d",
+			len(order), h.name, h.count)
+	}
+	// Phase 1: read everything in target order (charged).
+	recs := make([][]byte, len(order))
+	seen := make(map[RID]struct{}, len(order))
+	for i, rid := range order {
+		if _, dup := seen[rid]; dup {
+			return nil, fmt.Errorf("storage: relocate order repeats record %v in %s", rid, h.name)
+		}
+		seen[rid] = struct{}{}
+		rec, err := h.Read(rid)
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = rec
+	}
+	// Phase 2: pack into fresh pages. abort unwinds every new page on error.
+	var newPages []PageID
+	var cur *Frame
+	abort := func(err error) (map[RID]RID, error) {
+		if cur != nil {
+			_ = h.pool.Unpin(cur.ID(), true)
+		}
+		for _, id := range newPages {
+			_ = h.pool.FreePage(id)
+		}
+		return nil, err
+	}
+	const insertSlack = PageSize / 8
+	remap := make(map[RID]RID, len(order))
+	for i, rec := range recs {
+		var slot uint16
+		inserted := false
+		if cur != nil {
+			h.pool.MutatePage(cur, func() {
+				p := slotted{&cur.Data}
+				if p.freeSpace() >= len(rec)+insertSlack {
+					slot, inserted = p.insert(rec)
+				}
+			})
+		}
+		if !inserted {
+			if cur != nil {
+				if err := h.unpinDirty(cur.ID()); err != nil {
+					cur = nil
+					return abort(err)
+				}
+				cur = nil
+			}
+			f, err := h.pool.PinNewOwned(h.name)
+			if err != nil {
+				return abort(err)
+			}
+			cur = f
+			newPages = append(newPages, f.ID())
+			h.pool.MutatePage(cur, func() {
+				p := slotted{&cur.Data}
+				p.initIfNeeded()
+				slot, inserted = p.insert(rec)
+			})
+			if !inserted {
+				return abort(fmt.Errorf("storage: record of %d bytes does not fit fresh page in %s",
+					len(rec), h.name))
+			}
+		}
+		remap[order[i]] = RID{Page: cur.ID(), Slot: slot}
+	}
+	if cur != nil {
+		if err := h.unpinDirty(cur.ID()); err != nil {
+			cur = nil
+			return abort(err)
+		}
+		cur = nil
+	}
+	// Commit: release the old pages and adopt the new layout.
+	old := h.pages
+	h.pages = newPages
+	h.freeHint = len(h.pages) - 1
+	for _, id := range old {
+		if err := h.pool.FreePage(id); err != nil {
+			return nil, err
+		}
+	}
+	return remap, nil
+}
+
+// Compact rewrites the file's records in their current scan order — a
+// relocation that preserves placement but squeezes out the slack deleted
+// records left behind, returning emptied pages to the disk's free list. The
+// scan that discovers the order is charged like any other scan.
+func (h *HeapFile) Compact() (map[RID]RID, error) {
+	order := make([]RID, 0, h.count)
+	if err := h.Scan(func(rid RID, _ []byte) bool {
+		order = append(order, rid)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return h.Relocate(order)
+}
+
 // ProbePage models a hashed-access probe: it reads the bucket page selected
 // by hash (charging the page access) without interpreting its contents. The
 // RRR uses it to charge lookups that find nothing — the paper's point in

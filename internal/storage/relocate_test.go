@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fillHeap inserts n records of the given size into h and returns their RIDs
+// in insertion order.
+func fillHeap(t *testing.T, h *HeapFile, n, size int) []RID {
+	t.Helper()
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		rec := bytes.Repeat([]byte{byte(i)}, size)
+		rec = append(rec, []byte(fmt.Sprintf("#%d", i))...)
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		rids[i] = rid
+	}
+	return rids
+}
+
+func TestHeapRelocateReordersAndPreservesRecords(t *testing.T) {
+	pool, _ := newPool(64)
+	h := NewHeapFile(pool, "objects")
+	rids := fillHeap(t, h, 40, 200)
+
+	want := make(map[RID][]byte, len(rids))
+	for _, rid := range rids {
+		rec, err := h.Read(rid)
+		if err != nil {
+			t.Fatalf("read %v: %v", rid, err)
+		}
+		want[rid] = rec
+	}
+
+	// Relocate into reverse insertion order.
+	order := make([]RID, len(rids))
+	for i, rid := range rids {
+		order[len(rids)-1-i] = rid
+	}
+	remap, err := h.Relocate(order)
+	if err != nil {
+		t.Fatalf("relocate: %v", err)
+	}
+	if len(remap) != len(rids) {
+		t.Fatalf("remap has %d entries, want %d", len(remap), len(rids))
+	}
+	if h.Count() != len(rids) {
+		t.Fatalf("count = %d after relocate, want %d", h.Count(), len(rids))
+	}
+	for old, rec := range want {
+		got, err := h.Read(remap[old])
+		if err != nil {
+			t.Fatalf("read relocated %v -> %v: %v", old, remap[old], err)
+		}
+		if !bytes.Equal(got, rec) {
+			t.Fatalf("record %v changed across relocation", old)
+		}
+	}
+	// The new physical order is the requested order: scanning the file
+	// yields the records of `order` front to back.
+	i := 0
+	if err := h.Scan(func(rid RID, rec []byte) bool {
+		if rid != remap[order[i]] {
+			t.Fatalf("scan position %d: got %v, want %v (record of %v)", i, rid, remap[order[i]], order[i])
+		}
+		i++
+		return true
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if i != len(order) {
+		t.Fatalf("scan visited %d records, want %d", i, len(order))
+	}
+}
+
+func TestHeapRelocateValidatesOrder(t *testing.T) {
+	pool, _ := newPool(16)
+	h := NewHeapFile(pool, "objects")
+	rids := fillHeap(t, h, 5, 100)
+
+	if _, err := h.Relocate(rids[:4]); err == nil {
+		t.Fatal("relocate with a missing record succeeded")
+	}
+	dup := append(append([]RID(nil), rids[:4]...), rids[0])
+	if _, err := h.Relocate(dup); err == nil {
+		t.Fatal("relocate with a duplicate record succeeded")
+	}
+}
+
+// TestHeapCompactReclaimsPagesAndCoalescesFreeExtents pins the reclaimed-space
+// accounting after a bulk delete: compaction must return the emptied pages to
+// the disk as coalesced free extents, and subsequent allocations must reuse
+// them lowest-first instead of growing the address space.
+func TestHeapCompactReclaimsPagesAndCoalescesFreeExtents(t *testing.T) {
+	pool, _ := newPool(64)
+	disk := pool.disk
+	h := NewHeapFile(pool, "objects")
+	rids := fillHeap(t, h, 60, 400)
+	pagesBefore := h.NumPages()
+	if pagesBefore < 6 {
+		t.Fatalf("want several pages before delete, got %d", pagesBefore)
+	}
+
+	// Bulk delete: keep every sixth record. The pages stay allocated —
+	// deleted space is stranded slack until compaction.
+	kept := 0
+	for i, rid := range rids {
+		if i%6 == 0 {
+			kept++
+			continue
+		}
+		if err := h.Delete(rid); err != nil {
+			t.Fatalf("delete %v: %v", rid, err)
+		}
+	}
+	if h.NumPages() != pagesBefore {
+		t.Fatalf("delete alone changed page count: %d -> %d", pagesBefore, h.NumPages())
+	}
+	if disk.FreePageCount() != 0 {
+		t.Fatalf("free pages before compaction: %d, want 0", disk.FreePageCount())
+	}
+
+	remap, err := h.Compact()
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if len(remap) != kept {
+		t.Fatalf("compact remapped %d records, want %d", len(remap), kept)
+	}
+	if h.NumPages() >= pagesBefore {
+		t.Fatalf("compaction did not shrink the file: %d pages -> %d", pagesBefore, h.NumPages())
+	}
+	freed := disk.FreePageCount()
+	if want := pagesBefore; freed != want {
+		// Every pre-compaction page is freed (records moved to fresh pages);
+		// the new pages came from the grown address space, so the freed count
+		// is exactly the old page count.
+		t.Fatalf("free pages after compaction: %d, want %d", freed, want)
+	}
+	// The old pages were allocated consecutively, so freeing them must
+	// coalesce into a single extent — fragmented accounting is the regression
+	// this test pins.
+	if got := disk.FreeExtentCount(); got != 1 {
+		t.Fatalf("free extents after compaction: %d, want 1 (coalesced)", got)
+	}
+
+	// Reuse: new inserts consume the reclaimed ids before growing next.
+	next := disk.NextPage()
+	fillHeap(t, h, 30, 400)
+	if disk.NextPage() != next {
+		t.Fatalf("address space grew (next %d -> %d) while %d pages were free",
+			next, disk.NextPage(), freed)
+	}
+	if disk.FreePageCount() >= freed {
+		t.Fatalf("reclaimed pages were not reused: %d free before, %d after inserts",
+			freed, disk.FreePageCount())
+	}
+}
+
+// TestHeapRelocateAbortsCleanlyOnFault verifies the all-or-nothing contract:
+// an injected fault during either relocation phase leaves the file exactly as
+// it was, with no leaked pages.
+func TestHeapRelocateAbortsCleanlyOnFault(t *testing.T) {
+	for _, phase := range []struct {
+		name string
+		rule FaultRule
+	}{
+		{"read-phase", FaultRule{Op: FaultRead, Count: 1}},
+		{"write-phase", FaultRule{Op: FaultWrite, Count: 1}},
+	} {
+		t.Run(phase.name, func(t *testing.T) {
+			// A 4-frame pool over more pages than fit forces physical I/O
+			// during relocation, giving the fault rules something to hit.
+			pool, _ := newPool(4)
+			disk := pool.disk
+			h := NewHeapFile(pool, "objects")
+			rids := fillHeap(t, h, 30, 500)
+			want := make([][]byte, len(rids))
+			for i, rid := range rids {
+				rec, err := h.Read(rid)
+				if err != nil {
+					t.Fatalf("read %v: %v", rid, err)
+				}
+				want[i] = rec
+			}
+			pages, count, allocated := h.NumPages(), h.Count(), disk.NumPages()
+
+			disk.SetFaultPlan(FaultPlan{Rules: []FaultRule{phase.rule}})
+			order := make([]RID, len(rids))
+			for i, rid := range rids {
+				order[len(rids)-1-i] = rid
+			}
+			_, err := h.Relocate(order)
+			disk.ClearFaults()
+			if err == nil {
+				t.Fatal("relocate under fault injection succeeded")
+			}
+			if h.NumPages() != pages || h.Count() != count {
+				t.Fatalf("aborted relocate changed the file: %d pages/%d records, want %d/%d",
+					h.NumPages(), h.Count(), pages, count)
+			}
+			if disk.NumPages() != allocated {
+				t.Fatalf("aborted relocate leaked pages: disk has %d, want %d",
+					disk.NumPages(), allocated)
+			}
+			if n := pool.PinnedCount(); n != 0 {
+				t.Fatalf("aborted relocate leaked %d pins", n)
+			}
+			for i, rid := range rids {
+				rec, err := h.Read(rid)
+				if err != nil {
+					t.Fatalf("read %v after abort: %v", rid, err)
+				}
+				if !bytes.Equal(rec, want[i]) {
+					t.Fatalf("record %d changed after aborted relocate", i)
+				}
+			}
+		})
+	}
+}
