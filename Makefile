@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc bench-cluster check-determinism repro repro-short examples sim sim-crash sim-long cover clean
+.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc bench-cluster bench-shard check-determinism repro repro-short examples sim sim-crash sim-long sim-shard cover clean
 
 all: build vet test
 
@@ -52,6 +52,17 @@ else
 	$(GO) run ./cmd/gombench -figure cluster $(SHORT) -out /tmp/BENCH_cluster_short.json
 endif
 
+# Horizontal sharding: wall-clock router throughput (forward/backward/
+# tabular/mixed reads plus vertex-move updates) at 1, 2, 4, and 8 shards
+# (writes BENCH_shard.json; `make bench-shard SHORT=-short` for a quick smoke
+# that leaves the committed JSON alone).
+bench-shard:
+ifeq ($(SHORT),)
+	$(GO) run ./cmd/gombench -figure shard
+else
+	$(GO) run ./cmd/gombench -figure shard $(SHORT) -out /tmp/BENCH_shard_short.json
+endif
+
 # Writer interference: reader ops/sec with a background writer holding the
 # engine, MVCC snapshot reads vs. the DisableMVCC RWMutex baseline (merges
 # the writer_interference section into BENCH_throughput.json).
@@ -88,6 +99,12 @@ sim:
 # under testdata/sim/.
 sim-crash:
 	$(GO) run -race ./cmd/gomsim -durable -crashes -seeds 25 -ops 150
+
+# Sharded campaign: every plan through the 4-shard scatter-gather router with
+# fault windows on single shards and crash points at divergent per-shard
+# checkpoint horizons, under the race detector.
+sim-shard:
+	$(GO) run -race ./cmd/gomsim -shards 4 -faults -durable -crashes -seeds 15 -ops 150
 
 # Nightly-style campaign: more seeds, longer workloads, scripted fault
 # windows, and the race detector over the whole sim test suite. Rotate the

@@ -1,0 +1,158 @@
+package gomdb_test
+
+// Tests of Config.AutoRecluster: a checkpoint reclusters automatically when
+// some GMR's recorded traces show a scattered base (high distinct-pages to
+// trace-objects ratio), and leaves a base alone when the threshold is not
+// met.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// buildScatteredGeometry populates a cuboid base whose 8n boundary vertices
+// are created in one globally shuffled order, so every volume computation's
+// trace touches ~8 unrelated heap pages (the same adversarial layout the
+// clustering benchmark uses).
+func buildScatteredGeometry(t *testing.T, cfg gomdb.Config, n int) (*gomdb.Database, []gomdb.OID) {
+	t.Helper()
+	db := gomdb.Open(cfg)
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	mats := make([]gomdb.OID, len(fixtures.Materials))
+	for i, m := range fixtures.Materials {
+		oid, err := db.New("Material", gomdb.Str(m.Name), gomdb.Float(m.SpecWeight))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mats[i] = oid
+	}
+	type box struct{ ox, oy, oz, l, w, h float64 }
+	boxes := make([]box, n)
+	for i := range boxes {
+		boxes[i] = box{
+			ox: rng.Float64() * 100, oy: rng.Float64() * 100, oz: rng.Float64() * 100,
+			l: 1 + rng.Float64()*9, w: 1 + rng.Float64()*9, h: 1 + rng.Float64()*9,
+		}
+	}
+	corner := func(b box, c int) (x, y, z float64) {
+		dx := []float64{0, b.l, b.l, 0, 0, b.l, b.l, 0}
+		dy := []float64{0, 0, b.w, b.w, 0, 0, b.w, b.w}
+		dz := []float64{0, 0, 0, 0, b.h, b.h, b.h, b.h}
+		return b.ox + dx[c], b.oy + dy[c], b.oz + dz[c]
+	}
+	verts := make([][]gomdb.OID, 8)
+	for c := range verts {
+		verts[c] = make([]gomdb.OID, n)
+	}
+	type slot struct{ i, c int }
+	slots := make([]slot, 0, 8*n)
+	for i := 0; i < n; i++ {
+		for c := 0; c < 8; c++ {
+			slots = append(slots, slot{i, c})
+		}
+	}
+	rng.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
+	for _, s := range slots {
+		x, y, z := corner(boxes[s.i], s.c)
+		oid, err := db.New("Vertex", gomdb.Float(x), gomdb.Float(y), gomdb.Float(z))
+		if err != nil {
+			t.Fatal(err)
+		}
+		verts[s.c][s.i] = oid
+	}
+	cuboids := make([]gomdb.OID, n)
+	for i := range cuboids {
+		attrs := make([]gomdb.Value, 0, 11)
+		for c := 0; c < 8; c++ {
+			attrs = append(attrs, gomdb.Ref(verts[c][i]))
+		}
+		attrs = append(attrs,
+			gomdb.Ref(mats[rng.Intn(len(mats))]),
+			gomdb.Float(10+rng.Float64()*90),
+			gomdb.Int(int64(i+1)))
+		oid, err := db.New("Cuboid", attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cuboids[i] = oid
+	}
+	return db, cuboids
+}
+
+// ridMap flattens the exported directory to oid -> record id.
+func ridMap(db *gomdb.Database) map[gomdb.OID]string {
+	out := make(map[gomdb.OID]string)
+	for _, e := range db.Objects.ExportDirectory().RIDs {
+		out[e.O] = e.R.String()
+	}
+	return out
+}
+
+func TestAutoReclusterTriggersOnScatteredBase(t *testing.T) {
+	cfg := gomdb.DefaultConfig()
+	// A scattered trace touches nearly one page per object; a clustered one
+	// far fewer. Any mid-range ratio separates the two.
+	cfg.AutoRecluster = 0.5
+	db, cuboids := buildScatteredGeometry(t, cfg, 64)
+	materializeGvw(t, db, gomdb.Immediate)
+
+	st := db.GMRs.GMRAccessStats()["Gvw"]
+	if st.TraceObjects < 16 {
+		t.Fatalf("materialization recorded only %d trace objects", st.TraceObjects)
+	}
+	if float64(st.DistinctPages) < 0.5*float64(st.TraceObjects) {
+		t.Fatalf("base not scattered enough to arm the trigger: pages=%d objects=%d",
+			st.DistinctPages, st.TraceObjects)
+	}
+	before := allVolumes(t, db, cuboids)
+	oldRIDs := ridMap(db)
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	moved := 0
+	for oid, rid := range ridMap(db) {
+		if oldRIDs[oid] != rid {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("checkpoint with AutoRecluster armed relocated nothing")
+	}
+	if msgs := db.Objects.AuditDirectory(); len(msgs) != 0 {
+		t.Fatalf("directory audit after auto recluster: %v", msgs)
+	}
+	if after := allVolumes(t, db, cuboids); !reflect.DeepEqual(before, after) {
+		t.Fatal("auto recluster changed materialized results")
+	}
+	rep, err := db.CheckConsistency("Gvw", 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("GMR inconsistent after auto recluster: %+v", rep)
+	}
+}
+
+func TestAutoReclusterRespectsThreshold(t *testing.T) {
+	cfg := gomdb.DefaultConfig()
+	// DistinctPages can never exceed TraceObjects, so this never fires.
+	cfg.AutoRecluster = 10
+	db, _ := buildScatteredGeometry(t, cfg, 20)
+	materializeGvw(t, db, gomdb.Immediate)
+	oldRIDs := ridMap(db)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if got := ridMap(db); !reflect.DeepEqual(oldRIDs, got) {
+		t.Fatal("checkpoint relocated objects although the trigger ratio was never met")
+	}
+}

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc, cluster) or 'all'")
+	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc, cluster, shard) or 'all'")
 	short := flag.Bool("short", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cuboids := flag.Int("cuboids", 0, "override Cuboid database size (default 8000, paper scale)")
@@ -42,6 +42,7 @@ func main() {
 		fmt.Println("updates")
 		fmt.Println("mvcc")
 		fmt.Println("cluster")
+		fmt.Println("shard")
 		return
 	}
 	sc := bench.FullScale()
@@ -68,6 +69,9 @@ func main() {
 		return
 	case "cluster":
 		runCluster(sc, jsonOut(*out, "BENCH_cluster.json"), *csv, *plot)
+		return
+	case "shard":
+		runShard(sc, jsonOut(*out, "BENCH_shard.json"), *csv, *plot)
 		return
 	}
 
@@ -122,6 +126,46 @@ func writeJSON(rep any, out, figure string) {
 	fmt.Printf("  wrote %s\n", out)
 }
 
+// warnNumCPU mirrors the report's single-core caveat on stderr so a CI log
+// carries it even when nobody opens the JSON.
+func warnNumCPU() {
+	if w := bench.NumCPUWarning(); w != "" {
+		fmt.Fprintf(os.Stderr, "gombench: warning: %s\n", w)
+	}
+}
+
+// runShard runs the horizontal-sharding wall-clock suite and writes the
+// JSON report.
+func runShard(sc bench.Scale, out string, csv, plot bool) {
+	t0 := time.Now()
+	warnNumCPU()
+	rep, fig, err := bench.Shard(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: shard: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fig.PrintCSV(os.Stdout)
+	} else {
+		fig.Print(os.Stdout)
+	}
+	if plot {
+		fig.PrintPlot(os.Stdout)
+	}
+	for _, m := range rep.Mixes {
+		last := m.Points[len(m.Points)-1]
+		fmt.Printf("  %-10s 1 shard %8.0f ops/s -> %d shards %8.0f ops/s (%.2fx)\n",
+			m.Name, m.Points[0].OpsPerSec, last.Shards, last.OpsPerSec, last.Speedup)
+	}
+	if pts := rep.Updates.Points; len(pts) > 0 {
+		last := pts[len(pts)-1]
+		fmt.Printf("  %-10s 1 shard %8.0f ops/s -> %d shards %8.0f ops/s (%.2fx)\n",
+			rep.Updates.Name, pts[0].OpsPerSec, last.Shards, last.OpsPerSec, last.Speedup)
+	}
+	writeJSON(rep, out, "shard")
+	fmt.Printf("  (shard completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
+}
+
 // runUpdates runs the burst-update suite and writes the JSON report.
 func runUpdates(sc bench.Scale, out string, csv, plot bool) {
 	t0 := time.Now()
@@ -173,6 +217,7 @@ func runCluster(sc bench.Scale, out string, csv, plot bool) {
 // writer-interference section) and writes the JSON report.
 func runThroughput(sc bench.Scale, out string, csv, plot bool) {
 	t0 := time.Now()
+	warnNumCPU()
 	rep, fig, err := bench.Throughput(sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gombench: throughput: %v\n", err)
@@ -203,6 +248,7 @@ func runThroughput(sc bench.Scale, out string, csv, plot bool) {
 // section when none exists yet).
 func runMVCC(sc bench.Scale, out string, csv, plot bool) {
 	t0 := time.Now()
+	warnNumCPU()
 	irep, fig, err := bench.WriterInterference(sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gombench: mvcc: %v\n", err)
@@ -224,6 +270,7 @@ func runMVCC(sc bench.Scale, out string, csv, plot bool) {
 		}
 	}
 	rep.WriterInterference = irep
+	rep.NumCPUWarning = bench.NumCPUWarning()
 	writeJSON(rep, out, "mvcc")
 	fmt.Printf("  (mvcc completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
 }

@@ -11,6 +11,7 @@
 //	gomsim -seeds 100 -faults -long          # nightly-style fault campaign
 //	gomsim -seed-base 20260805 -seeds 50     # rotating nightly seed window
 //	gomsim -durable -crashes -seeds 25       # crash-recovery campaign
+//	gomsim -shards 4 -faults -durable -crashes  # sharded fault+crash campaign
 //	gomsim -replay testdata/sim/repro.json   # re-run a saved reproducer
 //
 // With -durable each run executes against a file-backed store; -crashes
@@ -18,7 +19,11 @@
 // mid-materialize, torn page write) into every plan. -recluster inserts
 // trace-driven reclustering passes (after fault/crash injection, so they can
 // land inside fault windows and next to crash points); the directory ↔ heap
-// auditor then verifies every relocation left the base intact. A violating durable run
+// auditor then verifies every relocation left the base intact. With
+// -shards N every plan runs through the internal/shard scatter-gather router
+// over N engines; fault windows target one shard's disk, crash points kill
+// all shards with the mid-checkpoint injection armed on one, and the audits
+// add the router's cross-shard routing invariants. A violating durable run
 // is re-executed with its store pinned under -out, so the on-disk state that
 // fed recovery ships alongside the shrunk reproducer.
 //
@@ -37,25 +42,26 @@ import (
 
 func main() {
 	var (
-		seeds    = flag.Int("seeds", 10, "number of consecutive seeds to run")
-		seed     = flag.Int64("seed", 0, "run exactly this seed (overrides -seeds)")
-		seedBase = flag.Int64("seed-base", 1, "first seed of the window (nightly runs rotate this, e.g. -seed-base $(date +%Y%m%d))")
-		ops      = flag.Int("ops", 150, "ops per workload")
-		strategy = flag.String("strategy", "", "immediate|lazy|deferred (default: all three)")
-		memo     = flag.Bool("memo", false, "enable the forward-lookup memo cache")
-		sc       = flag.Bool("second-chance", false, "enable second-chance immediate(o)")
-		mds      = flag.Bool("mds", false, "maintain the multidimensional index")
-		shards   = flag.Int("shards", 0, "buffer pool lock-stripe count (0 = default)")
-		workers  = flag.Int("workers", 0, "deferred-flush worker count (0 = GOMAXPROCS)")
-		faults   = flag.Bool("faults", false, "insert scripted fault windows into each plan")
-		recl     = flag.Bool("recluster", false, "insert trace-driven reclustering passes into each plan")
-		nomvcc   = flag.Bool("nomvcc", false, "disable the MVCC snapshot read path")
-		durable  = flag.Bool("durable", false, "run against a file-backed store (checkpoints + WAL + recovery)")
-		crashes  = flag.Bool("crashes", false, "insert crash-restart points into each plan (implies -durable)")
-		broken   = flag.Bool("broken", false, "arm the deliberately-broken invalidation path (audits must fail)")
-		outDir   = flag.String("out", filepath.Join("testdata", "sim"), "directory for shrunk reproducer artifacts")
-		replay   = flag.String("replay", "", "replay a saved artifact instead of generating workloads")
-		verbose  = flag.Bool("v", false, "print the full op trace of every run")
+		seeds     = flag.Int("seeds", 10, "number of consecutive seeds to run")
+		seed      = flag.Int64("seed", 0, "run exactly this seed (overrides -seeds)")
+		seedBase  = flag.Int64("seed-base", 1, "first seed of the window (nightly runs rotate this, e.g. -seed-base $(date +%Y%m%d))")
+		ops       = flag.Int("ops", 150, "ops per workload")
+		strategy  = flag.String("strategy", "", "immediate|lazy|deferred (default: all three)")
+		memo      = flag.Bool("memo", false, "enable the forward-lookup memo cache")
+		sc        = flag.Bool("second-chance", false, "enable second-chance immediate(o)")
+		mds       = flag.Bool("mds", false, "maintain the multidimensional index")
+		shards    = flag.Int("shards", 0, "horizontal shard count: run plans through the scatter-gather router over this many engines (0 = single engine)")
+		bufShards = flag.Int("buffer-shards", 0, "buffer pool lock-stripe count (0 = default)")
+		workers   = flag.Int("workers", 0, "deferred-flush worker count (0 = GOMAXPROCS)")
+		faults    = flag.Bool("faults", false, "insert scripted fault windows into each plan")
+		recl      = flag.Bool("recluster", false, "insert trace-driven reclustering passes into each plan")
+		nomvcc    = flag.Bool("nomvcc", false, "disable the MVCC snapshot read path")
+		durable   = flag.Bool("durable", false, "run against a file-backed store (checkpoints + WAL + recovery)")
+		crashes   = flag.Bool("crashes", false, "insert crash-restart points into each plan (implies -durable)")
+		broken    = flag.Bool("broken", false, "arm the deliberately-broken invalidation path (audits must fail)")
+		outDir    = flag.String("out", filepath.Join("testdata", "sim"), "directory for shrunk reproducer artifacts")
+		replay    = flag.String("replay", "", "replay a saved artifact instead of generating workloads")
+		verbose   = flag.Bool("v", false, "print the full op trace of every run")
 	)
 	flag.Parse()
 
@@ -74,8 +80,8 @@ func main() {
 	for _, s := range strategies {
 		configs = append(configs, sim.EngineConfig{
 			Strategy: s, Memo: *memo, SecondChance: *sc, UseMDS: *mds,
-			BufferShards: *shards, RematWorkers: *workers, Broken: *broken,
-			Durable: *durable, DisableMVCC: *nomvcc,
+			BufferShards: *bufShards, Shards: *shards, RematWorkers: *workers,
+			Broken: *broken, Durable: *durable, DisableMVCC: *nomvcc,
 		})
 	}
 

@@ -244,19 +244,43 @@ func dedupSorted(ids []storage.PageID) []storage.PageID {
 // combined flush point + checkpoint). With Config.ReclusterOnCheckpoint set,
 // a trace-driven reclustering pass runs first (under the reader barrier
 // relocation requires), so the checkpoint commits the clustered layout and
-// recovery replays to it.
+// recovery replays to it. With Config.AutoRecluster > 0 the pass runs only
+// when the forward-trace access statistics say the base is scattered (see
+// autoReclusterDue).
 func (db *Database) Checkpoint() error {
-	if db.reclusterOnCkpt {
+	if db.reclusterOnCkpt || db.autoRecluster > 0 {
 		db.lockBarrier()
 		defer db.unlockBarrier()
-		if _, err := db.reclusterLocked(); err != nil {
-			return err
+		if db.reclusterOnCkpt || db.autoReclusterDue() {
+			if _, err := db.reclusterLocked(); err != nil {
+				return err
+			}
 		}
 		return db.checkpointLocked()
 	}
 	db.lockWrite()
 	defer db.unlockWrite()
 	return db.checkpointLocked()
+}
+
+// autoReclusterDue implements the Config.AutoRecluster trigger: it reports
+// whether any GMR's forward traces show a DistinctPages/TraceObjects ratio at
+// or above the configured threshold. A ratio near 1.0 means every traced
+// object access hit its own page — the scattered-base signature trace-driven
+// reclustering exists to fix; a well-clustered base packs the working set
+// into far fewer pages. GMRs with fewer than 16 traced objects are skipped:
+// with so few accesses the ratio is noise, and a tiny base cannot benefit.
+// Caller holds the exclusive lock. Reads access-trace counters only — no
+// page pins, no simulated charges.
+func (db *Database) autoReclusterDue() bool {
+	const minTraceObjects = 16
+	for _, st := range db.GMRs.GMRAccessStats() {
+		if st.TraceObjects >= minTraceObjects &&
+			float64(st.DistinctPages) >= db.autoRecluster*float64(st.TraceObjects) {
+			return true
+		}
+	}
+	return false
 }
 
 // Close flushes, checkpoints, and closes the durable store. On an in-memory

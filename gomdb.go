@@ -194,7 +194,30 @@ type Config struct {
 	// otherwise. Simulated cost accounting is identical either way: snapshot
 	// reads charge a throwaway clock, never the database's.
 	DisableMVCC bool
+	// OIDAllocator, when non-nil, replaces the engine's private OID counter
+	// with a shared allocator. The shard router (internal/shard) injects one
+	// global allocator into all of its engine instances so the same logical
+	// plan assigns the same OIDs — and therefore the same record bytes and
+	// the same simulated charges — at every shard count. It is wired before
+	// schema definition and recovery, so recovery-time rematerializations
+	// also allocate from it. Leave nil for a standalone database.
+	OIDAllocator OIDAllocator
+	// AutoRecluster, when > 0, turns every explicit Checkpoint call into a
+	// conditional reclustering point: if any GMR's forward-trace access
+	// statistics show a DistinctPages/TraceObjects ratio at or above this
+	// threshold (each traced object sitting on nearly its own page — the
+	// signature of a scattered base), a trace-driven reclustering pass
+	// (Database.Recluster) runs under the reader barrier before the state is
+	// made durable. Ratios near 1.0 mean fully scattered; well-clustered
+	// bases run well below 0.3. GMRs with fewer than 16 traced objects are
+	// ignored (too little signal). 0 disables the policy;
+	// ReclusterOnCheckpoint forces a pass unconditionally.
+	AutoRecluster float64
 }
+
+// OIDAllocator is a shared source of object identifiers (see
+// Config.OIDAllocator).
+type OIDAllocator = object.OIDAllocator
 
 // DefaultConfig returns the paper's measurement configuration.
 func DefaultConfig() Config {
@@ -248,6 +271,8 @@ type Database struct {
 
 	// reclusterOnCkpt mirrors Config.ReclusterOnCheckpoint.
 	reclusterOnCkpt bool
+	// autoRecluster mirrors Config.AutoRecluster (0 = disabled).
+	autoRecluster float64
 
 	// store is the durable page store (nil for an in-memory database); see
 	// durable.go.
@@ -290,6 +315,9 @@ func newDatabase(cfg Config) *Database {
 	pool := storage.NewPoolShards(disk, cfg.BufferPages, cfg.BufferShards)
 	sch := schema.New()
 	objs := object.NewManager(sch.Reg, pool, clock)
+	if cfg.OIDAllocator != nil {
+		objs.SetOIDAllocator(cfg.OIDAllocator)
+	}
 	en := schema.NewEngine(sch, objs, clock)
 	mgr := core.NewManager(en, pool)
 	mgr.SetRematWorkers(cfg.RematWorkers)
@@ -304,6 +332,7 @@ func newDatabase(cfg Config) *Database {
 		Queries: query.NewExecutor(en, mgr),
 
 		reclusterOnCkpt: cfg.ReclusterOnCheckpoint,
+		autoRecluster:   cfg.AutoRecluster,
 	}
 	if !cfg.DisableMVCC {
 		st := mvcc.NewState()
@@ -676,9 +705,29 @@ func (tx *Tx) Call(fn string, args ...Value) (Value, error) {
 // entries individually), and fn's error takes precedence. On a durable
 // database the end of the batch is also a checkpoint point.
 func (db *Database) Batch(fn func(*Tx) error) error {
+	tx := db.BeginBatch()
+	return db.EndBatch(tx, fn(tx))
+}
+
+// BeginBatch opens an update batch explicitly: the exclusive engine lock is
+// taken and a Tx handle returned. Every BeginBatch must be paired with exactly
+// one EndBatch — most callers should use Batch, which pairs them around a
+// function. The split form exists for coordinators that hold several
+// databases' batches open at once (the shard router opens one per shard and
+// routes each operation to its owner before closing them all).
+func (db *Database) BeginBatch() *Tx {
 	db.lockWrite()
+	return &Tx{db: db}
+}
+
+// EndBatch closes a batch opened by BeginBatch: the deferred-rematerialization
+// queue is flushed, the state checkpointed (durable databases), and the
+// exclusive lock released. err is the batch body's verdict; it takes
+// precedence over flush and checkpoint errors, matching Batch — the flush
+// still runs on a failed batch because updates already applied must not leave
+// the queue stale across an unlocked window.
+func (db *Database) EndBatch(tx *Tx, err error) error {
 	defer db.unlockWrite()
-	err := fn(&Tx{db: db})
 	if ferr := db.GMRs.Flush(); err == nil {
 		err = ferr
 	}
@@ -791,6 +840,47 @@ func (db *Database) Retrieve(gmrName string, spec []FieldSpec) ([]Row, error) {
 	ver, release := db.mvccSt.Pin()
 	defer release()
 	return db.GMRs.SnapshotAt(ver).Retrieve(gmrName, spec)
+}
+
+// Backward answers a backward query on a Complete GMR: every materialized
+// argument combination whose stored result lies in [lb, ub]. Quiescent GMRs
+// answer under the shared lock; a GMR with invalid entries must revalidate
+// them first and runs exclusively. When a writer holds the engine the query
+// is answered from an MVCC snapshot instead of waiting.
+func (db *Database) Backward(fid string, lb, ub float64) ([]Match, error) {
+	if db.mvccSt == nil || db.mu.TryRLock() {
+		if db.mvccSt == nil {
+			db.mu.RLock()
+		}
+		if db.GMRs.Quiescent() {
+			defer db.mu.RUnlock()
+			return db.GMRs.Backward(fid, lb, ub)
+		}
+		db.mu.RUnlock()
+		db.lockWrite()
+		defer db.unlockWrite()
+		return db.GMRs.Backward(fid, lb, ub)
+	}
+	ver, release := db.mvccSt.Pin()
+	defer release()
+	return db.GMRs.SnapshotAt(ver).Backward(fid, lb, ub)
+}
+
+// Sum aggregates a materialized function over the given argument objects
+// (nil = every materialized entry), forcing invalid entries first. Because the
+// forcing path may store recomputed results, a non-quiescent GMR manager runs
+// the aggregation exclusively; quiescent managers answer under the shared
+// lock. There is no snapshot tier: a contended Sum blocks on the writer.
+func (db *Database) Sum(fid string, oids []OID) (float64, error) {
+	db.mu.RLock()
+	if db.GMRs.Quiescent() {
+		defer db.mu.RUnlock()
+		return db.GMRs.Sum(fid, oids)
+	}
+	db.mu.RUnlock()
+	db.lockWrite()
+	defer db.unlockWrite()
+	return db.GMRs.Sum(fid, oids)
 }
 
 // CheckConsistency audits a GMR against Definition 3.2 (and, with

@@ -54,16 +54,19 @@ type ThroughputConfig struct {
 // ThroughputReport is the JSON document gombench writes to
 // BENCH_throughput.json.
 type ThroughputReport struct {
-	Harness     string             `json:"harness"`
-	GoVersion   string             `json:"go_version"`
-	NumCPU      int                `json:"num_cpu"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Cuboids     int                `json:"cuboids"`
-	BufferPages int                `json:"buffer_pages"`
-	DurationMs  int64              `json:"duration_ms_per_point"`
-	Goroutines  []int              `json:"goroutine_counts"`
-	Configs     []ThroughputConfig `json:"configs"`
-	Notes       string             `json:"notes"`
+	Harness    string `json:"harness"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPUWarning is non-empty when the host has a single schedulable
+	// CPU and the scaling numbers are therefore vacuous (see NumCPUWarning).
+	NumCPUWarning string             `json:"num_cpu_warning,omitempty"`
+	Cuboids       int                `json:"cuboids"`
+	BufferPages   int                `json:"buffer_pages"`
+	DurationMs    int64              `json:"duration_ms_per_point"`
+	Goroutines    []int              `json:"goroutine_counts"`
+	Configs       []ThroughputConfig `json:"configs"`
+	Notes         string             `json:"notes"`
 	// WriterInterference is the reader-throughput-under-a-writer suite
 	// (mvcc.go); `gombench -figure throughput` fills it alongside the
 	// quiescent mixes, and `gombench -figure mvcc` refreshes it alone.
@@ -230,14 +233,15 @@ func Throughput(sc Scale) (*ThroughputReport, *Figure, error) {
 		{"striped+memo", 8, true},
 	}
 	rep := &ThroughputReport{
-		Harness:     "gombench -figure throughput",
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Cuboids:     n,
-		BufferPages: 8192,
-		DurationMs:  d.Milliseconds(),
-		Goroutines:  throughputGoroutines,
+		Harness:       "gombench -figure throughput",
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPUWarning: NumCPUWarning(),
+		Cuboids:       n,
+		BufferPages:   8192,
+		DurationMs:    d.Milliseconds(),
+		Goroutines:    throughputGoroutines,
 		Notes: "Wall-clock ops/sec of the concurrent read path; simulated-clock figures are unaffected. " +
 			"Speedup is relative to the same configuration at 1 goroutine; mutex_wait_ms is the runtime's " +
 			"cumulative sync.Mutex wait over the measurement window (contention evidence independent of core count). " +

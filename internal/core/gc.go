@@ -54,12 +54,20 @@ func (m *Manager) gmrByFctID(fid string) *GMR {
 
 // trackResultObjects records the objects created while materializing a
 // complex result; CollectResultGarbage may reclaim them once unreferenced.
+// The [from, to) OID window is filtered against this engine's own directory:
+// with a shared OID allocator (internal/shard) the window may contain OIDs
+// handed to other engine instances, and marking a foreign OID here would
+// leak it into this engine's result-object set — and, on a durable database,
+// into the persisted ResultObjs metadata. The Exists check is a charge-free
+// map lookup, so single-engine accounting is unchanged.
 func (m *Manager) trackResultObjects(from, to object.OID) {
 	if m.resultObjs == nil {
 		m.resultObjs = make(map[object.OID]bool)
 	}
 	for oid := from; oid < to; oid++ {
-		m.resultObjs[oid] = true
+		if m.Objs.Exists(oid) {
+			m.resultObjs[oid] = true
+		}
 	}
 }
 

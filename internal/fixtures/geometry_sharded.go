@@ -1,0 +1,133 @@
+package fixtures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gomdb"
+	"gomdb/internal/shard"
+)
+
+// Sharded variants of the geometry fixture. Placement policy:
+//
+//   - Materials and robots (with their Pos vertices) are REPLICATED — they
+//     are shared reference data every cuboid's weight and distance
+//     computations read, so each shard keeps a same-OID replica and reads
+//     stay local.
+//   - Each cuboid and its eight boundary vertices are CO-LOCATED on one
+//     shard, chosen by hashing the cuboid id — the whole graph a forward
+//     lookup or invalidation sweep touches lives on the owner.
+//
+// The creation ORDER is identical to the unsharded fixture, so with the
+// router's shared OID allocator the same population yields the same OIDs —
+// and the same record bytes — at every shard count.
+
+// DefineGeometrySharded installs the geometry schema on every shard.
+func DefineGeometrySharded(db *shard.DB, encapsulated bool) error {
+	return db.EachShard(func(i int, sh *gomdb.Database) error {
+		return DefineGeometry(sh, encapsulated)
+	})
+}
+
+// ShardedGeometry is a populated sharded Cuboid database.
+type ShardedGeometry struct {
+	DB        *shard.DB
+	Cuboids   []gomdb.OID
+	ByID      map[int64]gomdb.OID
+	MaterialO []gomdb.OID
+	Robots    []gomdb.OID
+	NextID    int64
+	rng       *rand.Rand
+}
+
+// NewCuboidOn creates a Cuboid and its eight boundary vertices on shard sh,
+// mirroring NewCuboid's corner order exactly.
+func NewCuboidOn(db *shard.DB, sh int, id int64, ox, oy, oz, l, w, h float64, mat gomdb.OID, value float64) (gomdb.OID, error) {
+	v := func(x, y, z float64) (gomdb.Value, error) {
+		oid, err := db.NewOn(sh, "Vertex", gomdb.Float(x), gomdb.Float(y), gomdb.Float(z))
+		return gomdb.Ref(oid), err
+	}
+	corners := [][3]float64{
+		{ox, oy, oz},             // V1
+		{ox + l, oy, oz},         // V2
+		{ox + l, oy + w, oz},     // V3
+		{ox, oy + w, oz},         // V4
+		{ox, oy, oz + h},         // V5
+		{ox + l, oy, oz + h},     // V6
+		{ox + l, oy + w, oz + h}, // V7
+		{ox, oy + w, oz + h},     // V8
+	}
+	attrs := make([]gomdb.Value, 0, 11)
+	for _, c := range corners {
+		ref, err := v(c[0], c[1], c[2])
+		if err != nil {
+			return 0, err
+		}
+		attrs = append(attrs, ref)
+	}
+	attrs = append(attrs, gomdb.Ref(mat), gomdb.Float(value), gomdb.Int(id))
+	return db.NewOn(sh, "Cuboid", attrs...)
+}
+
+// PopulateGeometrySharded mirrors PopulateGeometry over the router:
+// materials and robots replicate to every shard, cuboid graphs are placed
+// by cuboid-id hash.
+func PopulateGeometrySharded(db *shard.DB, n int, seed int64) (*ShardedGeometry, error) {
+	g := &ShardedGeometry{
+		DB:   db,
+		ByID: make(map[int64]gomdb.OID, n),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	for _, m := range Materials {
+		oid, err := db.NewReplicated("Material", gomdb.Str(m.Name), gomdb.Float(m.SpecWeight))
+		if err != nil {
+			return nil, err
+		}
+		g.MaterialO = append(g.MaterialO, oid)
+	}
+	for i := 0; i < 2; i++ {
+		pos, err := db.NewReplicated("Vertex", gomdb.Float(float64(100+i*50)), gomdb.Float(0), gomdb.Float(0))
+		if err != nil {
+			return nil, err
+		}
+		oid, err := db.NewReplicated("Robot", gomdb.Str(fmt.Sprintf("R%d", i+1)), gomdb.Ref(pos))
+		if err != nil {
+			return nil, err
+		}
+		g.Robots = append(g.Robots, oid)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := g.CreateRandomCuboid(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// CreateRandomCuboid creates one cuboid graph on the shard its id hashes to,
+// drawing from the same random stream as the unsharded fixture.
+func (g *ShardedGeometry) CreateRandomCuboid() (gomdb.OID, error) {
+	g.NextID++
+	id := g.NextID
+	l := 1 + g.rng.Float64()*9
+	w := 1 + g.rng.Float64()*9
+	h := 1 + g.rng.Float64()*9
+	mat := g.MaterialO[g.rng.Intn(len(g.MaterialO))]
+	val := 10 + g.rng.Float64()*90
+	sh := g.DB.ShardFor(uint64(id))
+	oid, err := NewCuboidOn(g.DB, sh, id, g.rng.Float64()*100, g.rng.Float64()*100, g.rng.Float64()*100, l, w, h, mat, val)
+	if err != nil {
+		return 0, err
+	}
+	g.Cuboids = append(g.Cuboids, oid)
+	g.ByID[id] = oid
+	return oid, nil
+}
+
+// RandomCuboid returns a uniformly chosen live cuboid.
+func (g *ShardedGeometry) RandomCuboid() gomdb.OID {
+	return g.Cuboids[g.rng.Intn(len(g.Cuboids))]
+}
+
+// Rng exposes the deterministic random stream.
+func (g *ShardedGeometry) Rng() *rand.Rand { return g.rng }

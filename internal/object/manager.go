@@ -89,6 +89,14 @@ type Manager struct {
 	rids    map[OID]storage.RID
 	extents map[string]*extent
 	nextOID OID
+	// alloc, when non-nil, replaces the private nextOID counter: every
+	// stored object draws its OID from the shared allocator instead. A
+	// shard router injects one allocator into all of its engine instances
+	// so the same logical plan assigns the same OIDs at every shard count
+	// (references encode as varints, so OID magnitude affects record
+	// length and thus CPU charges — a per-shard counter would break charge
+	// parity). See internal/shard.
+	alloc OIDAllocator
 
 	// layoutMu guards the lazily populated layout caches below: Layout and
 	// AttrIndex are called on the concurrent read path, so the first
@@ -141,6 +149,21 @@ func NewManager(reg *Registry, pool *storage.BufferPool, clock *storage.Clock) *
 		attrIdx: make(map[string]map[string]int),
 	}
 }
+
+// OIDAllocator hands out object identifiers from a source shared by several
+// managers. NextOID allocates (and consumes) the next OID; PeekOID reports
+// the next OID without consuming it. Implementations must be safe for
+// concurrent use; the manager itself calls them only under the engine's
+// exclusive lock.
+type OIDAllocator interface {
+	NextOID() OID
+	PeekOID() OID
+}
+
+// SetOIDAllocator replaces the manager's private OID counter with a shared
+// allocator. Must be called before any object is stored (the shard router
+// injects it at construction / open time, before schema definition).
+func (m *Manager) SetOIDAllocator(a OIDAllocator) { m.alloc = a }
 
 // SetMVCC attaches the shared MVCC version state, enabling pre-image
 // capture on directory and extent mutations.
@@ -342,8 +365,12 @@ func (m *Manager) CreateCollection(typeName string, elems []Value) (OID, error) 
 }
 
 func (m *Manager) store(o *Obj) (OID, error) {
-	o.OID = m.nextOID
-	m.nextOID++
+	if m.alloc != nil {
+		o.OID = m.alloc.NextOID()
+	} else {
+		o.OID = m.nextOID
+		m.nextOID++
+	}
 	rec := encodeObj(o)
 	m.Clock.AddCPU(1 + int64(len(rec))/64)
 	rid, err := m.heap.Insert(rec)
@@ -502,7 +529,12 @@ func (m *Manager) NumObjects() int { return len(m.rids) }
 // NextOID returns the OID the next created object will receive; the GMR
 // manager uses the watermark to identify result objects for garbage
 // collection.
-func (m *Manager) NextOID() OID { return m.nextOID }
+func (m *Manager) NextOID() OID {
+	if m.alloc != nil {
+		return m.alloc.PeekOID()
+	}
+	return m.nextOID
+}
 
 // HeapPages returns the number of pages occupied by the object heap.
 func (m *Manager) HeapPages() int { return m.heap.NumPages() }

@@ -1,0 +1,636 @@
+package sim
+
+// The multi-shard simulation cell: the same seeded plans the single-engine
+// runner executes, applied through the internal/shard scatter-gather router.
+// Per shard the full auditor battery runs (Definition 3.2 congruence, RRR
+// support, directory <-> heap correspondence, pin/queue/MVCC quiescence);
+// across shards the router's own invariants are audited at every quiescent
+// point: no non-replicated OID lives on two shards, every routing-table
+// entry resolves to a live object on its owner, and a replicated OID is
+// present on every shard.
+//
+// Placement mirrors the sharded fixture: materials and robots replicate,
+// each cuboid graph (cuboid + 8 vertices + any transient scale/translate
+// vector) is co-located on the shard its cuboid id hashes to. Fault windows
+// target one shard's disk (X mod shards); crash points kill every shard at
+// once, with the mid-checkpoint injections armed on one shard so recovery
+// sees shards at different checkpoint horizons — exactly the divergence the
+// router's recovery contract must tolerate.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/shard"
+	"gomdb/internal/storage"
+)
+
+// shardAPI is the op surface shared by *shard.DB (per-op routing) and
+// *shard.Tx (inside one coordinated batch).
+type shardAPI interface {
+	NewOn(sh int, typeName string, attrs ...gomdb.Value) (gomdb.OID, error)
+	Delete(oid gomdb.OID) error
+	Set(oid gomdb.OID, attr string, v gomdb.Value) error
+	GetAttr(oid gomdb.OID, attr string) (gomdb.Value, error)
+	Call(fn string, args ...gomdb.Value) (gomdb.Value, error)
+	Owner(oid gomdb.OID) (int, bool)
+}
+
+type shardWorld struct {
+	db  *shard.DB
+	cfg EngineConfig
+	dir string
+
+	cuboids []gomdb.OID
+	robots  []gomdb.OID
+	mats    []gomdb.OID
+	nextID  int64
+
+	matted     map[int]bool
+	faultsOpen bool
+	faultShard int
+	faults     int
+}
+
+func openSimSharded(cfg EngineConfig, dir string) (*shard.DB, error) {
+	gc := gomdb.Config{
+		BufferPages:  cfg.BufferPages,
+		BufferShards: cfg.BufferShards,
+		RematWorkers: cfg.RematWorkers,
+		DisableMVCC:  cfg.DisableMVCC,
+	}
+	scfg := shard.Config{Shards: cfg.Shards, Engine: gc}
+	if dir == "" {
+		db := shard.Open(scfg)
+		if err := fixtures.DefineGeometrySharded(db, false); err != nil {
+			return nil, fmt.Errorf("schema: %w", err)
+		}
+		return db, nil
+	}
+	scfg.Engine.Path = dir
+	scfg.Engine.DefineSchema = func(db *gomdb.Database) error {
+		return fixtures.DefineGeometry(db, false)
+	}
+	return shard.OpenAt(scfg)
+}
+
+// RunSharded executes plan against a cfg.Shards-way router. Run dispatches
+// here when the Shards axis is set.
+func RunSharded(cfg EngineConfig, plan Plan) (res *Result) {
+	res = &Result{}
+	var w *shardWorld
+	removeDir := ""
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			res.Violation = &Violation{OpIndex: cur, Msgs: []string{fmt.Sprintf("panic: %v", r)}}
+		}
+		if w != nil {
+			res.Clock = w.db.Snapshot()
+			res.FaultsInjected = w.faults + w.faultsNow()
+			w.db.Crash() // release durable file handles (no-op in-memory)
+		}
+		if removeDir != "" {
+			os.RemoveAll(removeDir)
+		}
+		h := fnv.New64a()
+		for _, line := range res.Trace {
+			h.Write([]byte(line))
+			h.Write([]byte{'\n'})
+		}
+		res.TraceHash = h.Sum64()
+	}()
+
+	dir := ""
+	if cfg.Durable {
+		dir = cfg.CrashDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "gomsim-sharded-")
+			if err != nil {
+				res.Violation = &Violation{OpIndex: -1, Msgs: []string{"durable dir: " + err.Error()}}
+				return res
+			}
+			dir, removeDir = tmp, tmp
+		} else if err := os.RemoveAll(dir); err != nil {
+			res.Violation = &Violation{OpIndex: -1, Msgs: []string{"durable dir: " + err.Error()}}
+			return res
+		}
+	}
+
+	db, err := openSimSharded(cfg, dir)
+	if err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"open: " + err.Error()}}
+		return res
+	}
+	geo, err := fixtures.PopulateGeometrySharded(db, plan.Init, plan.Seed)
+	if err != nil {
+		db.Crash()
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"populate: " + err.Error()}}
+		return res
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.Crash()
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"populate checkpoint: " + err.Error()}}
+		return res
+	}
+	db.EachShard(func(_ int, sh *gomdb.Database) error {
+		sh.GMRs.TestingBreakInvalidation(cfg.Broken)
+		return nil
+	})
+	w = &shardWorld{
+		db:      db,
+		cfg:     cfg,
+		dir:     dir,
+		cuboids: append([]gomdb.OID(nil), geo.Cuboids...),
+		robots:  append([]gomdb.OID(nil), geo.Robots...),
+		mats:    append([]gomdb.OID(nil), geo.MaterialO...),
+		nextID:  geo.NextID,
+		matted:  make(map[int]bool),
+	}
+
+	for i, op := range plan.Ops {
+		cur = i
+		detail, bad := w.apply(op)
+		res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", i, op.Kind, detail))
+		if bad != nil {
+			bad.OpIndex = i
+			res.Violation = bad
+			return res
+		}
+	}
+
+	cur = len(plan.Ops)
+	if w.faultsOpen {
+		detail, bad := w.applyFaultClear()
+		res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", cur, OpFaultClear, detail))
+		if bad != nil {
+			bad.OpIndex = cur
+			res.Violation = bad
+			return res
+		}
+	}
+	detail, bad := w.applyAudit()
+	res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", cur, "final-audit", detail))
+	if bad != nil {
+		bad.OpIndex = cur
+		res.Violation = bad
+	}
+	return res
+}
+
+func (w *shardWorld) faultsNow() int {
+	total := 0
+	w.db.EachShard(func(_ int, sh *gomdb.Database) error {
+		total += sh.Disk.FaultsInjected()
+		return nil
+	})
+	return total
+}
+
+func (w *shardWorld) cuboid(x int) (gomdb.OID, bool) {
+	if len(w.cuboids) == 0 {
+		return 0, false
+	}
+	return w.cuboids[x%len(w.cuboids)], true
+}
+
+func (w *shardWorld) apply(op Op) (string, *Violation) {
+	switch op.Kind {
+	case OpMat:
+		return w.applyMat(op), nil
+	case OpDemat:
+		spec := catalog[op.X%len(catalog)]
+		err := w.db.Dematerialize(spec.Name)
+		if err == nil {
+			delete(w.matted, op.X%len(catalog))
+		}
+		return spec.Name + " " + errStr(err), nil
+	case OpCreate:
+		oid, err := w.createCuboid(w.db, op)
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("cuboid %s (n=%d)", oid, len(w.cuboids)), nil
+	case OpDelete:
+		oid, ok := w.cuboid(op.X)
+		if !ok {
+			return "skip (no cuboids)", nil
+		}
+		err := w.db.Delete(oid)
+		if _, live := w.db.Owner(oid); !live {
+			w.dropCuboid(oid)
+		}
+		return fmt.Sprintf("cuboid %s (n=%d) %s", oid, len(w.cuboids), errStr(err)), nil
+	case OpSetValue, OpSetVertex, OpScale, OpTranslate, OpRotate:
+		detail, err := w.applyUpdate(w.db, op)
+		if err != nil {
+			detail += " ERR " + err.Error()
+		}
+		return detail, nil
+	case OpForward:
+		oid, ok := w.cuboid(op.X)
+		if !ok {
+			return "skip (no cuboids)", nil
+		}
+		args := []gomdb.Value{gomdb.Ref(oid)}
+		if op.S == "Cuboid.distance" {
+			args = append(args, gomdb.Ref(w.robots[op.N%len(w.robots)]))
+		}
+		v, err := w.db.Call(op.S, args...)
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s(%s) = %s", op.S, oid, v), nil
+	case OpBackward:
+		ms, err := w.db.Backward(op.S, op.F[0], op.F[1])
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s[%g,%g] %s", op.S, op.F[0], op.F[1], matchStr(ms)), nil
+	case OpSum:
+		if len(w.cuboids) == 0 {
+			return "skip (no cuboids)", nil
+		}
+		k := 1 + op.N%len(w.cuboids)
+		oids := append([]gomdb.OID(nil), w.cuboids[:k]...)
+		s, err := w.db.Sum(op.S, oids)
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s over %d = %g", op.S, k, s), nil
+	case OpRetrieve:
+		spec := catalog[op.X%len(catalog)]
+		specs := make([]gomdb.FieldSpec, spec.NumArgs+len(spec.Funcs))
+		for i := range specs {
+			specs[i] = gomdb.AnySpec()
+		}
+		specs[spec.NumArgs] = gomdb.RangeSpec(op.F[0], op.F[1])
+		rows, err := w.db.Retrieve(spec.Name, specs)
+		if err != nil {
+			return spec.Name + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s[%g,%g] %s", spec.Name, op.F[0], op.F[1], rowStr(rows)), nil
+	case OpFlush:
+		return errStr(w.db.Flush()), nil
+	case OpBatch:
+		return w.applyBatch(op), nil
+	case OpGC:
+		ngc, nrr := 0, 0
+		err := w.db.EachShard(func(_ int, sh *gomdb.Database) error {
+			n, err := sh.GMRs.CollectResultGarbage()
+			if err != nil {
+				return err
+			}
+			ngc += n
+			m, err := sh.GMRs.ReorganizeRRR()
+			if err != nil {
+				return err
+			}
+			nrr += m
+			return nil
+		})
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("collected %d, reorganized %d", ngc, nrr), nil
+	case OpAudit:
+		if w.faultsOpen {
+			return "skipped (faults armed)", nil
+		}
+		return w.applyAudit()
+	case OpSnapRead:
+		// The router has no cross-shard snapshot view; per-shard MVCC is
+		// exercised through the engines' own suites.
+		return "skip (sharded)", nil
+	case OpFault:
+		w.faultShard = op.X % w.db.Shards()
+		w.db.Shard(w.faultShard).Disk.SetFaultPlan(storage.FaultPlan{Rules: op.Rule})
+		w.faultsOpen = true
+		return fmt.Sprintf("shard %d %s", w.faultShard, storage.FaultPlan{Rules: op.Rule}), nil
+	case OpFaultClear:
+		return w.applyFaultClear()
+	case OpRecluster:
+		rep, err := w.db.Recluster()
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("moved %d/%d (hot=%d chains=%d traces=%d)",
+			rep.Moved, rep.Objects, rep.HotObjects, rep.Chains, rep.Traces), nil
+	case OpCrash:
+		return w.applyCrash(op)
+	}
+	return "unknown op", &Violation{Msgs: []string{"unknown op kind " + string(op.Kind)}}
+}
+
+// applyCrash kills every shard at the op's chosen point and reopens the
+// router. The mid-checkpoint injections are armed on ONE shard (X mod
+// shards), so the surviving checkpoint horizons diverge across shards —
+// recovery must rebuild a coherent routing table from that divergence.
+func (w *shardWorld) applyCrash(op Op) (string, *Violation) {
+	if w.dir == "" {
+		return op.S + " skip (in-memory)", nil
+	}
+	target := w.db.Shard(op.X % w.db.Shards())
+	var trigger string
+	switch op.S {
+	case "mid-batch":
+		target.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-batch@%d %s", op.N, w.applyBatch(Op{Kind: OpBatch, Sub: op.Sub}))
+	case "mid-flush":
+		target.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-flush@%d %s", op.N, errStr(w.db.Flush()))
+	case "mid-mat":
+		target.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-mat@%d %s", op.N, w.applyMat(Op{Kind: OpMat, X: op.X}))
+	case "torn":
+		target.Disk.SetFaultPlan(storage.FaultPlan{Rules: op.Rule})
+		trigger = "torn " + w.applyBatch(Op{Kind: OpBatch, Sub: op.Sub})
+	default:
+		trigger = "now"
+	}
+	w.faults += w.faultsNow()
+	w.db.Crash()
+	w.faultsOpen = false
+	db, err := openSimSharded(w.cfg, w.dir)
+	if err != nil {
+		return trigger + " -> recovery FAILED", &Violation{Msgs: []string{"recovery: " + err.Error()}}
+	}
+	w.db = db
+	db.EachShard(func(_ int, sh *gomdb.Database) error {
+		sh.GMRs.TestingBreakInvalidation(w.cfg.Broken)
+		return nil
+	})
+	w.resync()
+	detail, bad := w.applyAudit()
+	return fmt.Sprintf("%s -> recovered(cuboids=%d); audit %s", trigger, len(w.cuboids), detail), bad
+}
+
+// resync rebuilds bookkeeping from the recovered router: the merged
+// extension (shard-order concatenation, replicas deduplicated) is the
+// canonical post-recovery object list.
+func (w *shardWorld) resync() {
+	w.cuboids = w.db.Extension("Cuboid")
+	w.robots = w.db.Extension("Robot")
+	w.mats = w.db.Extension("Material")
+	w.matted = make(map[int]bool)
+	for ci, spec := range catalog {
+		if _, ok := w.db.Shard(0).GMRs.Get(spec.Name); ok {
+			w.matted[ci] = true
+		}
+	}
+}
+
+func (w *shardWorld) applyMat(op Op) string {
+	ci := op.X % len(catalog)
+	spec := catalog[ci]
+	err := w.db.Materialize(gomdb.MaterializeOptions{
+		Name:         spec.Name,
+		Funcs:        spec.Funcs,
+		Strategy:     w.cfg.strategy(),
+		Complete:     spec.Complete,
+		MaxEntries:   spec.MaxEntries,
+		SecondChance: w.cfg.SecondChance,
+		UseMDS:       w.cfg.UseMDS,
+		MemoCache:    w.cfg.Memo,
+	})
+	if err == nil {
+		w.matted[ci] = true
+	}
+	return spec.Name + " " + errStr(err)
+}
+
+func (w *shardWorld) applyUpdate(a shardAPI, op Op) (string, error) {
+	oid, ok := w.cuboid(op.X)
+	if !ok {
+		return "skip (no cuboids)", nil
+	}
+	switch op.Kind {
+	case OpSetValue:
+		return fmt.Sprintf("%s.Value=%g", oid, op.F[0]),
+			a.Set(oid, "Value", gomdb.Float(op.F[0]))
+	case OpSetVertex:
+		attr := fmt.Sprintf("V%d", 1+op.N%8)
+		vref, err := a.GetAttr(oid, attr)
+		if err != nil {
+			return oid.String() + "." + attr, err
+		}
+		return fmt.Sprintf("%s.%s.%s=%g", oid, attr, op.S, op.F[0]),
+			a.Set(vref.R, op.S, gomdb.Float(op.F[0]))
+	case OpScale, OpTranslate:
+		// The transient argument vertex must be co-located with the cuboid,
+		// or the call's references would span shards.
+		sh, ok := a.Owner(oid)
+		if !ok {
+			return "owner of " + oid.String(), shard.ErrUnknownOID
+		}
+		vec, err := a.NewOn(sh, "Vertex", gomdb.Float(op.F[0]), gomdb.Float(op.F[1]), gomdb.Float(op.F[2]))
+		if err != nil {
+			return "new vertex", err
+		}
+		opName := "Cuboid.scale"
+		if op.Kind == OpTranslate {
+			opName = "Cuboid.translate"
+		}
+		_, err = a.Call(opName, gomdb.Ref(oid), gomdb.Ref(vec))
+		return fmt.Sprintf("%s(%s, [%g %g %g])", opName, oid, op.F[0], op.F[1], op.F[2]), err
+	case OpRotate:
+		_, err := a.Call("Cuboid.rotate", gomdb.Ref(oid), gomdb.Float(op.F[0]), gomdb.Str(op.S))
+		return fmt.Sprintf("rotate(%s, %g, %s)", oid, op.F[0], op.S), err
+	}
+	return "", fmt.Errorf("sim: %s is not an update op", op.Kind)
+}
+
+func (w *shardWorld) applyBatch(op Op) string {
+	var parts []string
+	err := w.db.Batch(func(tx *shard.Tx) error {
+		for _, sub := range op.Sub {
+			var detail string
+			var serr error
+			switch sub.Kind {
+			case OpCreate:
+				var oid gomdb.OID
+				oid, serr = w.createCuboid(tx, sub)
+				detail = "create " + oid.String()
+			case OpDelete:
+				oid, ok := w.cuboid(sub.X)
+				if !ok {
+					parts = append(parts, "delete skip")
+					continue
+				}
+				serr = tx.Delete(oid)
+				if _, live := tx.Owner(oid); !live {
+					w.dropCuboid(oid)
+				}
+				detail = "delete " + oid.String()
+			default:
+				detail, serr = w.applyUpdate(tx, sub)
+			}
+			if serr != nil {
+				detail += " ERR " + serr.Error()
+			}
+			parts = append(parts, detail)
+		}
+		return nil
+	})
+	out := fmt.Sprintf("{%s}", strings.Join(parts, "; "))
+	if err != nil {
+		out += " ERR " + err.Error()
+	}
+	return out
+}
+
+func (w *shardWorld) applyFaultClear() (string, *Violation) {
+	w.faults += w.faultsNow()
+	w.db.EachShard(func(_ int, sh *gomdb.Database) error {
+		sh.Disk.ClearFaults()
+		return nil
+	})
+	w.faultsOpen = false
+	var msgs []string
+	if err := w.db.Flush(); err != nil {
+		msgs = append(msgs, "recovery flush: "+err.Error())
+	}
+	rebuilt := 0
+	for _, ci := range w.mattedIndices() {
+		spec := catalog[ci]
+		if err := w.db.Dematerialize(spec.Name); err != nil {
+			msgs = append(msgs, "recovery demat "+spec.Name+": "+err.Error())
+			continue
+		}
+		delete(w.matted, ci)
+		if s := w.applyMat(Op{Kind: OpMat, X: ci}); !strings.HasSuffix(s, " ok") {
+			msgs = append(msgs, "recovery remat "+s)
+			continue
+		}
+		rebuilt++
+	}
+	if len(msgs) > 0 {
+		return "recovery FAILED", &Violation{Msgs: msgs}
+	}
+	return fmt.Sprintf("recovered (%d GMRs rebuilt, %d faults so far)", rebuilt, w.faults), nil
+}
+
+func (w *shardWorld) mattedIndices() []int {
+	out := make([]int, 0, len(w.matted))
+	for ci := range w.matted {
+		out = append(out, ci)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// applyAudit is a quiescent point: drain every shard's deferred queue, run
+// the full single-engine auditor battery per shard, then the cross-shard
+// routing audits.
+func (w *shardWorld) applyAudit() (string, *Violation) {
+	if err := w.db.Flush(); err != nil {
+		return "flush ERR", &Violation{Msgs: []string{"audit flush: " + err.Error()}}
+	}
+	msgs := AuditSharded(w.db)
+	if len(msgs) > 0 {
+		return fmt.Sprintf("FAILED (%d violations)", len(msgs)), &Violation{Msgs: msgs}
+	}
+	return fmt.Sprintf("ok (%d gmrs, %d cuboids, %d shards)",
+		len(w.matted), len(w.cuboids), w.db.Shards()), nil
+}
+
+func (w *shardWorld) createCuboid(a shardAPI, op Op) (gomdb.OID, error) {
+	w.nextID++
+	sh := w.db.ShardFor(uint64(w.nextID))
+	ox, oy, oz := op.F[0], op.F[1], op.F[2]
+	l, wd, h := op.F[3], op.F[4], op.F[5]
+	corners := [8][3]float64{
+		{ox, oy, oz}, {ox + l, oy, oz}, {ox + l, oy + wd, oz}, {ox, oy + wd, oz},
+		{ox, oy, oz + h}, {ox + l, oy, oz + h}, {ox + l, oy + wd, oz + h}, {ox, oy + wd, oz + h},
+	}
+	attrs := make([]gomdb.Value, 0, 11)
+	for _, c := range corners {
+		v, err := a.NewOn(sh, "Vertex", gomdb.Float(c[0]), gomdb.Float(c[1]), gomdb.Float(c[2]))
+		if err != nil {
+			return 0, err
+		}
+		attrs = append(attrs, gomdb.Ref(v))
+	}
+	attrs = append(attrs,
+		gomdb.Ref(w.mats[op.N%len(w.mats)]),
+		gomdb.Float(op.F[6]),
+		gomdb.Int(w.nextID),
+	)
+	oid, err := a.NewOn(sh, "Cuboid", attrs...)
+	if err != nil {
+		return 0, err
+	}
+	w.cuboids = append(w.cuboids, oid)
+	return oid, nil
+}
+
+func (w *shardWorld) dropCuboid(oid gomdb.OID) {
+	for i, c := range w.cuboids {
+		if c == oid {
+			w.cuboids = append(w.cuboids[:i], w.cuboids[i+1:]...)
+			return
+		}
+	}
+}
+
+// AuditSharded runs the single-engine auditor battery on every shard
+// (messages prefixed with the shard index) and then checks the router's
+// cross-shard invariants:
+//
+//  1. Ownership residence — every routing-table entry resolves to a live
+//     object on its owning shard, and a replicated entry resolves on EVERY
+//     shard.
+//  2. Placement exclusivity — a non-replicated OID lives on exactly the one
+//     shard the routing table names; an OID on multiple shards must be a
+//     registered replica.
+//  3. Extension completeness — the union of the per-shard type extensions
+//     is exactly the routed population: no object is missing from the merge
+//     and none appears under two owners.
+func AuditSharded(db *shard.DB) []string {
+	var out []string
+	db.EachShard(func(i int, sh *gomdb.Database) error {
+		for _, m := range Audit(sh) {
+			out = append(out, fmt.Sprintf("shard %d: %s", i, m))
+		}
+		return nil
+	})
+
+	n := db.Shards()
+	present := make(map[gomdb.OID]int) // OID -> count of shards holding it
+	where := make(map[gomdb.OID]int)   // OID -> some shard holding it
+	db.EachShard(func(i int, sh *gomdb.Database) error {
+		for _, oid := range sh.Objects.AllOIDs() {
+			present[oid]++
+			where[oid] = i
+		}
+		return nil
+	})
+	for oid, cnt := range present {
+		own, ok := db.Owner(oid)
+		if !ok {
+			out = append(out, fmt.Sprintf("router: object %v on shard %d has no routing entry", oid, where[oid]))
+			continue
+		}
+		switch {
+		case own == -1 && cnt != n:
+			out = append(out, fmt.Sprintf("router: replicated %v present on %d/%d shards", oid, cnt, n))
+		case own >= 0 && cnt != 1:
+			out = append(out, fmt.Sprintf("router: %v owned by shard %d but present on %d shards", oid, own, cnt))
+		case own >= 0 && where[oid] != own:
+			out = append(out, fmt.Sprintf("router: %v routed to shard %d but lives on shard %d", oid, own, where[oid]))
+		}
+	}
+	// Every routing entry must resolve to a live object.
+	for _, oid := range db.RoutedOIDs() {
+		if present[oid] == 0 {
+			own, _ := db.Owner(oid)
+			out = append(out, fmt.Sprintf("router: routing entry %v -> %d resolves to no live object", oid, own))
+		}
+	}
+	return out
+}

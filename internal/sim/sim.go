@@ -47,6 +47,12 @@ type EngineConfig struct {
 	UseMDS bool `json:"useMDS,omitempty"`
 	// BufferShards is the buffer pool's lock-stripe count (0 = default).
 	BufferShards int `json:"bufferShards,omitempty"`
+	// Shards runs the plan against a horizontally sharded router
+	// (internal/shard) over this many engine instances instead of a single
+	// database. 0 means the legacy single-engine path; Shards >= 1
+	// exercises the scatter-gather router, including at 1 where it must
+	// behave like a plain engine.
+	Shards int `json:"shards,omitempty"`
 	// RematWorkers bounds the deferred-flush worker pool (0 = GOMAXPROCS).
 	RematWorkers int `json:"rematWorkers,omitempty"`
 	// BufferPages is the pool capacity (0 = the paper's 150 pages).
@@ -100,6 +106,9 @@ func (c EngineConfig) String() string {
 	}
 	if c.BufferShards != 0 {
 		s += fmt.Sprintf("+shards%d", c.BufferShards)
+	}
+	if c.Shards != 0 {
+		s += fmt.Sprintf("+sharded%d", c.Shards)
 	}
 	if c.RematWorkers != 0 {
 		s += fmt.Sprintf("+workers%d", c.RematWorkers)
@@ -199,6 +208,9 @@ func openSim(cfg EngineConfig, dir string) (*gomdb.Database, error) {
 // Run executes plan against cfg and returns the trace, cost snapshot, and
 // first invariant violation (if any).
 func Run(cfg EngineConfig, plan Plan) (res *Result) {
+	if cfg.Shards > 0 {
+		return RunSharded(cfg, plan)
+	}
 	res = &Result{}
 	var w *world
 	var db *gomdb.Database
@@ -366,7 +378,7 @@ func (w *world) apply(op Op) (string, *Violation) {
 		}
 		return fmt.Sprintf("%s(%s) = %s", op.S, oid, v), nil
 	case OpBackward:
-		ms, err := w.db.GMRs.Backward(op.S, op.F[0], op.F[1])
+		ms, err := w.db.Backward(op.S, op.F[0], op.F[1])
 		if err != nil {
 			return op.S + " ERR " + err.Error(), nil
 		}
@@ -377,7 +389,7 @@ func (w *world) apply(op Op) (string, *Violation) {
 		}
 		k := 1 + op.N%len(w.cuboids)
 		oids := append([]gomdb.OID(nil), w.cuboids[:k]...)
-		s, err := w.db.GMRs.Sum(op.S, oids)
+		s, err := w.db.Sum(op.S, oids)
 		if err != nil {
 			return op.S + " ERR " + err.Error(), nil
 		}

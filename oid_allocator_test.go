@@ -1,0 +1,135 @@
+package gomdb_test
+
+import (
+	"sync"
+	"testing"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+)
+
+// hookAlloc is a shared OID allocator whose hook fires before each
+// allocation, simulating another engine allocating concurrently at a
+// deterministic point. The inHook guard keeps hook-triggered allocations
+// from recursing.
+type hookAlloc struct {
+	mu     sync.Mutex
+	next   gomdb.OID
+	hook   func()
+	inHook bool
+}
+
+func (a *hookAlloc) fireHook() {
+	a.mu.Lock()
+	h, fire := a.hook, a.hook != nil && !a.inHook
+	if fire {
+		a.inHook = true
+	}
+	a.mu.Unlock()
+	if fire {
+		h()
+		a.mu.Lock()
+		a.inHook = false
+		a.mu.Unlock()
+	}
+}
+
+func (a *hookAlloc) NextOID() gomdb.OID {
+	a.fireHook()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	oid := a.next
+	a.next++
+	return oid
+}
+
+func (a *hookAlloc) PeekOID() gomdb.OID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+// TestResultObjectTrackingSharedAllocator is the regression test for a
+// foreign-OID leak found while wiring the shard router: the GMR manager
+// records the OID window allocated while storing a complex result, and with
+// a shared allocator (Config.OIDAllocator, as injected by internal/shard)
+// that window can include OIDs handed to a DIFFERENT engine instance whose
+// writer allocated concurrently. Before the fix those foreign OIDs entered
+// the engine's result-object set — and, on a durable database, the
+// persisted ResultObjs metadata. The engine must filter the window against
+// its own directory.
+func TestResultObjectTrackingSharedAllocator(t *testing.T) {
+	alloc := &hookAlloc{next: 1}
+	cfgA := gomdb.DefaultConfig()
+	cfgA.OIDAllocator = alloc
+	dbA := gomdb.Open(cfgA)
+	cfgB := gomdb.DefaultConfig()
+	cfgB.OIDAllocator = alloc
+	dbB := gomdb.Open(cfgB)
+
+	if err := fixtures.DefineCompany(dbA); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbB.DefineType(gomdb.NewTupleType("Thing", gomdb.Attr("N", "int"))); err != nil {
+		t.Fatal(err)
+	}
+	c, err := fixtures.PopulateCompany(dbA, fixtures.CompanyConfig{
+		Departments: 2, EmpsPerDep: 3, Projects: 4, JobsPerEmp: 2, ProgsPerProj: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dbA.Materialize(gomdb.MaterializeOptions{
+		Funcs: []string{"Company.matrix"}, Complete: true,
+		Strategy: gomdb.Immediate, Mode: gomdb.ModeInfoHiding,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Create the new project BEFORE arming the hook, so only the
+	// rematerialization's result-object allocations interleave with engine
+	// B's creates.
+	p, err := c.NewProjectWithProgrammers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foreign []gomdb.OID
+	alloc.hook = func() {
+		oid, err := dbB.New("Thing", gomdb.Int(int64(len(foreign))))
+		if err != nil {
+			t.Errorf("engine B create: %v", err)
+			return
+		}
+		foreign = append(foreign, oid)
+	}
+	if _, err := dbA.Call("Company.add_project", gomdb.Ref(c.Comp), gomdb.Ref(p)); err != nil {
+		t.Fatal(err)
+	}
+	alloc.hook = nil
+	if len(foreign) == 0 {
+		t.Fatal("hook never fired: rematerialization allocated no result objects")
+	}
+
+	// Engine A's result-object set must contain only engine A's objects.
+	foreignSet := make(map[gomdb.OID]bool, len(foreign))
+	for _, oid := range foreign {
+		foreignSet[oid] = true
+	}
+	for _, oid := range dbA.GMRs.ResultObjectIDs() {
+		if foreignSet[oid] {
+			t.Fatalf("engine A tracks foreign result object %v (owned by engine B)", oid)
+		}
+		if !dbA.Objects.Exists(oid) {
+			t.Fatalf("engine A tracks nonexistent result object %v", oid)
+		}
+	}
+	// And collecting on A must leave B's objects alone.
+	if _, err := dbA.GMRs.CollectResultGarbage(); err != nil {
+		t.Fatal(err)
+	}
+	for _, oid := range foreign {
+		if !dbB.Objects.Exists(oid) {
+			t.Fatalf("engine B object %v vanished after engine A's GC", oid)
+		}
+	}
+}
