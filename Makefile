@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc bench-cluster bench-shard check-determinism repro repro-short examples sim sim-crash sim-long sim-shard cover clean
+.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc bench-cluster bench-shard bench-serve check-determinism repro repro-short examples serve fuzz-wire sim sim-crash sim-long sim-shard cover clean
 
 all: build vet test
 
@@ -63,6 +63,16 @@ else
 	$(GO) run ./cmd/gombench -figure shard $(SHORT) -out /tmp/BENCH_shard_short.json
 endif
 
+# Network service: wall-clock ops/sec through a real TCP client/server pair
+# at 1..16 concurrent clients (writes BENCH_serve.json; `make bench-serve
+# SHORT=-short` for a quick smoke that leaves the committed JSON alone).
+bench-serve:
+ifeq ($(SHORT),)
+	$(GO) run ./cmd/gombench -figure serve
+else
+	$(GO) run ./cmd/gombench -figure serve $(SHORT) -out /tmp/BENCH_serve_short.json
+endif
+
 # Writer interference: reader ops/sec with a background writer holding the
 # engine, MVCC snapshot reads vs. the DisableMVCC RWMutex baseline (merges
 # the writer_interference section into BENCH_throughput.json).
@@ -85,6 +95,22 @@ repro:
 
 repro-short:
 	$(GO) run ./cmd/gombench -figure all -short
+
+# Serve the geometry sample database over TCP (gomdb/client speaks to it;
+# ADDR/SERVE_FLAGS override the defaults, e.g.
+# `make serve SERVE_FLAGS="-shards 4 -max-conns 64"`).
+ADDR ?= :7227
+SERVE_FLAGS ?=
+serve:
+	$(GO) run ./cmd/gomserve -addr $(ADDR) $(SERVE_FLAGS)
+
+# Fuzz the wire-protocol decoders: malformed frames and request payloads
+# must produce structured wire errors, never a panic or a hang. Each target
+# runs for FUZZ_TIME (CI smoke uses 15s; leave it running longer locally).
+FUZZ_TIME ?= 15s
+fuzz-wire:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeRequest -fuzztime $(FUZZ_TIME)
 
 # Deterministic simulation smoke: a window of seeded random workloads against
 # all three strategies, invariant audits at every quiescent point. Violations

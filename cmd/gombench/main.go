@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc, cluster, shard) or 'all'")
+	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc, cluster, shard, serve) or 'all'")
 	short := flag.Bool("short", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cuboids := flag.Int("cuboids", 0, "override Cuboid database size (default 8000, paper scale)")
@@ -43,6 +43,7 @@ func main() {
 		fmt.Println("mvcc")
 		fmt.Println("cluster")
 		fmt.Println("shard")
+		fmt.Println("serve")
 		return
 	}
 	sc := bench.FullScale()
@@ -72,6 +73,9 @@ func main() {
 		return
 	case "shard":
 		runShard(sc, jsonOut(*out, "BENCH_shard.json"), *csv, *plot)
+		return
+	case "serve":
+		runServe(sc, jsonOut(*out, "BENCH_serve.json"), *csv, *plot)
 		return
 	}
 
@@ -164,6 +168,38 @@ func runShard(sc bench.Scale, out string, csv, plot bool) {
 	}
 	writeJSON(rep, out, "shard")
 	fmt.Printf("  (shard completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
+}
+
+// runServe runs the network-service wall-clock suite and writes the JSON
+// report.
+func runServe(sc bench.Scale, out string, csv, plot bool) {
+	t0 := time.Now()
+	warnNumCPU()
+	rep, fig, err := bench.Serve(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: serve: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fig.PrintCSV(os.Stdout)
+	} else {
+		fig.Print(os.Stdout)
+	}
+	if plot {
+		fig.PrintPlot(os.Stdout)
+	}
+	for _, m := range rep.Mixes {
+		last := m.Points[len(m.Points)-1]
+		fmt.Printf("  %-10s 1 client %8.0f ops/s -> %d clients %8.0f ops/s (%.2fx)\n",
+			m.Name, m.Points[0].OpsPerSec, last.Clients, last.OpsPerSec, last.Speedup)
+	}
+	if pts := rep.Updates.Points; len(pts) > 0 {
+		last := pts[len(pts)-1]
+		fmt.Printf("  %-10s 1 client %8.0f ops/s -> %d clients %8.0f ops/s (%.2fx)\n",
+			rep.Updates.Name, pts[0].OpsPerSec, last.Clients, last.OpsPerSec, last.Speedup)
+	}
+	writeJSON(rep, out, "serve")
+	fmt.Printf("  (serve completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
 }
 
 // runUpdates runs the burst-update suite and writes the JSON report.

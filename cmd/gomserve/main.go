@@ -1,0 +1,156 @@
+// Command gomserve serves a GOM object base over TCP: the length-prefixed
+// binary protocol of internal/wire, spoken by the gomdb/client package.
+//
+//	gomserve -addr :7227 -db geometry -n 1000     # plain engine
+//	gomserve -addr :7227 -shards 4                # scatter-gather router
+//	gomserve -auth-token sesame -max-conns 64     # auth stub + admission cap
+//
+// The served database is seeded from the same sample fixtures as gomql
+// (-db geometry|company|none); schema definition has no wire opcode, so an
+// empty base (-db none) only accepts data operations against types a
+// fixture would have defined. Clients create GMRs over the wire with
+// Materialize. SIGINT/SIGTERM drains: in-flight requests complete, open
+// interactive batches of vanished clients are aborted and their engine
+// locks released, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gomdb"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/server"
+	"gomdb/internal/shard"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7227", "TCP listen address")
+		shards       = flag.Int("shards", 1, "number of engine shards (>1 serves the scatter-gather router)")
+		dbKind       = flag.String("db", "geometry", "sample database to seed: geometry, company, or none")
+		n            = flag.Int("n", 100, "number of cuboids (geometry database)")
+		seed         = flag.Int64("seed", 42, "population seed (geometry database)")
+		bufferPages  = flag.Int("buffer-pages", 0, "buffer pool pages per engine (default: engine default)")
+		authToken    = flag.String("auth-token", os.Getenv("GOMSERVE_TOKEN"), "require this token in the client hello (default $GOMSERVE_TOKEN; empty disables auth)")
+		maxConns     = flag.Int("max-conns", 0, "maximum concurrent sessions (0 = unlimited; excess connections are refused with a busy error)")
+		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-frame read deadline (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-frame write deadline (0 disables)")
+		chunkRows    = flag.Int("chunk-rows", 0, "rows per streamed result chunk (0 = default)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions before force-closing")
+	)
+	flag.Parse()
+
+	be, err := buildBackend(*shards, *dbKind, *n, *seed, *bufferPages)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Backend:      be,
+		AuthToken:    *authToken,
+		MaxConns:     *maxConns,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		ChunkRows:    *chunkRows,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gomserve: %s database on %s (%d shard(s), auth %s)\n",
+		*dbKind, ln.Addr(), *shards, onOff(*authToken != ""))
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("gomserve: %v, draining (up to %v)\n", s, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		<-done // Serve returns ErrServerClosed once the listener closes
+	case err := <-done:
+		if err != nil && err != server.ErrServerClosed {
+			fatal(err)
+		}
+	}
+	if v := srv.AuditQuiescent(); len(v) != 0 {
+		fatal(fmt.Errorf("post-drain audit: %v", v))
+	}
+	st := srv.Stats()
+	fmt.Printf("gomserve: drained clean (%d sessions served, %d requests, %d refused, %d batches aborted)\n",
+		st.Sessions, st.Requests, st.Refused, st.AbortedBatches)
+}
+
+// buildBackend opens the engine (or router) and seeds the sample fixture.
+func buildBackend(shards int, dbKind string, n int, seed int64, bufferPages int) (server.Backend, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("-shards %d: need at least 1", shards)
+	}
+	ecfg := gomdb.DefaultConfig()
+	if bufferPages > 0 {
+		ecfg.BufferPages = bufferPages
+	}
+	if shards > 1 {
+		db := shard.Open(shard.Config{Shards: shards, Engine: ecfg})
+		switch dbKind {
+		case "geometry":
+			if err := fixtures.DefineGeometrySharded(db, false); err != nil {
+				return nil, err
+			}
+			if _, err := fixtures.PopulateGeometrySharded(db, n, seed); err != nil {
+				return nil, err
+			}
+		case "none":
+		default:
+			return nil, fmt.Errorf("-db %q is not available with -shards > 1 (use geometry or none)", dbKind)
+		}
+		return server.Sharded{DB: db}, nil
+	}
+	db := gomdb.Open(ecfg)
+	switch dbKind {
+	case "geometry":
+		if err := fixtures.DefineGeometry(db, false); err != nil {
+			return nil, err
+		}
+		if _, err := fixtures.PopulateGeometry(db, n, seed); err != nil {
+			return nil, err
+		}
+	case "company":
+		if err := fixtures.DefineCompany(db); err != nil {
+			return nil, err
+		}
+		if _, err := fixtures.PopulateCompany(db, fixtures.Figure15Config()); err != nil {
+			return nil, err
+		}
+	case "none":
+	default:
+		return nil, fmt.Errorf("unknown -db %q (geometry, company, or none)", dbKind)
+	}
+	return server.Embedded{DB: db}, nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gomserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,316 @@
+package bench
+
+// The network-service wall-clock suite. Like shard.go this measures real
+// operations per second, but the axis is the number of CONCURRENT CLIENTS
+// driving a gomserve-style TCP server (internal/server) through the public
+// client SDK: every operation pays the wire round trip — frame encode, CRC,
+// kernel loopback, decode — on top of the engine work, so the headline is
+// how far the service path scales before the single engine behind it
+// saturates.
+//
+//   - forward:  point Call — the cheapest round trip, dominated by framing
+//   - backward: Backward window scan, streamed back as match chunks
+//   - tabular:  Retrieve over the GMR extension, streamed as row chunks
+//   - mixed:    70% forward / 20% backward / 10% tabular
+//
+// A separate update section measures vertex-move throughput (a GetAttr +
+// Set pair per op, i.e. two round trips and one RRR invalidation). Speedups
+// are relative to the SAME mix at 1 client. `gombench -figure serve` writes
+// the results to BENCH_serve.json.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gomdb"
+	"gomdb/client"
+	"gomdb/internal/fixtures"
+	"gomdb/internal/server"
+)
+
+// ServePoint is one measurement: a concurrent-client count and the
+// aggregate wall-clock operation rate the clients sustained.
+type ServePoint struct {
+	Clients   int     `json:"clients"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup_vs_1_client"`
+}
+
+// ServeMix is one operation mix measured across client counts.
+type ServeMix struct {
+	Name   string       `json:"name"`
+	Points []ServePoint `json:"points"`
+}
+
+// ServeReport is the JSON document gombench writes to BENCH_serve.json.
+type ServeReport struct {
+	Harness       string     `json:"harness"`
+	GoVersion     string     `json:"go_version"`
+	NumCPU        int        `json:"num_cpu"`
+	GOMAXPROCS    int        `json:"gomaxprocs"`
+	NumCPUWarning string     `json:"num_cpu_warning,omitempty"`
+	Cuboids       int        `json:"cuboids"`
+	BufferPages   int        `json:"buffer_pages"`
+	ClientCounts  []int      `json:"client_counts"`
+	DurationMs    int64      `json:"duration_ms_per_point"`
+	ChunkRows     int        `json:"chunk_rows"`
+	Mixes         []ServeMix `json:"mixes"`
+	Updates       ServeMix   `json:"updates"`
+	Notes         string     `json:"notes"`
+}
+
+// serveClientCounts are the measured concurrency levels.
+var serveClientCounts = []int{1, 2, 4, 8, 16}
+
+// serveMixes names the read mixes; see runServeMixOp for the workloads.
+var serveMixes = []string{"forward", "backward", "tabular", "mixed"}
+
+// serveBenchServer builds one warmed plain-engine server on a loopback
+// listener: the geometry base, a complete <<volume,weight>> GMR with its
+// access paths exercised, and the same pool sizing as the shard suite.
+func serveBenchServer(cuboids int) (*server.Server, net.Listener, []gomdb.OID, string, error) {
+	db := gomdb.Open(gomdb.Config{BufferPages: 8192})
+	if err := fixtures.DefineGeometry(db, false); err != nil {
+		return nil, nil, nil, "", err
+	}
+	g, err := fixtures.PopulateGeometry(db, cuboids, cuboidSeed)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	gmrName := "Gvw"
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Name:     gmrName,
+		Funcs:    []string{"Cuboid.volume", "Cuboid.weight"},
+		Complete: true,
+		Mode:     gomdb.ModeObjDep,
+		Strategy: gomdb.Immediate,
+	}); err != nil {
+		return nil, nil, nil, "", err
+	}
+	for _, oid := range g.Cuboids {
+		if _, err := db.Call("Cuboid.volume", gomdb.Ref(oid)); err != nil {
+			return nil, nil, nil, "", err
+		}
+	}
+	if _, err := db.Backward("Cuboid.volume", 0, 50); err != nil {
+		return nil, nil, nil, "", err
+	}
+	if _, err := db.Retrieve(gmrName, []gomdb.FieldSpec{
+		gomdb.AnySpec(), gomdb.RangeSpec(0, 50), gomdb.AnySpec(),
+	}); err != nil {
+		return nil, nil, nil, "", err
+	}
+	srv, err := server.New(server.Config{
+		Backend:      server.Embedded{DB: db},
+		ReadTimeout:  time.Minute,
+		WriteTimeout: time.Minute,
+	})
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	go srv.Serve(ln)
+	return srv, ln, g.Cuboids, gmrName, nil
+}
+
+// runServeMixOp performs one operation of the named mix over the wire.
+func runServeMixOp(c *client.Client, cuboids []gomdb.OID, gmrName, mix string, rng *rand.Rand) error {
+	op := mix
+	if mix == "mixed" {
+		switch r := rng.Intn(10); {
+		case r < 7:
+			op = "forward"
+		case r < 9:
+			op = "backward"
+		default:
+			op = "tabular"
+		}
+	}
+	switch op {
+	case "forward":
+		_, err := c.Call("Cuboid.volume", gomdb.Ref(cuboids[rng.Intn(len(cuboids))]))
+		return err
+	case "backward":
+		lo := float64(rng.Intn(500))
+		_, err := c.Backward("Cuboid.volume", lo, lo+25)
+		return err
+	case "tabular":
+		lo := float64(rng.Intn(500))
+		_, err := c.Retrieve(gmrName, []gomdb.FieldSpec{
+			gomdb.AnySpec(), gomdb.RangeSpec(lo, lo+25), gomdb.AnySpec(),
+		})
+		return err
+	}
+	return fmt.Errorf("bench: unknown serve mix %q", mix)
+}
+
+// runServeUpdateOp moves one vertex of a random cuboid over the wire: a
+// GetAttr round trip to find the vertex, a Set round trip to move it.
+func runServeUpdateOp(c *client.Client, cuboids []gomdb.OID, rng *rand.Rand) error {
+	v, err := c.GetAttr(cuboids[rng.Intn(len(cuboids))], "V1")
+	if err != nil {
+		return err
+	}
+	return c.Set(v.R, "X", gomdb.Float(float64(rng.Intn(100))))
+}
+
+// measureServe drives one op function through k concurrent clients (each on
+// its own TCP connection) for roughly d of wall time.
+func measureServe(addr string, k int, op func(c *client.Client, rng *rand.Rand) error, d time.Duration) (ServePoint, error) {
+	clients := make([]*client.Client, k)
+	for i := range clients {
+		c, err := client.Dial(addr, client.Options{DialTimeout: 10 * time.Second, CallTimeout: time.Minute})
+		if err != nil {
+			return ServePoint{}, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	var stop atomic.Bool
+	var ops atomic.Int64
+	errs := make(chan error, k)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(c *client.Client, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := int64(0)
+			for !stop.Load() {
+				if err := op(c, rng); err != nil {
+					errs <- err
+					return
+				}
+				n++
+			}
+			ops.Add(n)
+		}(c, int64(3000+i))
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return ServePoint{}, err
+	}
+	return ServePoint{
+		Clients:   k,
+		Ops:       ops.Load(),
+		OpsPerSec: float64(ops.Load()) / elapsed.Seconds(),
+	}, nil
+}
+
+// serveSpeedups fills Speedup on every point relative to the 1-client rate.
+func serveSpeedups(m *ServeMix) {
+	if len(m.Points) == 0 || m.Points[0].OpsPerSec == 0 {
+		return
+	}
+	base := m.Points[0].OpsPerSec
+	for i := range m.Points {
+		m.Points[i].Speedup = m.Points[i].OpsPerSec / base
+	}
+}
+
+// Serve runs the network-service wall-clock suite and returns the report
+// plus a Figure (X = concurrent clients, one series per read mix,
+// Y = ops/sec).
+func Serve(sc Scale) (*ServeReport, *Figure, error) {
+	n := 800
+	d := 250 * time.Millisecond
+	if sc.OpsDivisor > 1 { // -short
+		n = 200
+		d = 60 * time.Millisecond
+	}
+	rep := &ServeReport{
+		Harness:       "gombench -figure serve",
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPUWarning: NumCPUWarning(),
+		Cuboids:       n,
+		BufferPages:   8192,
+		ClientCounts:  serveClientCounts,
+		DurationMs:    d.Milliseconds(),
+		ChunkRows:     server.DefaultChunkRows,
+		Notes: "Wall-clock ops/sec of the TCP service path at increasing concurrent-client counts, each client on " +
+			"its own connection through the public SDK; every op pays frame encode/CRC/loopback/decode on top of " +
+			"the engine work. forward is a single Call round trip, backward and tabular stream results back in " +
+			"bounded chunks; updates are a GetAttr+Set pair per op. speedup_vs_1_client compares the same mix at " +
+			"1 client; the single engine behind the listener bounds scaling, and a single-core host serializes " +
+			"everything (see num_cpu_warning).",
+	}
+	fig := &Figure{
+		ID:     "serve",
+		Title:  "Wall-clock service throughput vs. concurrent clients",
+		XLabel: "clients",
+		YLabel: "ops/sec",
+	}
+	for _, k := range serveClientCounts {
+		fig.X = append(fig.X, float64(k))
+	}
+	srv, ln, cuboids, gmrName, err := serveBenchServer(n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve bench: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	defer srv.Shutdown(ctx)
+	addr := ln.Addr().String()
+	mixes := make([]ServeMix, len(serveMixes))
+	for i, mix := range serveMixes {
+		mixes[i].Name = mix
+	}
+	rep.Updates = ServeMix{Name: "vertex-move"}
+	for _, k := range serveClientCounts {
+		for i, mix := range serveMixes {
+			mix := mix
+			pt, err := measureServe(addr, k, func(c *client.Client, rng *rand.Rand) error {
+				return runServeMixOp(c, cuboids, gmrName, mix, rng)
+			}, d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("serve bench %s x%d: %w", mix, k, err)
+			}
+			mixes[i].Points = append(mixes[i].Points, pt)
+		}
+		pt, err := measureServe(addr, k, func(c *client.Client, rng *rand.Rand) error {
+			return runServeUpdateOp(c, cuboids, rng)
+		}, d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve bench updates x%d: %w", k, err)
+		}
+		rep.Updates.Points = append(rep.Updates.Points, pt)
+	}
+	for i := range mixes {
+		serveSpeedups(&mixes[i])
+	}
+	serveSpeedups(&rep.Updates)
+	rep.Mixes = mixes
+	for _, m := range mixes {
+		s := Series{Name: m.Name}
+		for _, pt := range m.Points {
+			s.Points = append(s.Points, pt.OpsPerSec)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	// Drain before the audit: the clients each point dialed are closed, but
+	// their sessions are reaped asynchronously.
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, nil, fmt.Errorf("serve bench: drain: %w", err)
+	}
+	if v := srv.AuditQuiescent(); len(v) != 0 {
+		return nil, nil, fmt.Errorf("serve bench: post-run audit: %v", v)
+	}
+	return rep, fig, nil
+}

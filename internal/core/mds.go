@@ -121,6 +121,21 @@ func (g *GMR) mdsDelete(e *entry) error {
 // HasMDS reports whether the GMR carries a multidimensional index.
 func (g *GMR) HasMDS() bool { return g.mds != nil }
 
+// detachedRow builds a result row that does not alias the entry's live
+// Results/Valid slices. Retrieve is answered under the shared lock, but
+// callers read the rows after it is released, while a later update may be
+// rematerializing the same entries in place (setResult/Invalidate mutate
+// Results and Valid element-wise). Args are immutable once an entry is
+// inserted — entries are keyed by them — so they stay shared, mirroring
+// the MVCC snapshot's entryRowAt.
+func detachedRow(e *entry) Row {
+	return Row{
+		Args:    e.Args,
+		Results: append([]object.Value(nil), e.Results...),
+		Valid:   append([]bool(nil), e.Valid...),
+	}
+}
+
 // Retrieve answers a tabular GMR query: spec has one FieldSpec per column
 // (n argument columns followed by m result columns). Constrained result
 // columns are revalidated first — an invalid result could otherwise
@@ -206,7 +221,7 @@ func (m *Manager) Retrieve(name string, spec []FieldSpec) ([]Row, error) {
 					touchErr = terr
 					return false
 				}
-				rows = append(rows, Row{Args: ge.Args, Results: ge.Results, Valid: ge.Valid})
+				rows = append(rows, detachedRow(ge))
 			}
 			return true
 		})
@@ -226,7 +241,7 @@ func (m *Manager) Retrieve(name string, spec []FieldSpec) ([]Row, error) {
 			return nil, err
 		}
 		if match(e.Args, e.Results) {
-			rows = append(rows, Row{Args: e.Args, Results: e.Results, Valid: e.Valid})
+			rows = append(rows, detachedRow(e))
 		}
 	}
 	return rows, nil

@@ -1,0 +1,35 @@
+package object
+
+import "testing"
+
+// TestDecodeValueHostileLengths: a malformed record whose length or arity
+// prefix is a huge 64-bit value must fail cleanly, not panic. Before the
+// bounds checks moved to the uint64 domain, int conversion wrapped these
+// counts negative: the string path sliced with a negative high index and the
+// tuple/set paths called make with a negative length — both runtime panics,
+// reachable from any untrusted byte stream fed to DecodeValue (the network
+// protocol's value decoder delegates here).
+func TestDecodeValueHostileLengths(t *testing.T) {
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01} // uvarint 2^63+
+	cases := map[string][]byte{
+		"string length wraps negative":    append([]byte{byte(KString)}, huge...),
+		"tuple arity wraps negative":      append([]byte{byte(KTuple), 0}, huge...),
+		"set arity wraps negative":        append([]byte{byte(KSet)}, huge...),
+		"list arity wraps negative":       append([]byte{byte(KList)}, huge...),
+		"tuple type name wraps negative":  append([]byte{byte(KTuple)}, huge...),
+		"string length exceeds remaining": {byte(KString), 0x10, 'a'},
+		"set arity exceeds remaining":     {byte(KSet), 0x7f},
+	}
+	for name, buf := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("DecodeValue panicked: %v", r)
+				}
+			}()
+			if _, _, err := DecodeValue(buf); err == nil {
+				t.Fatalf("DecodeValue(% x) = nil error, want failure", buf)
+			}
+		})
+	}
+}

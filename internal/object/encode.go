@@ -128,7 +128,10 @@ func (d *decoder) str() string {
 	if d.err != nil {
 		return ""
 	}
-	if d.off+int(n) > len(d.buf) {
+	// Compare in the uint64 domain: a hostile 64-bit length must not wrap
+	// negative under int conversion and slip past the bound (the slice
+	// expression below would panic). len-off is never negative.
+	if n > uint64(len(d.buf)-d.off) {
 		d.fail("object: truncated record (string of %d at %d)", n, d.off)
 		return ""
 	}
@@ -154,23 +157,26 @@ func (d *decoder) value() Value {
 		return Ref(OID(d.uvarint()))
 	case KTuple:
 		tn := d.str()
-		n := int(d.uvarint())
-		if d.err != nil || n > len(d.buf) {
+		// Bound the arity by the remaining bytes in the uint64 domain: an
+		// int conversion of a hostile 64-bit count can wrap negative, pass
+		// a signed comparison, and panic in make.
+		n := d.uvarint()
+		if d.err != nil || n > uint64(len(d.buf)-d.off) {
 			d.fail("object: bad tuple arity %d", n)
 			return Null()
 		}
-		elems := make([]Value, n)
+		elems := make([]Value, int(n))
 		for i := range elems {
 			elems[i] = d.value()
 		}
 		return Value{Kind: KTuple, TupleType: tn, Elems: elems}
 	case KSet, KList:
-		n := int(d.uvarint())
-		if d.err != nil || n > len(d.buf) {
+		n := d.uvarint()
+		if d.err != nil || n > uint64(len(d.buf)-d.off) {
 			d.fail("object: bad collection arity %d", n)
 			return Null()
 		}
-		elems := make([]Value, n)
+		elems := make([]Value, int(n))
 		for i := range elems {
 			elems[i] = d.value()
 		}

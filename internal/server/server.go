@@ -1,0 +1,277 @@
+// Package server implements the gomdb network service: a TCP (or any
+// net.Conn) front end that speaks the internal/wire protocol and dispatches
+// into an embedded engine or the sharded router. One goroutine serves one
+// connection; requests on a connection are handled strictly in order, while
+// connections run concurrently against the engine's own concurrency
+// machinery (MVCC snapshots classify the read-only opcodes, so a batch held
+// open on one session does not stall readers on another).
+package server
+
+import (
+	"context"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gomdb/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config carries the service knobs.
+type Config struct {
+	// Backend is the engine the server fronts. Required.
+	Backend Backend
+	// AuthToken, when non-empty, must be presented in the hello frame
+	// (constant-time compared). An authentication stub, not a security
+	// boundary: tokens travel in clear text.
+	AuthToken string
+	// MaxConns bounds concurrently served connections; 0 means unlimited.
+	// Excess connections are refused with a CodeBusy error frame.
+	MaxConns int
+	// ReadTimeout bounds the wait for each request frame (an idle timeout,
+	// armed once per frame, not per byte); 0 means no deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response frame write; 0 means no deadline.
+	WriteTimeout time.Duration
+	// ChunkRows caps rows per stream chunk; 0 means DefaultChunkRows.
+	// Results larger than this are streamed as multiple RespChunk frames
+	// between RespStreamBegin and RespDone, so one huge extension never
+	// forms one huge frame.
+	ChunkRows int
+}
+
+// DefaultChunkRows is the stream chunk size when Config.ChunkRows is 0.
+const DefaultChunkRows = 256
+
+// Stats is a point-in-time snapshot of server counters.
+type Stats struct {
+	ActiveSessions int    // sessions currently being served
+	OpenBatches    int    // sessions currently holding an interactive batch
+	Sessions       uint64 // sessions ever admitted
+	Refused        uint64 // connections refused at the MaxConns gate
+	AuthFailures   uint64 // sessions rejected at the handshake
+	Requests       uint64 // request frames dispatched
+	AbortedBatches uint64 // batches force-closed by disconnect or drain
+}
+
+// Server serves the wire protocol over accepted connections.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	draining bool
+	wg       sync.WaitGroup
+	stats    Stats
+}
+
+// New constructs a Server. The config is copied; Backend must be non-nil.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("server: nil backend")
+	}
+	if cfg.ChunkRows <= 0 {
+		cfg.ChunkRows = DefaultChunkRows
+	}
+	return &Server{cfg: cfg, sessions: make(map[*session]struct{})}, nil
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections from ln until Shutdown closes it. Each accepted
+// connection is served on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn serves one connection synchronously until the peer disconnects,
+// the session fails, or the server drains. It is exported so tests can
+// drive a server end over net.Pipe without a listener. The connection is
+// always closed on return and the session's resources — above all an open
+// interactive batch, which holds the engine's exclusive lock — are
+// released.
+func (s *Server) ServeConn(conn net.Conn) {
+	sess, err := s.admit(conn)
+	if err != nil {
+		// Refused at the gate: best-effort error frame, then close.
+		writeErrFrame(conn, s.cfg.WriteTimeout, 0, err)
+		conn.Close()
+		return
+	}
+	defer s.release(sess)
+	sess.serve()
+}
+
+// admit registers a new session, enforcing MaxConns and the drain state.
+func (s *Server) admit(conn net.Conn) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.stats.Refused++
+		return nil, wire.Errf(wire.CodeShutdown, "server is shutting down")
+	}
+	if s.cfg.MaxConns > 0 && len(s.sessions) >= s.cfg.MaxConns {
+		s.stats.Refused++
+		return nil, wire.Errf(wire.CodeBusy, "connection limit %d reached", s.cfg.MaxConns)
+	}
+	sess := newSession(s, conn)
+	s.sessions[sess] = struct{}{}
+	s.stats.Sessions++
+	s.stats.ActiveSessions++
+	s.wg.Add(1)
+	return sess, nil
+}
+
+// release tears a session down: the connection closes and any batch the
+// session still holds is force-closed so the engine lock releases even when
+// the client vanished mid-batch.
+func (s *Server) release(sess *session) {
+	aborted := sess.teardown()
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.stats.ActiveSessions--
+	if aborted {
+		s.stats.AbortedBatches++
+	}
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// Shutdown drains the server: the listener closes, new connections and new
+// requests are refused, sessions finish their in-flight request and are
+// then released. Blocks until every session is gone or ctx expires; on
+// expiry remaining connections are force-closed and Shutdown waits for
+// their teardown (batch release) to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	// Kick every session out of its blocking frame read; a session that is
+	// mid-dispatch finishes and writes its response first, then observes
+	// the drain flag.
+	for sess := range s.sessions {
+		sess.interruptRead()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done // teardown still runs; batches are still released
+		return ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.OpenBatches = 0
+	for sess := range s.sessions {
+		if sess.holdsBatch() {
+			st.OpenBatches++
+		}
+	}
+	return st
+}
+
+// AuditQuiescent checks the server-side session invariants at quiescence —
+// the network-layer analogue of sim.Audit: no live sessions, no batch
+// handle still holding an engine lock. Violations are returned as strings.
+func (s *Server) AuditQuiescent() []string {
+	st := s.Stats()
+	var v []string
+	if st.ActiveSessions != 0 {
+		v = append(v, fmt.Sprintf("%d sessions still active", st.ActiveSessions))
+	}
+	if st.OpenBatches != 0 {
+		v = append(v, fmt.Sprintf("%d interactive batches still open", st.OpenBatches))
+	}
+	return v
+}
+
+// draining reports the drain flag.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) countRequest() {
+	s.mu.Lock()
+	s.stats.Requests++
+	s.mu.Unlock()
+}
+
+func (s *Server) countAuthFailure() {
+	s.mu.Lock()
+	s.stats.AuthFailures++
+	s.mu.Unlock()
+}
+
+// authOK checks the hello token against the configured one in constant
+// time.
+func (s *Server) authOK(token string) bool {
+	if s.cfg.AuthToken == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(token), []byte(s.cfg.AuthToken)) == 1
+}
+
+// writeErrFrame best-effort writes a RespError frame outside any session
+// (pre-admission refusals).
+func writeErrFrame(conn net.Conn, timeout time.Duration, reqID uint64, err error) {
+	payload, perr := wire.EncodeResponse(wire.ErrResponse(err))
+	if perr != nil {
+		return
+	}
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	wire.WriteFrame(conn, &wire.Frame{Op: wire.RespError, ReqID: reqID, Payload: payload})
+}

@@ -1,0 +1,294 @@
+package server_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"gomdb"
+	"gomdb/client"
+	"gomdb/internal/server"
+	"gomdb/internal/sim"
+	"gomdb/internal/wire"
+)
+
+// Fault injection and concurrency: sessions killed mid-stream, mid-batch,
+// and mid-materialize must be reaped with no leaked engine resources — the
+// zero-leaked-pins audit (sim.Audit) extends to server sessions via
+// Server.AuditQuiescent, and GMR congruence (Definition 3.2) is re-audited
+// at quiescence after every scenario.
+
+// waitQuiescent polls until the server has reaped every session.
+func waitQuiescent(t *testing.T, srv *server.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.ActiveSessions == 0 && st.OpenBatches == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions never reaped: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// auditAll flushes the engine and runs both auditors: the engine-side
+// invariants (pins, MVCC captures, deferred queue, Definition 3.2
+// congruence) and the server-side session accounting.
+func auditAll(t *testing.T, srv *server.Server, db *gomdb.Database) {
+	t.Helper()
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if v := sim.Audit(db); len(v) != 0 {
+		t.Fatalf("engine audit: %v", v)
+	}
+	if v := srv.AuditQuiescent(); len(v) != 0 {
+		t.Fatalf("server audit: %v", v)
+	}
+}
+
+func TestDisconnectMidBatch(t *testing.T) {
+	be, db := plainBackend(t)
+	srv := newServer(t, be, nil)
+	r := rawSession(t, srv)
+	r.hello("")
+	ext := db.Extension("Cuboid")
+
+	r.sendReq(&wire.Request{Op: wire.OpBatchBegin}, 2)
+	if resp := r.recv(); resp.Op != wire.RespAck {
+		t.Fatalf("batch begin: %s", resp.Op)
+	}
+	r.sendReq(&wire.Request{Op: wire.OpBatchOp,
+		Sub: &wire.Request{Op: wire.OpSet, OID: ext[0], Attr: "Value", Val: gomdb.Float(42)}}, 3)
+	if resp := r.recv(); resp.Op != wire.RespAck {
+		t.Fatalf("batch op: %s", resp.Op)
+	}
+	if srv.Stats().OpenBatches != 1 {
+		t.Fatalf("open batches = %d, want 1", srv.Stats().OpenBatches)
+	}
+	// The client vanishes with the batch open — the engine's exclusive lock
+	// is held server-side at this moment.
+	r.conn.Close()
+	waitQuiescent(t, srv)
+	if srv.Stats().AbortedBatches != 1 {
+		t.Fatalf("aborted batches = %d, want 1", srv.Stats().AbortedBatches)
+	}
+	// The lock is demonstrably released: a fresh embedded batch completes.
+	if err := db.Batch(func(tx *gomdb.Tx) error {
+		return tx.Set(ext[1], "Value", gomdb.Float(7))
+	}); err != nil {
+		t.Fatalf("engine lock still held: %v", err)
+	}
+	auditAll(t, srv, db)
+}
+
+func TestDisconnectMidStream(t *testing.T) {
+	be, db := plainBackend(t)
+	// One row per chunk: the extension streams as ~24 frames, so the kill
+	// lands mid-stream with certainty.
+	srv := newServer(t, be, func(c *server.Config) { c.ChunkRows = 1 })
+	r := rawSession(t, srv)
+	r.hello("")
+	r.sendReq(&wire.Request{Op: wire.OpExtension, Name: "Cuboid"}, 2)
+	if resp := r.recv(); resp.Op != wire.RespStreamBegin {
+		t.Fatalf("stream begin: %s", resp.Op)
+	}
+	if resp := r.recv(); resp.Op != wire.RespChunk {
+		t.Fatalf("first chunk: %s", resp.Op)
+	}
+	// Kill the connection with most of the stream unsent; the server's next
+	// chunk write fails and the session is reaped.
+	r.conn.Close()
+	waitQuiescent(t, srv)
+	auditAll(t, srv, db)
+}
+
+func TestDisconnectDuringMaterialize(t *testing.T) {
+	be, db := plainBackend(t)
+	srv := newServer(t, be, nil)
+	r := rawSession(t, srv)
+	r.hello("")
+	payload, err := wire.EncodeRequest(&wire.Request{Op: wire.OpMaterialize, Mat: wire.MatOptions{
+		Name: "VW", Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.send(wire.OpMaterialize, 2, payload)
+	// Disconnect while the sweep runs; the ack write fails into a closed
+	// connection and the session is reaped with no pins left behind.
+	r.conn.Close()
+	waitQuiescent(t, srv)
+	auditAll(t, srv, db)
+}
+
+// TestConcurrentClients runs reader and writer clients against one server
+// and re-audits Definition 3.2 congruence at quiescence. Run under -race in
+// CI, this is the server-level analogue of the engine's concurrency tests.
+func TestConcurrentClients(t *testing.T) {
+	be, db := plainBackend(t)
+	if _, err := db.Materialize(gomdb.MaterializeOptions{
+		Name: "VW", Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ext := db.Extension("Cuboid")
+	srv := newServer(t, be, nil)
+	addr := tcpServer(t, srv)
+
+	const readers, writers, iters = 6, 2, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < iters; n++ {
+				oid := ext[rng.Intn(len(ext))]
+				switch rng.Intn(4) {
+				case 0:
+					_, err = c.Call("Cuboid.volume", gomdb.Ref(oid))
+				case 1:
+					_, err = c.GetAttr(oid, "Value")
+				case 2:
+					_, err = c.Sum("Cuboid.volume", nil)
+				case 3:
+					_, err = c.Retrieve("VW", make([]gomdb.FieldSpec, 3))
+				}
+				if err != nil {
+					errs <- fmt.Errorf("reader: %w", err)
+					return
+				}
+			}
+		}(int64(i + 1))
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for n := 0; n < iters; n++ {
+				oid := ext[rng.Intn(len(ext))]
+				if n%5 == 4 {
+					err = c.Batch(func(b *client.Batch) error {
+						return b.Set(oid, "Value", gomdb.Float(float64(rng.Intn(1000))))
+					})
+				} else {
+					err = c.Set(oid, "Value", gomdb.Float(float64(rng.Intn(1000))))
+				}
+				if err != nil {
+					errs <- fmt.Errorf("writer: %w", err)
+					return
+				}
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	drainServer(t, srv)
+	auditAll(t, srv, db)
+}
+
+// TestServedOpPlan drives a gomsim-style seeded operation plan through a
+// real client/server pair over TCP and audits every engine invariant at the
+// end. The plan length scales via GOMSERVE_PLAN_OPS (the nightly CI leg
+// raises it); the default keeps the test fast for every push.
+func TestServedOpPlan(t *testing.T) {
+	ops := 200
+	if s := os.Getenv("GOMSERVE_PLAN_OPS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("GOMSERVE_PLAN_OPS=%q: %v", s, err)
+		}
+		ops = n
+	}
+	be, db := plainBackend(t)
+	srv := newServer(t, be, nil)
+	addr := tcpServer(t, srv)
+	c := tcpClient(t, addr, client.Options{CallTimeout: 30 * time.Second})
+
+	if err := c.Materialize(gomdb.MaterializeOptions{
+		Name: "VW", Funcs: []string{"Cuboid.volume", "Cuboid.weight"}, Complete: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cuboids, err := c.Extension("Cuboid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vertices []gomdb.OID
+	rng := rand.New(rand.NewSource(41))
+	for n := 0; n < ops; n++ {
+		oid := cuboids[rng.Intn(len(cuboids))]
+		var err error
+		switch rng.Intn(10) {
+		case 0:
+			var v gomdb.OID
+			v, err = c.New("Vertex",
+				gomdb.Float(rng.Float64()*100), gomdb.Float(rng.Float64()*100), gomdb.Float(rng.Float64()*100))
+			vertices = append(vertices, v)
+		case 1:
+			err = c.Set(oid, "Value", gomdb.Float(rng.Float64()*1000))
+		case 2:
+			_, err = c.GetAttr(oid, "Value")
+		case 3:
+			_, err = c.Call("Cuboid.volume", gomdb.Ref(oid))
+		case 4:
+			_, err = c.Sum("Cuboid.volume", nil)
+		case 5:
+			_, err = c.Retrieve("VW", make([]gomdb.FieldSpec, 3))
+		case 6:
+			_, err = c.Query(`range c: Cuboid retrieve c.CuboidID where c.volume > 200.0`, nil)
+		case 7:
+			if len(vertices) > 0 {
+				i := rng.Intn(len(vertices))
+				err = c.Delete(vertices[i])
+				vertices = append(vertices[:i], vertices[i+1:]...)
+			}
+		case 8:
+			err = c.Batch(func(b *client.Batch) error {
+				for k := 0; k < 3; k++ {
+					o := cuboids[rng.Intn(len(cuboids))]
+					if err := b.Set(o, "Value", gomdb.Float(rng.Float64()*1000)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		case 9:
+			err = c.Flush()
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", n, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	drainServer(t, srv)
+	auditAll(t, srv, db)
+}

@@ -269,6 +269,26 @@ func (tx *Tx) NewOn(sh int, typeName string, attrs ...gomdb.Value) (gomdb.OID, e
 	return oid, nil
 }
 
+// NewSet creates a set-structured instance inside the batch, placed like
+// DB.NewSet (element-reference affinity, else OID hash).
+func (tx *Tx) NewSet(typeName string, elems ...gomdb.Value) (gomdb.OID, error) {
+	db := tx.db
+	sh, constrained, err := db.routeRefsLocked(elems)
+	if err != nil {
+		return 0, err
+	}
+	if !constrained {
+		sh = db.ShardFor(uint64(db.alloc.PeekOID()))
+	}
+	oid, err := tx.txs[sh].NewSet(typeName, elems...)
+	if err != nil {
+		return 0, err
+	}
+	db.owner[oid] = sh
+	db.partitioned[typeName] = true
+	return oid, nil
+}
+
 // Delete removes an object inside the batch (DB.Delete).
 func (tx *Tx) Delete(oid gomdb.OID) error {
 	db := tx.db
@@ -376,13 +396,33 @@ func (tx *Tx) Call(fn string, args ...gomdb.Value) (gomdb.Value, error) {
 // matching the single-engine contract that a batch ends quiescent. Router
 // metadata is saved before the shard checkpoints run.
 func (db *DB) Batch(fn func(*Tx) error) error {
+	tx := db.BeginBatch()
+	return db.EndBatch(tx, fn(tx))
+}
+
+// BeginBatch opens a coordinated update batch interactively: the routing
+// lock and every shard's exclusive lock are taken here (in the same fixed
+// order as Batch) and held until EndBatch. The split form exists for
+// callers that cannot express the batch as one closure — a network session
+// holding a batch open across request frames, for instance. The caller owns
+// the pairing: every BeginBatch must reach EndBatch exactly once, even on
+// client failure, or the router stays locked.
+func (db *DB) BeginBatch() *Tx {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	tx := &Tx{db: db, txs: make([]*gomdb.Tx, len(db.shards))}
 	for i, sh := range db.shards {
 		tx.txs[i] = sh.BeginBatch()
 	}
-	err := fn(tx)
+	return tx
+}
+
+// EndBatch closes a batch opened by BeginBatch: router metadata is saved,
+// then every shard flushes its deferred queue and checkpoints in shard
+// order, and all locks release. err is the batch verdict (the closure error
+// in Batch's terms); the first error among verdict, metadata save, and
+// shard checkpoints is returned.
+func (db *DB) EndBatch(tx *Tx, err error) error {
+	defer db.mu.Unlock()
 	if merr := db.saveMetaLocked(); err == nil {
 		err = merr
 	}

@@ -1,0 +1,146 @@
+// Package wire implements the versioned, length-prefixed binary protocol
+// spoken between cmd/gomserve and the client package.
+//
+// A conversation is a sequence of frames. Every frame carries a fixed
+// 18-byte header — magic, protocol version, opcode, request id, payload
+// length — followed by the payload and a CRC32-C trailer over the payload
+// bytes:
+//
+//	offset  size  field
+//	0       4     magic 0x474F4D57 ("GOMW"), big endian
+//	4       1     protocol version (Version)
+//	5       1     opcode
+//	6       8     request id, big endian (echoed verbatim in responses)
+//	14      4     payload length, big endian (<= MaxPayload)
+//	18      n     payload (opcode-specific, see payload.go)
+//	18+n    4     CRC32 (Castagnoli) of the payload bytes, big endian
+//
+// Malformed input of any shape — bad magic, version skew, oversized or
+// truncated frames, corrupt CRCs, unknown opcodes, garbage payloads — is
+// answered with a structured *Error carrying a stable machine-readable Code;
+// the decoder never panics and never hangs (the frame length is bounded
+// before any allocation). The fuzz suite under this package holds it to
+// that.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a stable, machine-readable protocol error code. Codes travel over
+// the wire inside RespError payloads, so their numeric values are part of
+// the protocol and must never be reordered — add new codes at the end.
+type Code uint16
+
+const (
+	// CodeOK is the zero code; it never accompanies an error.
+	CodeOK Code = 0
+	// CodeMalformed: the frame or payload does not parse (truncated,
+	// trailing garbage, bad counts).
+	CodeMalformed Code = 1
+	// CodeBadMagic: the frame does not start with the protocol magic; the
+	// peer is not speaking this protocol at all.
+	CodeBadMagic Code = 2
+	// CodeVersion: the frame's protocol version is not supported.
+	CodeVersion Code = 3
+	// CodeTooLarge: the declared payload length exceeds MaxPayload.
+	CodeTooLarge Code = 4
+	// CodeCRC: the payload checksum does not match.
+	CodeCRC Code = 5
+	// CodeUnknownOp: the opcode is not part of the protocol.
+	CodeUnknownOp Code = 6
+	// CodeBadRequest: the payload parses but the request is semantically
+	// invalid (e.g. a batch sub-operation outside a batch, a non-batchable
+	// opcode inside OpBatchOp).
+	CodeBadRequest Code = 7
+	// CodeAuth: the handshake token was missing or wrong.
+	CodeAuth Code = 8
+	// CodeBatch: batch-lifecycle violation (begin while open, op/commit
+	// while closed).
+	CodeBatch Code = 9
+	// CodeShutdown: the server is draining and accepts no new requests.
+	CodeShutdown Code = 10
+	// CodeEngine: the engine rejected the operation; the message carries
+	// the engine error text.
+	CodeEngine Code = 11
+	// CodeBusy: the server is at its connection limit; try again later.
+	CodeBusy Code = 12
+)
+
+var codeNames = map[Code]string{
+	CodeOK:         "ok",
+	CodeMalformed:  "malformed",
+	CodeBadMagic:   "bad_magic",
+	CodeVersion:    "version",
+	CodeTooLarge:   "too_large",
+	CodeCRC:        "crc",
+	CodeUnknownOp:  "unknown_op",
+	CodeBadRequest: "bad_request",
+	CodeAuth:       "auth",
+	CodeBatch:      "batch",
+	CodeShutdown:   "shutdown",
+	CodeEngine:     "engine",
+	CodeBusy:       "busy",
+}
+
+func (c Code) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("code(%d)", uint16(c))
+}
+
+// Error is the structured protocol error: a stable Code for programmatic
+// handling, a human-readable message, and an optional underlying cause.
+// Errors with the same Code match under errors.Is, so callers can write
+//
+//	if errors.Is(err, &wire.Error{Code: wire.CodeCRC}) { ... }
+//
+// or, more conveniently, compare wire.CodeOf(err).
+type Error struct {
+	Code Code
+	Msg  string
+	Err  error
+}
+
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("wire: [%s] %s: %v", e.Code, e.Msg, e.Err)
+	}
+	return fmt.Sprintf("wire: [%s] %s", e.Code, e.Msg)
+}
+
+// Unwrap returns the underlying cause (may be nil).
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches any *Error carrying the same Code, so sentinel comparisons
+// work without shared pointer identity.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// Errf constructs an *Error with a formatted message.
+func Errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap constructs an *Error around an underlying cause.
+func Wrap(code Code, msg string, err error) *Error {
+	return &Error{Code: code, Msg: msg, Err: err}
+}
+
+// CodeOf extracts the protocol code from err, or CodeOK when err is nil and
+// CodeEngine when err carries no wire code at all (every non-protocol error
+// surfaced to a client is an engine error by definition).
+func CodeOf(err error) Code {
+	if err == nil {
+		return CodeOK
+	}
+	var we *Error
+	if errors.As(err, &we) {
+		return we.Code
+	}
+	return CodeEngine
+}
