@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc bench-cluster bench-shard bench-serve check-determinism repro repro-short examples serve fuzz-wire sim sim-crash sim-long sim-shard cover clean
+.PHONY: all build vet test test-short test-race bench bench-throughput bench-updates bench-mvcc bench-cluster bench-shard bench-serve bench-ocb check-determinism repro repro-short examples serve fuzz-wire sim sim-crash sim-long sim-shard sim-ocb cover clean
 
 all: build vet test
 
@@ -73,6 +73,18 @@ else
 	$(GO) run ./cmd/gombench -figure serve $(SHORT) -out /tmp/BENCH_serve_short.json
 endif
 
+# OCB-style synthetic workload grid: generated object bases (class count,
+# fan-out, derived-function depth, skew) measured under immediate/lazy/
+# deferred with clustering off/on — all simulated charges, byte-identical
+# run to run (writes BENCH_ocb.json; `make bench-ocb SHORT=-short` for a
+# quick smoke that leaves the committed JSON alone).
+bench-ocb:
+ifeq ($(SHORT),)
+	$(GO) run ./cmd/gombench -figure ocb
+else
+	$(GO) run ./cmd/gombench -figure ocb $(SHORT) -out /tmp/BENCH_ocb_short.json
+endif
+
 # Writer interference: reader ops/sec with a background writer holding the
 # engine, MVCC snapshot reads vs. the DisableMVCC RWMutex baseline (merges
 # the writer_interference section into BENCH_throughput.json).
@@ -131,6 +143,12 @@ sim-crash:
 # checkpoint horizons, under the race detector.
 sim-shard:
 	$(GO) run -race ./cmd/gomsim -shards 4 -faults -durable -crashes -seeds 15 -ops 150
+
+# Generated-base campaign: every plan against an OCB-style synthetic object
+# base (internal/ocb demo parameters) instead of the hand-built fixture,
+# with fault windows, under the race detector.
+sim-ocb:
+	$(GO) run -race ./cmd/gomsim -ocb -faults -seeds 10 -ops 150
 
 # Nightly-style campaign: more seeds, longer workloads, scripted fault
 # windows, and the race detector over the whole sim test suite. Rotate the

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc, cluster, shard, serve) or 'all'")
+	figure := flag.String("figure", "all", "experiment id (table1, figure7..figure15, ablation, throughput, updates, mvcc, cluster, shard, serve, ocb) or 'all'")
 	short := flag.Bool("short", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cuboids := flag.Int("cuboids", 0, "override Cuboid database size (default 8000, paper scale)")
@@ -44,6 +44,7 @@ func main() {
 		fmt.Println("cluster")
 		fmt.Println("shard")
 		fmt.Println("serve")
+		fmt.Println("ocb")
 		return
 	}
 	sc := bench.FullScale()
@@ -76,6 +77,9 @@ func main() {
 		return
 	case "serve":
 		runServe(sc, jsonOut(*out, "BENCH_serve.json"), *csv, *plot)
+		return
+	case "ocb":
+		runOCB(sc, jsonOut(*out, "BENCH_ocb.json"), *csv, *plot)
 		return
 	}
 
@@ -247,6 +251,35 @@ func runCluster(sc bench.Scale, out string, csv, plot bool) {
 	}
 	writeJSON(rep, out, "cluster")
 	fmt.Printf("  (cluster completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
+}
+
+// runOCB runs the synthetic-workload grid (generated object bases, all
+// simulated charges) and writes the JSON report.
+func runOCB(sc bench.Scale, out string, csv, plot bool) {
+	t0 := time.Now()
+	rep, fig, err := bench.OCB(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gombench: ocb: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fig.PrintCSV(os.Stdout)
+	} else {
+		fig.Print(os.Stdout)
+	}
+	if plot {
+		fig.PrintPlot(os.Stdout)
+	}
+	for _, m := range rep.Mixes {
+		fmt.Printf("  %-15s classes=%d fanout=%d depth=%d objects=%d heap=%dp pool=%dp lazy/deferred CPU=%.2f identical=%v\n",
+			m.Name, m.Params.Classes, m.Params.FanOut, m.Params.Depth,
+			m.Objects, m.HeapPages, m.BufferPages, m.LazyOverDeferredCPU, m.ResultsIdentical)
+	}
+	if rep.Tradeoff != "" {
+		fmt.Printf("  tradeoff: %s\n", rep.Tradeoff)
+	}
+	writeJSON(rep, out, "ocb")
+	fmt.Printf("  (ocb completed in %v wall time)\n\n", time.Since(t0).Round(time.Millisecond))
 }
 
 // runThroughput runs the wall-clock suite (quiescent mixes plus the

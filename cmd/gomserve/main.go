@@ -6,12 +6,15 @@
 //	gomserve -auth-token sesame -max-conns 64     # auth stub + admission cap
 //
 // The served database is seeded from the same sample fixtures as gomql
-// (-db geometry|company|none); schema definition has no wire opcode, so an
-// empty base (-db none) only accepts data operations against types a
-// fixture would have defined. Clients create GMRs over the wire with
-// Materialize. SIGINT/SIGTERM drains: in-flight requests complete, open
-// interactive batches of vanished clients are aborted and their engine
-// locks released, then the process exits.
+// (-db geometry|company|none), or generated: -db ocb serves a synthetic
+// OCB-style object base (internal/ocb demo parameters, -n instances per
+// class) and -db ocb:<seed> picks the generation seed explicitly (otherwise
+// -seed applies). Schema definition has no wire opcode, so an empty base
+// (-db none) only accepts data operations against types a fixture would
+// have defined. Clients create GMRs over the wire with Materialize.
+// SIGINT/SIGTERM drains: in-flight requests complete, open interactive
+// batches of vanished clients are aborted and their engine locks released,
+// then the process exits.
 package main
 
 import (
@@ -21,11 +24,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"gomdb"
 	"gomdb/internal/fixtures"
+	"gomdb/internal/ocb"
 	"gomdb/internal/server"
 	"gomdb/internal/shard"
 )
@@ -34,9 +40,9 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":7227", "TCP listen address")
 		shards       = flag.Int("shards", 1, "number of engine shards (>1 serves the scatter-gather router)")
-		dbKind       = flag.String("db", "geometry", "sample database to seed: geometry, company, or none")
-		n            = flag.Int("n", 100, "number of cuboids (geometry database)")
-		seed         = flag.Int64("seed", 42, "population seed (geometry database)")
+		dbKind       = flag.String("db", "geometry", "database to seed: geometry, company, ocb[:<seed>], or none")
+		n            = flag.Int("n", 100, "number of cuboids (geometry) or instances per class (ocb)")
+		seed         = flag.Int64("seed", 42, "population seed (geometry and ocb databases)")
 		bufferPages  = flag.Int("buffer-pages", 0, "buffer pool pages per engine (default: engine default)")
 		authToken    = flag.String("auth-token", os.Getenv("GOMSERVE_TOKEN"), "require this token in the client hello (default $GOMSERVE_TOKEN; empty disables auth)")
 		maxConns     = flag.Int("max-conns", 0, "maximum concurrent sessions (0 = unlimited; excess connections are refused with a busy error)")
@@ -95,10 +101,15 @@ func main() {
 		st.Sessions, st.Requests, st.Refused, st.AbortedBatches)
 }
 
-// buildBackend opens the engine (or router) and seeds the sample fixture.
+// buildBackend opens the engine (or router) and seeds the sample fixture or
+// generated base.
 func buildBackend(shards int, dbKind string, n int, seed int64, bufferPages int) (server.Backend, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("-shards %d: need at least 1", shards)
+	}
+	ocbBase, err := parseOCB(dbKind, n, seed)
+	if err != nil {
+		return nil, err
 	}
 	ecfg := gomdb.DefaultConfig()
 	if bufferPages > 0 {
@@ -106,41 +117,79 @@ func buildBackend(shards int, dbKind string, n int, seed int64, bufferPages int)
 	}
 	if shards > 1 {
 		db := shard.Open(shard.Config{Shards: shards, Engine: ecfg})
-		switch dbKind {
-		case "geometry":
+		switch {
+		case ocbBase != nil:
+			if err := ocb.DefineSharded(db, ocbBase.P); err != nil {
+				return nil, err
+			}
+			if _, err := ocb.PopulateSharded(db, ocbBase); err != nil {
+				return nil, err
+			}
+		case dbKind == "geometry":
 			if err := fixtures.DefineGeometrySharded(db, false); err != nil {
 				return nil, err
 			}
 			if _, err := fixtures.PopulateGeometrySharded(db, n, seed); err != nil {
 				return nil, err
 			}
-		case "none":
+		case dbKind == "none":
 		default:
-			return nil, fmt.Errorf("-db %q is not available with -shards > 1 (use geometry or none)", dbKind)
+			return nil, fmt.Errorf("-db %q is not available with -shards > 1 (use geometry, ocb, or none)", dbKind)
 		}
 		return server.Sharded{DB: db}, nil
 	}
 	db := gomdb.Open(ecfg)
-	switch dbKind {
-	case "geometry":
+	switch {
+	case ocbBase != nil:
+		if err := ocb.Define(db, ocbBase.P); err != nil {
+			return nil, err
+		}
+		if _, err := ocb.Populate(db, ocbBase); err != nil {
+			return nil, err
+		}
+	case dbKind == "geometry":
 		if err := fixtures.DefineGeometry(db, false); err != nil {
 			return nil, err
 		}
 		if _, err := fixtures.PopulateGeometry(db, n, seed); err != nil {
 			return nil, err
 		}
-	case "company":
+	case dbKind == "company":
 		if err := fixtures.DefineCompany(db); err != nil {
 			return nil, err
 		}
 		if _, err := fixtures.PopulateCompany(db, fixtures.Figure15Config()); err != nil {
 			return nil, err
 		}
-	case "none":
+	case dbKind == "none":
 	default:
-		return nil, fmt.Errorf("unknown -db %q (geometry, company, or none)", dbKind)
+		return nil, fmt.Errorf("unknown -db %q (geometry, company, ocb, or none)", dbKind)
 	}
 	return server.Embedded{DB: db}, nil
+}
+
+// parseOCB recognizes -db ocb and -db ocb:<seed> and generates the base
+// (demo parameters, -n instances per class). Returns nil for other kinds.
+func parseOCB(dbKind string, n int, seed int64) (*ocb.Base, error) {
+	if dbKind != "ocb" && !strings.HasPrefix(dbKind, "ocb:") {
+		return nil, nil
+	}
+	if rest, ok := strings.CutPrefix(dbKind, "ocb:"); ok {
+		s, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-db %q: bad ocb seed: %v", dbKind, err)
+		}
+		seed = s
+	}
+	p := ocb.Demo()
+	if n > 0 {
+		p.Instances = n
+	}
+	base, err := ocb.Gen(p, seed)
+	if err != nil {
+		return nil, fmt.Errorf("-db ocb: %w", err)
+	}
+	return base, nil
 }
 
 func onOff(b bool) string {

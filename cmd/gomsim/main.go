@@ -12,6 +12,7 @@
 //	gomsim -seed-base 20260805 -seeds 50     # rotating nightly seed window
 //	gomsim -durable -crashes -seeds 25       # crash-recovery campaign
 //	gomsim -shards 4 -faults -durable -crashes  # sharded fault+crash campaign
+//	gomsim -ocb -seeds 25                    # generated OCB-style object bases
 //	gomsim -replay testdata/sim/repro.json   # re-run a saved reproducer
 //
 // With -durable each run executes against a file-backed store; -crashes
@@ -23,7 +24,10 @@
 // -shards N every plan runs through the internal/shard scatter-gather router
 // over N engines; fault windows target one shard's disk, crash points kill
 // all shards with the mid-checkpoint injection armed on one, and the audits
-// add the router's cross-shard routing invariants. A violating durable run
+// add the router's cross-shard routing invariants. With -ocb each workload
+// runs against a generated OCB-style object base (internal/ocb demo
+// parameters) instead of the hand-built fixture; -ocb composes with every
+// axis except -shards. A violating durable run
 // is re-executed with its store pinned under -out, so the on-disk state that
 // fed recovery ships alongside the shrunk reproducer.
 //
@@ -37,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"gomdb/internal/ocb"
 	"gomdb/internal/sim"
 )
 
@@ -56,6 +61,7 @@ func main() {
 		faults    = flag.Bool("faults", false, "insert scripted fault windows into each plan")
 		recl      = flag.Bool("recluster", false, "insert trace-driven reclustering passes into each plan")
 		nomvcc    = flag.Bool("nomvcc", false, "disable the MVCC snapshot read path")
+		useOCB    = flag.Bool("ocb", false, "run each workload against a generated OCB-style object base (demo parameters; incompatible with -shards)")
 		durable   = flag.Bool("durable", false, "run against a file-backed store (checkpoints + WAL + recovery)")
 		crashes   = flag.Bool("crashes", false, "insert crash-restart points into each plan (implies -durable)")
 		broken    = flag.Bool("broken", false, "arm the deliberately-broken invalidation path (audits must fail)")
@@ -77,11 +83,21 @@ func main() {
 	if *crashes {
 		*durable = true
 	}
+	if *useOCB && *shards > 0 {
+		fmt.Fprintln(os.Stderr, "gomsim: -ocb cannot be combined with -shards (router parity for generated bases is pinned in internal/ocb)")
+		os.Exit(1)
+	}
+	var ocbParams *ocb.Params
+	if *useOCB {
+		p := ocb.Demo()
+		ocbParams = &p
+	}
 	for _, s := range strategies {
 		configs = append(configs, sim.EngineConfig{
 			Strategy: s, Memo: *memo, SecondChance: *sc, UseMDS: *mds,
 			BufferShards: *bufShards, Shards: *shards, RematWorkers: *workers,
 			Broken: *broken, Durable: *durable, DisableMVCC: *nomvcc,
+			OCB: ocbParams,
 		})
 	}
 
@@ -93,7 +109,13 @@ func main() {
 	failures := 0
 	for _, cfg := range configs {
 		for s := first; s < first+count; s++ {
-			plan := sim.Generate(s, sim.GenOptions{Ops: *ops, Faults: *faults, Crashes: *crashes, Recluster: *recl})
+			opt := sim.GenOptions{Ops: *ops, Faults: *faults, Crashes: *crashes, Recluster: *recl}
+			var plan sim.Plan
+			if ocbParams != nil {
+				plan = sim.GenerateOCB(s, *ocbParams, opt)
+			} else {
+				plan = sim.Generate(s, opt)
+			}
 			res := sim.Run(cfg, plan)
 			status := "ok"
 			if res.Violation != nil {

@@ -1,0 +1,541 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"gomdb"
+	"gomdb/internal/ocb"
+	"gomdb/internal/storage"
+)
+
+// GenerateOCB derives a complete workload plan over a synthetic OCB base:
+// the op stream comes from ocb.GenStream (all randomness consumed at
+// generation time, targets resolved to indices), and the injectors — fault
+// windows, crash-restart points, reclustering passes — are the same ones the
+// geometry generator uses, appended after generation so base plans stay
+// byte-identical whether or not an option is on. Run the plan with an
+// EngineConfig whose OCB field carries the same Params.
+func GenerateOCB(seed int64, p ocb.Params, opt GenOptions) Plan {
+	n := opt.Ops
+	if n <= 0 {
+		n = 150
+	}
+	plan := Plan{Seed: seed, Ops: convertOCBOps(ocb.GenStream(p, seed, ocb.StreamOptions{Ops: n}))}
+	rng := rand.New(rand.NewSource(seed))
+	if opt.Faults {
+		injectFaultWindows(rng, &plan)
+	}
+	if opt.Crashes {
+		injectOCBCrashes(rng, &plan, p)
+	}
+	if opt.Recluster {
+		injectReclusters(rng, &plan)
+	}
+	return plan
+}
+
+func convertOCBOps(stream []ocb.Op) []Op {
+	ops := make([]Op, len(stream))
+	for i, o := range stream {
+		ops[i] = Op{Kind: OpKind(o.Kind), X: o.X, N: o.N, S: o.S, F: o.F}
+		if len(o.Sub) > 0 {
+			ops[i].Sub = convertOCBOps(o.Sub)
+		}
+	}
+	return ops
+}
+
+// genOCBUpdate draws one OCB elementary update — the batch-body vocabulary
+// (streams over a generated base never create or delete objects).
+func genOCBUpdate(rng *rand.Rand, p ocb.Params) Op {
+	return Op{Kind: OpSetValue, X: rng.Intn(1 << 16), N: rng.Intn(p.Classes),
+		S: fmt.Sprintf("N%d", rng.Intn(p.NumAttrs)), F: []float64{10 + rng.Float64()*90}}
+}
+
+// genOCBCrash mirrors genCrash with OCB-safe batch bodies.
+func genOCBCrash(rng *rand.Rand, p ocb.Params) Op {
+	batch := func() []Op {
+		sub := make([]Op, 1+rng.Intn(4))
+		for i := range sub {
+			sub[i] = genOCBUpdate(rng, p)
+		}
+		return sub
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return Op{Kind: OpCrash, S: "now"}
+	case 1:
+		return Op{Kind: OpCrash, S: "mid-batch", N: rng.Intn(20000), Sub: batch()}
+	case 2:
+		return Op{Kind: OpCrash, S: "mid-flush", N: rng.Intn(20000)}
+	case 3:
+		return Op{Kind: OpCrash, S: "mid-mat", X: rng.Intn(len(ocb.Catalog(p))), N: rng.Intn(20000)}
+	default:
+		return Op{Kind: OpCrash, S: "torn", Sub: batch(), Rule: []storage.FaultRule{
+			{Op: storage.FaultTornWrite, After: rng.Intn(3), Count: 1},
+		}}
+	}
+}
+
+func injectOCBCrashes(rng *rand.Rand, p *Plan, params ocb.Params) {
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		at := rng.Intn(len(p.Ops) + 1)
+		op := genOCBCrash(rng, params)
+		p.Ops = append(p.Ops[:at], append([]Op{op}, p.Ops[at:]...)...)
+	}
+}
+
+// ocbWorld is the mutable execution state of one OCB-fixture run. Streams
+// contain no creates or deletes, so the per-class OID lists are stable; crash
+// recovery still re-reads them from the extensions (work after the last
+// checkpoint is gone either way for GMRs).
+type ocbWorld struct {
+	db  *gomdb.Database
+	cfg EngineConfig
+	dir string
+	p   ocb.Params
+
+	classes [][]gomdb.OID
+	cat     []ocb.GMRSpec
+
+	matted     map[int]bool
+	faultsOpen bool
+	faults     int
+}
+
+// openSimOCB opens the database an OCB run executes against. The schema is a
+// pure function of Params, so the durable DefineSchema closure re-derives it
+// identically on recovery.
+func openSimOCB(cfg EngineConfig, dir string) (*gomdb.Database, error) {
+	p := *cfg.OCB
+	gc := gomdb.Config{
+		BufferPages:  cfg.BufferPages,
+		BufferShards: cfg.BufferShards,
+		RematWorkers: cfg.RematWorkers,
+		DisableMVCC:  cfg.DisableMVCC,
+	}
+	if dir == "" {
+		db := gomdb.Open(gc)
+		if err := ocb.Define(db, p); err != nil {
+			return nil, fmt.Errorf("schema: %w", err)
+		}
+		return db, nil
+	}
+	gc.Path = dir
+	gc.DefineSchema = func(db *gomdb.Database) error { return ocb.Define(db, p) }
+	return gomdb.OpenAt(gc)
+}
+
+// runOCB executes plan against a generated OCB base. It mirrors Run — same
+// trace format, same durable-directory protocol, same implicit final
+// fault-clear and audit — with the fixture swapped; the invariant auditors
+// (Audit) are untouched, since they walk whatever GMR catalog is live.
+func runOCB(cfg EngineConfig, plan Plan) (res *Result) {
+	res = &Result{}
+	var w *ocbWorld
+	var db *gomdb.Database
+	removeDir := ""
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			res.Violation = &Violation{OpIndex: cur, Msgs: []string{fmt.Sprintf("panic: %v", r)}}
+		}
+		if w != nil {
+			res.Clock = w.db.Clock.Snapshot()
+			res.FaultsInjected = w.faults + w.db.Disk.FaultsInjected()
+			db = w.db
+		}
+		if db != nil {
+			db.Crash()
+		}
+		if removeDir != "" {
+			os.RemoveAll(removeDir)
+		}
+		h := fnv.New64a()
+		for _, line := range res.Trace {
+			h.Write([]byte(line))
+			h.Write([]byte{'\n'})
+		}
+		res.TraceHash = h.Sum64()
+	}()
+
+	if cfg.Shards > 0 {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"ocb: sharded sim runs are not supported (router parity is pinned in internal/ocb)"}}
+		return res
+	}
+	if err := cfg.OCB.Validate(); err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"params: " + err.Error()}}
+		return res
+	}
+
+	dir := ""
+	if cfg.Durable {
+		dir = cfg.CrashDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "gomsim-ocb-")
+			if err != nil {
+				res.Violation = &Violation{OpIndex: -1, Msgs: []string{"durable dir: " + err.Error()}}
+				return res
+			}
+			dir, removeDir = tmp, tmp
+		} else if err := os.RemoveAll(dir); err != nil {
+			res.Violation = &Violation{OpIndex: -1, Msgs: []string{"durable dir: " + err.Error()}}
+			return res
+		}
+	}
+
+	var err error
+	db, err = openSimOCB(cfg, dir)
+	if err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"open: " + err.Error()}}
+		return res
+	}
+	base, err := ocb.Gen(*cfg.OCB, plan.Seed)
+	if err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"gen: " + err.Error()}}
+		return res
+	}
+	world, err := ocb.Populate(db, base)
+	if err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"populate: " + err.Error()}}
+		return res
+	}
+	if err := db.Checkpoint(); err != nil {
+		res.Violation = &Violation{OpIndex: -1, Msgs: []string{"populate checkpoint: " + err.Error()}}
+		return res
+	}
+	db.GMRs.TestingBreakInvalidation(cfg.Broken)
+	w = &ocbWorld{
+		db:      db,
+		cfg:     cfg,
+		dir:     dir,
+		p:       *cfg.OCB,
+		classes: world.Classes,
+		cat:     ocb.Catalog(*cfg.OCB),
+		matted:  make(map[int]bool),
+	}
+
+	for i, op := range plan.Ops {
+		cur = i
+		detail, bad := w.apply(op)
+		res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", i, op.Kind, detail))
+		if bad != nil {
+			bad.OpIndex = i
+			res.Violation = bad
+			return res
+		}
+	}
+
+	cur = len(plan.Ops)
+	if w.faultsOpen {
+		detail, bad := w.applyFaultClear()
+		res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", cur, OpFaultClear, detail))
+		if bad != nil {
+			bad.OpIndex = cur
+			res.Violation = bad
+			return res
+		}
+	}
+	detail, bad := w.applyAudit()
+	res.Trace = append(res.Trace, fmt.Sprintf("%04d %-10s %s", cur, "final-audit", detail))
+	if bad != nil {
+		bad.OpIndex = cur
+		res.Violation = bad
+	}
+	return res
+}
+
+// inst resolves an op's (class, index) selector to a live OID.
+func (w *ocbWorld) inst(class, x int) gomdb.OID {
+	list := w.classes[class%len(w.classes)]
+	return list[x%len(list)]
+}
+
+func (w *ocbWorld) apply(op Op) (string, *Violation) {
+	switch op.Kind {
+	case OpMat:
+		return w.applyMat(op), nil
+	case OpDemat:
+		spec := w.cat[op.X%len(w.cat)]
+		err := w.db.Dematerialize(spec.Name)
+		if err == nil {
+			delete(w.matted, op.X%len(w.cat))
+		}
+		return spec.Name + " " + errStr(err), nil
+	case OpSetValue:
+		detail, err := w.applyUpdate(w.db, op)
+		if err != nil {
+			detail += " ERR " + err.Error()
+		}
+		return detail, nil
+	case OpForward:
+		oid := w.inst(0, op.X)
+		v, err := w.db.Call(op.S, gomdb.Ref(oid))
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s(%s) = %s", op.S, oid, v), nil
+	case OpBackward:
+		ms, err := w.db.Backward(op.S, op.F[0], op.F[1])
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s[%g,%g] %s", op.S, op.F[0], op.F[1], matchStr(ms)), nil
+	case OpSum:
+		c0 := w.classes[0]
+		k := 1 + op.N%len(c0)
+		s, err := w.db.Sum(op.S, append([]gomdb.OID(nil), c0[:k]...))
+		if err != nil {
+			return op.S + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s over %d = %g", op.S, k, s), nil
+	case OpRetrieve:
+		spec := w.cat[op.X%len(w.cat)]
+		specs := []gomdb.FieldSpec{gomdb.AnySpec(), gomdb.RangeSpec(op.F[0], op.F[1])}
+		rows, err := w.db.Retrieve(spec.Name, specs)
+		if err != nil {
+			return spec.Name + " ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("%s[%g,%g] %s", spec.Name, op.F[0], op.F[1], rowStr(rows)), nil
+	case OpFlush:
+		return errStr(w.db.Flush()), nil
+	case OpBatch:
+		return w.applyBatch(op), nil
+	case OpGC:
+		ngc, err := w.db.GMRs.CollectResultGarbage()
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		nrr, err := w.db.GMRs.ReorganizeRRR()
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("collected %d, reorganized %d", ngc, nrr), nil
+	case OpAudit:
+		if w.faultsOpen {
+			return "skipped (faults armed)", nil
+		}
+		return w.applyAudit()
+	case OpSnapRead:
+		return w.applySnapRead(op)
+	case OpFault:
+		w.db.Disk.SetFaultPlan(storage.FaultPlan{Rules: op.Rule})
+		w.faultsOpen = true
+		return storage.FaultPlan{Rules: op.Rule}.String(), nil
+	case OpFaultClear:
+		return w.applyFaultClear()
+	case OpRecluster:
+		rep, err := w.db.Recluster()
+		if err != nil {
+			return "ERR " + err.Error(), nil
+		}
+		return fmt.Sprintf("moved %d/%d (hot=%d chains=%d traces=%d)",
+			rep.Moved, rep.Objects, rep.HotObjects, rep.Chains, rep.Traces), nil
+	case OpCrash:
+		return w.applyCrash(op)
+	}
+	return "unknown op", &Violation{Msgs: []string{"unknown op kind " + string(op.Kind)}}
+}
+
+func (w *ocbWorld) applyMat(op Op) string {
+	ci := op.X % len(w.cat)
+	spec := w.cat[ci]
+	_, err := w.db.Materialize(gomdb.MaterializeOptions{
+		Name:         spec.Name,
+		Funcs:        spec.Funcs,
+		Strategy:     w.cfg.strategy(),
+		Complete:     spec.Complete,
+		MaxEntries:   spec.MaxEntries,
+		SecondChance: w.cfg.SecondChance,
+		UseMDS:       w.cfg.UseMDS,
+		MemoCache:    w.cfg.Memo,
+	})
+	if err == nil {
+		w.matted[ci] = true
+	}
+	return spec.Name + " " + errStr(err)
+}
+
+func (w *ocbWorld) applyUpdate(a api, op Op) (string, error) {
+	class := op.N % w.p.Classes
+	oid := w.inst(class, op.X)
+	return fmt.Sprintf("%s.%s=%g", oid, op.S, op.F[0]),
+		a.Set(oid, op.S, gomdb.Float(op.F[0]))
+}
+
+func (w *ocbWorld) applyBatch(op Op) string {
+	var parts []string
+	err := w.db.Batch(func(tx *gomdb.Tx) error {
+		for _, sub := range op.Sub {
+			if sub.Kind != OpSetValue {
+				parts = append(parts, "skip "+string(sub.Kind))
+				continue
+			}
+			detail, serr := w.applyUpdate(tx, sub)
+			if serr != nil {
+				detail += " ERR " + serr.Error()
+			}
+			parts = append(parts, detail)
+		}
+		return nil
+	})
+	out := fmt.Sprintf("{%s}", strings.Join(parts, "; "))
+	if err != nil {
+		out += " ERR " + err.Error()
+	}
+	return out
+}
+
+func (w *ocbWorld) applySnapRead(op Op) (string, *Violation) {
+	view, err := w.db.SnapshotView()
+	if err != nil {
+		return "ERR " + err.Error(), nil
+	}
+	defer view.Release()
+	parts := []string{"pinned"}
+
+	oid := w.inst(0, op.X)
+	if v, err := view.Call(op.S, gomdb.Ref(oid)); err != nil {
+		parts = append(parts, op.S+" ERR "+err.Error())
+	} else {
+		parts = append(parts, fmt.Sprintf("%s(%s)=%s", op.S, oid, v))
+	}
+	parts = append(parts, fmt.Sprintf("ext=%d", len(view.Extension("C0"))))
+
+	ci := op.X % len(w.cat)
+	if w.matted[ci] && !w.faultsOpen {
+		spec := w.cat[ci]
+		rep, err := view.CheckConsistency(spec.Name, auditTol, false)
+		switch {
+		case err != nil:
+			parts = append(parts, "audit "+spec.Name+" ERR "+err.Error())
+		case rep.Err() != nil:
+			return strings.Join(parts, " "),
+				&Violation{Msgs: []string{"snapshot audit " + spec.Name + ": " + rep.Err().Error()}}
+		default:
+			parts = append(parts, "audit "+spec.Name+" ok")
+		}
+	}
+
+	view.Release()
+	if n := w.db.MVCCStats().ActivePins; n != 0 {
+		return strings.Join(parts, " "),
+			&Violation{Msgs: []string{fmt.Sprintf("snapshot pin leak: %d active after release", n)}}
+	}
+	return strings.Join(parts, " "), nil
+}
+
+func (w *ocbWorld) applyFaultClear() (string, *Violation) {
+	w.faults += w.db.Disk.FaultsInjected()
+	w.db.Disk.ClearFaults()
+	w.faultsOpen = false
+	var msgs []string
+	if err := w.db.Flush(); err != nil {
+		msgs = append(msgs, "recovery flush: "+err.Error())
+	}
+	rebuilt := 0
+	for _, ci := range w.mattedIndices() {
+		spec := w.cat[ci]
+		if err := w.db.Dematerialize(spec.Name); err != nil {
+			msgs = append(msgs, "recovery demat "+spec.Name+": "+err.Error())
+			continue
+		}
+		delete(w.matted, ci)
+		if s := w.applyMat(Op{Kind: OpMat, X: ci}); !strings.HasSuffix(s, " ok") {
+			msgs = append(msgs, "recovery remat "+s)
+			continue
+		}
+		rebuilt++
+	}
+	if len(msgs) > 0 {
+		return "recovery FAILED", &Violation{Msgs: msgs}
+	}
+	return fmt.Sprintf("recovered (%d GMRs rebuilt, %d faults so far)", rebuilt, w.faults), nil
+}
+
+func (w *ocbWorld) mattedIndices() []int {
+	out := make([]int, 0, len(w.matted))
+	for ci := range w.matted {
+		out = append(out, ci)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (w *ocbWorld) applyAudit() (string, *Violation) {
+	if err := w.db.Flush(); err != nil {
+		return "flush ERR", &Violation{Msgs: []string{"audit flush: " + err.Error()}}
+	}
+	msgs := Audit(w.db)
+	if len(msgs) > 0 {
+		return fmt.Sprintf("FAILED (%d violations)", len(msgs)), &Violation{Msgs: msgs}
+	}
+	total := 0
+	for _, list := range w.classes {
+		total += len(list)
+	}
+	return fmt.Sprintf("ok (%d gmrs, %d objects)", len(w.matted), total), nil
+}
+
+func (w *ocbWorld) applyCrash(op Op) (string, *Violation) {
+	if w.dir == "" {
+		return op.S + " skip (in-memory)", nil
+	}
+	var trigger string
+	switch op.S {
+	case "mid-batch":
+		w.db.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-batch@%d %s", op.N, w.applyBatch(Op{Kind: OpBatch, Sub: op.Sub}))
+	case "mid-flush":
+		w.db.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-flush@%d %s", op.N, errStr(w.db.Flush()))
+	case "mid-mat":
+		w.db.TestingFailNextCheckpoint(int64(op.N))
+		trigger = fmt.Sprintf("mid-mat@%d %s", op.N, w.applyMat(Op{Kind: OpMat, X: op.X}))
+	case "torn":
+		w.db.Disk.SetFaultPlan(storage.FaultPlan{Rules: op.Rule})
+		trigger = "torn " + w.applyBatch(Op{Kind: OpBatch, Sub: op.Sub})
+	default:
+		trigger = "now"
+	}
+	w.faults += w.db.Disk.FaultsInjected()
+	w.db.Crash()
+	w.faultsOpen = false
+	db, err := openSimOCB(w.cfg, w.dir)
+	if err != nil {
+		return trigger + " -> recovery FAILED", &Violation{Msgs: []string{"recovery: " + err.Error()}}
+	}
+	w.db = db
+	db.GMRs.TestingBreakInvalidation(w.cfg.Broken)
+	w.resync()
+	rec := "fresh"
+	if info := db.Recovery; info != nil && info.Recovered {
+		rec = fmt.Sprintf("objs=%d gmrs=%d pend=%d wal=%d torn=%d",
+			info.ObjectsRestored, info.GMRsRebuilt, info.PendingDiscarded,
+			info.WALPagesReplayed, info.TornPagesRepaired)
+	}
+	detail, bad := w.applyAudit()
+	return fmt.Sprintf("%s -> recovered(%s); audit %s", trigger, rec, detail), bad
+}
+
+// resync rebuilds the per-class OID lists and the matted set from the
+// recovered database. Extent order is insertion order, preserved through
+// checkpoint and recovery, and OCB streams never create or delete, so the
+// lists come back exactly as Populate built them.
+func (w *ocbWorld) resync() {
+	for c := range w.classes {
+		w.classes[c] = w.db.Objects.Extension(ocb.ClassName(c))
+	}
+	w.matted = make(map[int]bool)
+	for ci, spec := range w.cat {
+		if _, ok := w.db.GMRs.Get(spec.Name); ok {
+			w.matted[ci] = true
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"gomdb"
 	"gomdb/internal/fixtures"
+	"gomdb/internal/ocb"
 	"gomdb/internal/storage"
 )
 
@@ -77,6 +78,13 @@ type EngineConfig struct {
 	// at run end (so a violating run's on-disk state can be attached to its
 	// reproducer). When empty, a temp directory is used and removed.
 	CrashDir string `json:"-"`
+	// OCB switches the run from the hand-built geometry fixture to a
+	// synthetic object base generated from these parameters and the plan's
+	// seed (internal/ocb). Plans for this axis come from GenerateOCB; the
+	// auditors are unchanged — they are fixture-agnostic. Not combinable
+	// with Shards (the router's OCB parity is pinned in the ocb package's
+	// own tests instead).
+	OCB *ocb.Params `json:"ocb,omitempty"`
 }
 
 func (c EngineConfig) strategy() gomdb.Strategy {
@@ -118,6 +126,9 @@ func (c EngineConfig) String() string {
 	}
 	if c.Durable {
 		s += "+durable"
+	}
+	if c.OCB != nil {
+		s += "+ocb"
 	}
 	if c.Broken {
 		s += "+BROKEN"
@@ -208,6 +219,9 @@ func openSim(cfg EngineConfig, dir string) (*gomdb.Database, error) {
 // Run executes plan against cfg and returns the trace, cost snapshot, and
 // first invariant violation (if any).
 func Run(cfg EngineConfig, plan Plan) (res *Result) {
+	if cfg.OCB != nil {
+		return runOCB(cfg, plan)
+	}
 	if cfg.Shards > 0 {
 		return RunSharded(cfg, plan)
 	}
